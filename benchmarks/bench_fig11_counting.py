@@ -1,0 +1,53 @@
+"""Fig 11: counting accuracy vs number of colliding transponders.
+
+The paper combines solo-recorded responses of its 155 tags into synthetic
+collisions of m = 5..50 and reports the §5 estimator's average accuracy:
+close to 100 % through m ~ 40, dipping a few percent by 50 (1000 runs per
+point; axis 94-102 %).
+
+We reproduce the methodology with the synthetic 155-carrier population
+and the full radio pipeline (parking-lot amplitude regime, one 4-query
+reader burst per estimate — the hardware's §10 wake-up budget).
+"""
+
+import numpy as np
+
+from bench_helpers import population_simulator
+from conftest import scaled
+from repro.core.counting import CollisionCounter
+
+
+def bench_fig11_counting_accuracy(benchmark, report):
+    runs = scaled(20)
+    sizes = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+    counter = CollisionCounter()
+
+    def experiment():
+        accuracy = {}
+        for m in sizes:
+            estimates = []
+            for run in range(runs):
+                simulator = population_simulator(m=m, seed=1100 + 97 * m + run)
+                waves = [simulator.query(i * 1e-3).antenna(0) for i in range(4)]
+                estimates.append(counter.count_multi(waves).count)
+            estimates = np.asarray(estimates, dtype=float)
+            accuracy[m] = float(np.mean(estimates / m) * 100.0)
+        return accuracy
+
+    accuracy = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    report(f"Fig 11 — counting accuracy vs collision size ({runs} runs/point)")
+    report(f"{'m':>4} {'accuracy %':>10}   (paper: ~100% below 40, >=94% at 50)")
+    for m in sizes:
+        bar = "#" * int(round(max(accuracy[m] - 90, 0)))
+        report(f"{m:4d} {accuracy[m]:10.1f}   {bar}")
+
+    mean_error = np.mean([abs(accuracy[m] - 100.0) for m in sizes[:6]])
+    report("")
+    report(f"mean |error| for m <= 30: {mean_error:.1f}%  (paper: 2% average)")
+
+    for m in (5, 10, 15, 20):
+        assert accuracy[m] >= 95.0, f"m={m}: {accuracy[m]:.1f}%"
+    for m in (25, 30, 35, 40):
+        assert accuracy[m] >= 90.0, f"m={m}: {accuracy[m]:.1f}%"
+    assert accuracy[50] >= 80.0

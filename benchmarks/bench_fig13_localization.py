@@ -1,0 +1,76 @@
+"""Fig 13: AoA error for cars parked in spots 1..6.
+
+The paper parks tagged cars in each of six spots and measures the AoA
+error against laser-ranged ground truth: ~4 degrees on average, worst at
+the two ends of the row (spots 1 and 6), where the 60-degree antenna tilt
+trades error away from the far end.
+
+We run multiple configurations per spot with colliding background cars
+and report the mean/std error per spot, plus a no-tilt ablation showing
+why the 60-degree mounting matters.
+"""
+
+import numpy as np
+
+from conftest import scaled
+from repro.core.localization import AoAEstimator
+from repro.sim.scenario import parking_scene
+
+
+def _spot_errors(tilt_deg: float, runs: int) -> dict[int, list[float]]:
+    from repro.channel.antenna import TriangleArray
+
+    errors: dict[int, list[float]] = {i: [] for i in range(1, 7)}
+    for spot in range(1, 7):
+        for run in range(runs):
+            scene, street, targets = parking_scene(
+                target_spots=[spot], n_background_cars=2, rng=1300 + 31 * spot + run
+            )
+            if tilt_deg != 60.0:
+                scene.arrays[0] = TriangleArray.street_pole(
+                    scene.arrays[0].center_m, tilt_deg=tilt_deg
+                )
+            estimator = AoAEstimator(scene.arrays[0])
+            collision = scene.simulator(0, rng=1400 + 31 * spot + run).query(0.0)
+            estimates = estimator.estimate_all(collision)
+            target_cfo = scene.tags[0].oscillator.carrier_hz - collision.lo_hz
+            best = min(estimates, key=lambda e: abs(e.cfo_hz - target_cfo))
+            if abs(best.cfo_hz - target_cfo) > 1500.0:
+                continue  # the target shared a bin with a background car
+            pair = estimator.best_pair(best)
+            truth = np.rad2deg(pair.true_spatial_angle_rad(targets[0]))
+            errors[spot].append(abs(best.alpha_deg - truth))
+    return errors
+
+
+def bench_fig13_parking_aoa(benchmark, report):
+    runs = scaled(8)
+
+    def experiment():
+        return _spot_errors(60.0, runs), _spot_errors(15.0, max(2, runs // 2))
+
+    tilted, flat = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    report(f"Fig 13 — AoA error per parking spot ({runs} runs/spot, 2 colliding cars)")
+    report(f"{'spot':>5} {'mean err [deg]':>14} {'std':>6}   60-deg tilt (paper setup)")
+    means = {}
+    for spot in range(1, 7):
+        values = tilted[spot]
+        means[spot] = float(np.mean(values)) if values else float("nan")
+        std = float(np.std(values)) if values else float("nan")
+        bar = "#" * int(round(means[spot] * 4)) if values else ""
+        report(f"{spot:5d} {means[spot]:14.2f} {std:6.2f}   {bar}")
+    overall = float(np.mean([e for v in tilted.values() for e in v]))
+    report("")
+    report(f"overall mean error: {overall:.2f} deg (paper: ~4 deg average)")
+
+    flat_far = float(np.mean(flat[6])) if flat[6] else float("nan")
+    tilt_far = means[6]
+    report("")
+    report("ablation — antennas nearly parallel to the road (15-deg tilt):")
+    report(f"  spot 6 mean error: {flat_far:.2f} deg vs {tilt_far:.2f} deg with 60-deg tilt")
+    report("  (§6/§12.2: without the tilt, far spots sit near end-fire where")
+    report("   d(alpha)/d(phase) blows up)")
+
+    assert overall < 4.5, f"mean AoA error {overall:.2f} deg exceeds the paper scale"
+    assert means[6] < 8.0

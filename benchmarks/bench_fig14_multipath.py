@@ -1,0 +1,82 @@
+"""Fig 14: the multipath profile of an outdoor pole-mounted reader.
+
+The paper rotates an antenna on a 70 cm arm (synthetic aperture),
+reconstructs the angular profile of a tag's signal, and finds one
+dominant line-of-sight peak — on average 27x (14.3 dB) stronger than the
+second path, across 100 runs. We synthesize the same rig over a ground
+bounce + parked-car scatterer channel and reproduce the profile and the
+peak-ratio statistic.
+"""
+
+import numpy as np
+
+from conftest import scaled
+from repro.channel.multipath import GroundBounce, MultipathChannel, PointScatterer
+from repro.constants import SAR_RADIUS_M
+from repro.dsp.sar import CircularSAR, angular_peak_ratio
+
+
+def bench_fig14_multipath_profile(benchmark, report):
+    runs = scaled(40)
+    grid = np.linspace(-np.pi, np.pi, 1441)
+
+    def experiment():
+        rng = np.random.default_rng(14)
+        music_ratios = []
+        bartlett_ratios = []
+        profile_example = None
+        sar = CircularSAR(center_m=np.array([0.0, 0.0, 3.8]), n_positions=180)
+        for run in range(runs):
+            tag = np.array(
+                [rng.uniform(8.0, 25.0), rng.uniform(-15.0, -4.0), 1.0]
+            )
+            scatterer = PointScatterer(
+                position_m=np.array(
+                    [rng.uniform(-10.0, 10.0), rng.uniform(2.0, 12.0), 1.2]
+                ),
+                reflectivity=rng.uniform(0.1, 0.35),
+            )
+            channel = MultipathChannel(
+                paths=(GroundBounce(reflection_coefficient=-0.25), scatterer)
+            )
+            measurement = sar.measure(
+                tag, channel, phase_noise_std_rad=0.05, rng=rng
+            )
+            bartlett = measurement.bartlett_profile(grid)
+            music = measurement.music_profile(grid, n_sources=1)
+            b_ratio = angular_peak_ratio(bartlett, grid)
+            m_ratio = angular_peak_ratio(music, grid)
+            if np.isfinite(b_ratio):
+                bartlett_ratios.append(b_ratio)
+            if np.isfinite(m_ratio):
+                music_ratios.append(m_ratio)
+            if profile_example is None:
+                profile_example = bartlett
+        return np.array(music_ratios), np.array(bartlett_ratios), profile_example
+
+    music_ratios, bartlett_ratios, profile = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    report(f"Fig 14 — SAR multipath profile (r = {SAR_RADIUS_M} m arm, {runs} runs)")
+    report("")
+    report("example Bartlett profile (relative power vs angle):")
+    chunks = np.array_split(profile, 72)
+    levels = np.array([c.max() for c in chunks])
+    for row in range(6, 0, -1):
+        threshold = row / 6.0
+        report("  " + "".join("#" if level >= threshold else " " for level in levels))
+    report("  " + "-" * 72)
+    report("  -180 deg" + " " * 55 + "+180 deg")
+    report("")
+    report(f"LoS-to-second-peak power ratio (MUSIC, as in the paper): "
+           f"mean {np.mean(music_ratios):.1f}x, median {np.median(music_ratios):.1f}x "
+           f"(paper: 27x)")
+    report(f"same ratio from the Bartlett profile: mean {np.mean(bartlett_ratios):.1f}x")
+    report("(the Bartlett number is limited by the ring aperture's -8 dB")
+    report(" sidelobes, not by multipath — which is why the paper reaches for")
+    report(" MUSIC for the quantitative claim)")
+
+    assert np.mean(music_ratios) > 10.0, "LoS must dominate the MUSIC profile"
+    assert np.median(music_ratios) > 8.0
+    assert np.mean(bartlett_ratios) > 4.0

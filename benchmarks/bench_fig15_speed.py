@@ -1,0 +1,87 @@
+"""Fig 15: detected vs actual speed, 10..50 mph.
+
+The paper drives cars past two poles 200 feet apart and compares the
+Caraoke speed against the car's own speedometer: within 8 % (1-4 mph)
+across the range. We run the full pipeline — AoA at two two-reader
+stations, conic intersection, NTP-noised timestamps — per speed.
+"""
+
+import numpy as np
+
+from conftest import scaled
+from repro.constants import M_S_PER_MPH, SPEED_EXPERIMENT_BASELINE_M
+from repro.core import (
+    AoAEstimator,
+    ReaderGeometry,
+    SpeedEstimator,
+    SpeedObservation,
+    TwoReaderLocalizer,
+)
+from repro.sim.clock import NtpClock
+from repro.sim.mobility import ConstantSpeedTrajectory
+from repro.sim.scenario import Scene, make_tags, two_pole_speed_scene
+
+
+def _one_run(true_mph: float, seed: int) -> float:
+    baseline = SPEED_EXPERIMENT_BASELINE_M
+    arrays, road = two_pole_speed_scene(baseline_m=baseline)
+    v = true_mph * M_S_PER_MPH
+    rng = np.random.default_rng(seed)
+    trajectory = ConstantSpeedTrajectory(
+        start_m=np.array([-25.0, rng.uniform(-2.5, -1.0), 1.0]),
+        velocity_m_s=np.array([v, 0.0, 0.0]),
+    )
+    estimators = [AoAEstimator(a) for a in arrays]
+    localizers = [
+        TwoReaderLocalizer(ReaderGeometry(arrays[0], road), ReaderGeometry(arrays[1], road)),
+        TwoReaderLocalizer(ReaderGeometry(arrays[2], road), ReaderGeometry(arrays[3], road)),
+    ]
+    clocks = [NtpClock(rng=rng), NtpClock(rng=rng)]
+    observations = []
+    for station, station_x in enumerate((0.0, baseline)):
+        t = trajectory.time_of_closest_approach(np.array([station_x - 8.0, 0.0, 1.0]))
+        position = trajectory.position(t)
+        tags = make_tags(position[None, :], rng=rng)
+        scene = Scene(tags=tags, road=road, arrays=arrays)
+        base = 2 * station
+        col_a = scene.simulator(base, rng=rng).query(t)
+        col_b = scene.simulator(base + 1, rng=rng).query(t)
+        aoa_a = estimators[base].estimate_all(col_a)[0]
+        aoa_b = estimators[base + 1].estimate_all(col_b)[0]
+        fix = localizers[station].locate(
+            aoa_a, aoa_b, estimators[base], estimators[base + 1], hint_xy=position[:2]
+        )
+        observations.append(SpeedObservation(fix, clocks[station].now(t), f"s{station}"))
+    return SpeedEstimator().estimate(observations[0], observations[1]).speed_mph
+
+
+def bench_fig15_speed_detection(benchmark, report):
+    runs = scaled(6)
+    speeds = (10.0, 20.0, 30.0, 40.0, 50.0)
+
+    def experiment():
+        table = {}
+        for i, mph in enumerate(speeds):
+            measured = [_one_run(mph, seed=1500 + 17 * i + r) for r in range(runs)]
+            table[mph] = np.array(measured)
+        return table
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    report(f"Fig 15 — detected vs actual speed ({runs} runs/speed, 200 ft baseline)")
+    report(f"{'actual':>7} {'mean':>7} {'p90':>7} {'worst err':>10}")
+    worst_overall = 0.0
+    for mph in speeds:
+        measured = table[mph]
+        errors = np.abs(measured - mph) / mph
+        worst_overall = max(worst_overall, errors.max())
+        report(
+            f"{mph:7.0f} {measured.mean():7.1f} {np.percentile(measured, 90):7.1f} "
+            f"{errors.max() * 100:9.1f}%"
+        )
+    report("")
+    report(f"worst error overall: {worst_overall * 100:.1f}% (paper: within 8%, 1-4 mph)")
+
+    assert worst_overall < 0.10, f"speed error {worst_overall * 100:.1f}% out of band"
+    for mph in speeds:
+        assert abs(table[mph].mean() - mph) / mph < 0.06

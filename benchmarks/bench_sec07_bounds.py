@@ -1,0 +1,63 @@
+"""§7 closed-form error budgets.
+
+Two worked numbers in the paper:
+
+* footnote 11 — worst-case along-road position error for a 13-foot pole
+  watching two 12-foot lanes: ~8.5 feet;
+* §7 — speed error over a 360-foot (4 light poles) baseline: <= 5.5 % at
+  20 mph, <= 6.8 % at 50 mph (position bound + tens-of-ms NTP sync).
+
+The bench evaluates the closed forms across pole heights, lane counts and
+baselines, reproducing the worked numbers and the design trends.
+"""
+
+import numpy as np
+
+from repro.constants import (
+    ANALYSIS_POLE_HEIGHT_M,
+    FEET_PER_METER,
+    METERS_PER_FOOT,
+    M_S_PER_MPH,
+    SPEED_BASELINE_M,
+)
+from repro.core.speed import max_position_error_m, max_speed_error_fraction
+
+
+def bench_sec07_error_bounds(benchmark, report):
+    def experiment():
+        position = max_position_error_m(ANALYSIS_POLE_HEIGHT_M, 2)
+        speeds = {
+            mph: max_speed_error_fraction(
+                mph * M_S_PER_MPH, SPEED_BASELINE_M, position, 0.05
+            )
+            for mph in (20, 50)
+        }
+        return position, speeds
+
+    position, speeds = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    report("§7 — closed-form error budgets")
+    report(
+        f"position bound (13 ft pole, 2 lanes): {position * FEET_PER_METER:.2f} ft "
+        f"(paper: 8.5 ft)"
+    )
+    report(f"speed bound @20 mph over 360 ft: {speeds[20] * 100:.1f}% (paper: 5.5%)")
+    report(f"speed bound @50 mph over 360 ft: {speeds[50] * 100:.1f}% (paper: 6.8%)")
+    report("")
+
+    report("position bound vs pole height (2 lanes):")
+    for feet in (10, 13, 16, 20):
+        err = max_position_error_m(feet * METERS_PER_FOOT, 2) * FEET_PER_METER
+        report(f"  {feet:3d} ft pole: {err:5.2f} ft  {'#' * int(round(err * 2))}")
+
+    report("speed bound vs baseline (20 mph, paper position bound):")
+    for poles, baseline_ft in ((2, 180), (4, 360), (6, 540)):
+        err = max_speed_error_fraction(
+            20 * M_S_PER_MPH, baseline_ft * METERS_PER_FOOT, position, 0.05
+        )
+        report(f"  {poles} poles ({baseline_ft:3d} ft): {err * 100:5.2f}%")
+
+    np.testing.assert_allclose(position * FEET_PER_METER, 8.5, atol=0.35)
+    assert speeds[50] > speeds[20], "sync term grows with speed"
+    assert 0.03 < speeds[20] < 0.07
+    assert 0.03 < speeds[50] < 0.08

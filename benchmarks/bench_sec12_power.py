@@ -1,0 +1,74 @@
+"""§12.5: reader power profile and solar budget.
+
+Measured numbers reproduced by the models: 900 mW active, 69 µW sleep,
+~9 mW average at one 10 ms measurement burst per second — 56x below the
+500 mW panel — and the claim that ~3 hours of sun banks enough energy to
+run the reader for most of a week in the dark.
+"""
+
+import numpy as np
+
+from repro.constants import SOLAR_PEAK_W
+from repro.hw.battery import Battery, simulate_energy_budget
+from repro.hw.power import DutyCycle, PowerModel
+from repro.hw.solar import SolarPanel, clear_day, cloudy_day, night_only
+
+
+def bench_sec12_power_budget(benchmark, report):
+    model = PowerModel()
+    duty = DutyCycle(active_s=10e-3, period_s=1.0)
+
+    def experiment():
+        average = model.average_power_w(duty)
+        margin = model.harvest_margin(duty, SOLAR_PEAK_W)
+        simulated = model.simulate_schedule(duty, duration_s=600.0) / 600.0
+        harvest_3h = SOLAR_PEAK_W * 3 * 3600
+        dark = simulate_energy_budget(
+            battery=Battery(capacity_j=harvest_3h, charge_j=harvest_3h),
+            panel=SolarPanel(),
+            profile=night_only(),
+            power=model,
+            duty=duty,
+            duration_s=8 * 86_400.0,
+        )
+        cloudy = simulate_energy_budget(
+            battery=Battery(capacity_j=10_000.0, charge_j=5_000.0),
+            panel=SolarPanel(),
+            profile=cloudy_day(0.18),
+            power=model,
+            duty=duty,
+            duration_s=14 * 86_400.0,
+        )
+        sunny = simulate_energy_budget(
+            battery=Battery(capacity_j=10_000.0, charge_j=2_000.0),
+            panel=SolarPanel(),
+            profile=clear_day(),
+            power=model,
+            duty=duty,
+            duration_s=14 * 86_400.0,
+        )
+        return average, margin, simulated, dark, cloudy, sunny
+
+    average, margin, simulated, dark, cloudy, sunny = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    report("§12.5 — reader power profile")
+    report(f"active power:            900.0 mW (measured, modeled)")
+    report(f"sleep power:              69.0 uW (measured, modeled)")
+    report(f"average @1 measurement/s: {average * 1e3:6.2f} mW (paper: ~9 mW)")
+    report(f"event-driven simulation:  {simulated * 1e3:6.2f} mW (must agree)")
+    report(f"solar harvest margin:     {margin:6.1f} x  (paper: ~56 x)")
+    report("")
+    report(f"3 h of sun, then darkness: ran {dark.uptime_s / 86_400:.1f} days "
+           f"(paper: 'run the device for a week')")
+    report(f"two cloudy weeks (18% sky): {'survived' if cloudy.survived else 'BROWN-OUT'}, "
+           f"min SoC {cloudy.min_state_of_charge * 100:.0f}%")
+    report(f"two sunny weeks:            {'survived' if sunny.survived else 'BROWN-OUT'}, "
+           f"final SoC {sunny.final_charge_j / 10_000.0 * 100:.0f}%")
+
+    assert abs(average * 1e3 - 9.07) < 0.1
+    assert abs(simulated - average) / average < 0.02
+    assert 50.0 < margin < 60.0
+    assert dark.uptime_s > 6.5 * 86_400.0
+    assert cloudy.survived and sunny.survived

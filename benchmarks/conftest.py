@@ -1,0 +1,46 @@
+"""Benchmark infrastructure: result reporting and scale knobs.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the same rows/series the paper reports. Output goes both to the terminal
+(through pytest's capture) and to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can quote it.
+
+Set ``REPRO_BENCH_SCALE`` (default 1.0) to scale Monte-Carlo run counts
+up or down.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Monte-Carlo scale factor from the environment."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 2) -> int:
+    """Scale a run count by the environment knob."""
+    return max(minimum, int(round(n * bench_scale())))
+
+
+@pytest.fixture
+def report(request, capsys):
+    """Print through capture and persist to benchmarks/results/<test>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines: list[str] = []
+
+    def _report(text: str = "") -> None:
+        lines.append(str(text))
+        with capsys.disabled():
+            print(text)
+
+    yield _report
+
+    name = request.node.name.replace("/", "_")
+    (RESULTS_DIR / f"{name}.txt").write_text("\n".join(lines) + "\n")

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: count, localize and decode tags from one collision.
+
+Builds a street scene with five parked, E-ZPass-equipped cars, queries
+them through a simulated pole-mounted Caraoke reader, and runs the three
+§5/§6/§8 algorithms on the resulting collision.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import CaraokeReader, ReaderGeometry
+from repro.sim.scenario import parking_scene
+
+
+def main() -> None:
+    # A pole at the origin watching six curbside parking spots; tags in
+    # spots 1, 2, 3, 5 and 6 (spot 4 left empty). CFOs are drawn from the
+    # synthetic "155 measured transponders" population.
+    scene, street, _ = parking_scene(
+        target_spots=[1, 2, 3, 5, 6], n_background_cars=0, rng=7
+    )
+    reader = CaraokeReader(
+        geometry=ReaderGeometry(scene.arrays[0], scene.road),
+        sample_rate_hz=scene.sample_rate_hz,
+    )
+    simulator = scene.simulator(0, rng=8)
+
+    # --- one query: every tag answers at once (no MAC!), and the reader
+    # --- works entirely from the collision.
+    collision = simulator.query(0.0)
+    report = reader.observe(collision)
+
+    print("=== Caraoke quickstart ===")
+    print(f"tags present:   {len(scene.tags)}")
+    print(f"counted (§5):   {report.n_tags}")
+    print()
+    print("per-tag angle of arrival (§6):")
+    for aoa in report.aoas:
+        estimator = reader.estimator
+        pair = estimator.best_pair(aoa)
+        diffs = [
+            abs(t.oscillator.carrier_hz - collision.lo_hz - aoa.cfo_hz)
+            for t in scene.tags
+        ]
+        tag = scene.tags[int(np.argmin(diffs))]
+        truth = np.rad2deg(pair.true_spatial_angle_rad(tag.position_m))
+        print(
+            f"  CFO {aoa.cfo_hz / 1e3:7.1f} kHz  alpha = {aoa.alpha_deg:6.2f} deg "
+            f"(truth {truth:6.2f}, pair {aoa.best_pair_index})"
+        )
+
+    # --- decode every tag id from repeated queries (§8).
+    print()
+    print("decoding ids by coherent combining (§8):")
+    session = reader.decode_session(lambda t: simulator.query(t))
+    results = session.decode_all(
+        [float(c) for c in report.count.cfos_hz()], max_queries=64
+    )
+    for cfo, result in sorted(results.items()):
+        if result.success:
+            fields = result.packet.fields
+            print(
+                f"  CFO {cfo / 1e3:7.1f} kHz -> agency {fields.agency_id:3d}, "
+                f"serial {fields.serial_number:10d}  "
+                f"({result.n_queries} queries, {result.identification_time_ms:.1f} ms)"
+            )
+        else:
+            print(f"  CFO {cfo / 1e3:7.1f} kHz -> not decoded in budget")
+    print(f"total air time: {session.total_air_time_s * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Red-light enforcement (§1): full pipeline from collisions to tickets.
+
+A reader pair watches the approach to a signalized stop line. Cars are
+tracked by localizing their transponders from collisions as they
+approach; the :class:`RedLightDetector` interpolates stop-line crossings
+and checks them against the light's phase. A law-abiding car and a
+red-light runner drive through; only the runner is ticketed, *with its
+decoded account id* — no camera, no officer.
+
+Run:  python examples/red_light.py
+"""
+
+import numpy as np
+
+from repro.apps import RedLightDetector, TagObservation
+from repro.core import AoAEstimator, ReaderGeometry, TwoReaderLocalizer
+from repro.sim.mobility import ConstantSpeedTrajectory
+from repro.sim.scenario import Scene, make_tags, two_pole_speed_scene
+from repro.sim.traffic import TrafficLight
+
+
+def track_drive_by(arrays, road, trajectory, tag_seed, sample_xs):
+    """Localize one car at several positions along its approach."""
+    estimators = [AoAEstimator(a) for a in arrays]
+    localizer = TwoReaderLocalizer(
+        ReaderGeometry(arrays[0], road), ReaderGeometry(arrays[1], road)
+    )
+    fixes = []
+    rng = np.random.default_rng(tag_seed)
+    # One car = one transponder; only its position changes between probes.
+    car_tag = make_tags(trajectory.start_m[None, :], rng=rng)[0]
+    for x_probe in sample_xs:
+        t = (x_probe - trajectory.start_m[0]) / trajectory.velocity_m_s[0]
+        position = trajectory.position(t)
+        car_tag.position_m = position
+        scene = Scene(tags=[car_tag], road=road, arrays=arrays)
+        col_a = scene.simulator(0, rng=rng).query(t)
+        col_b = scene.simulator(1, rng=rng).query(t)
+        aoa_a = estimators[0].estimate_all(col_a)[0]
+        aoa_b = estimators[1].estimate_all(col_b)[0]
+        fix = localizer.locate(aoa_a, aoa_b, estimators[0], estimators[1],
+                               hint_xy=position[:2])
+        fixes.append((t, fix, car_tag.packet.tag_id))
+    return fixes
+
+
+def main() -> None:
+    # Stop line at x = 30 m; the reader station straddles x ~ 0-5 m.
+    arrays, road = two_pole_speed_scene(baseline_m=60.0)
+    arrays = arrays[:2]
+    light = TrafficLight(green_s=30.0, yellow_s=3.0, red_s=27.0)
+    detector = RedLightDetector(light=light, stop_line_x_m=30.0)
+
+    print("=== Red-light enforcement ===")
+    print("light: green 0-30 s, yellow 30-33 s, red 33-60 s; stop line at x = 30 m")
+
+    # Car A crosses at ~t=12 (green); car B crosses at ~t=45 (red).
+    runs = [
+        ("law-abiding", 10.0, 12.0, 101),
+        ("red-light runner", 12.0, 45.0, 202),
+    ]
+    for label, speed, crossing_t, seed in runs:
+        start_x = 30.0 - speed * crossing_t
+        trajectory = ConstantSpeedTrajectory(
+            start_m=np.array([start_x, -1.8, 1.0]),
+            velocity_m_s=np.array([speed, 0.0, 0.0]),
+        )
+        fixes = track_drive_by(arrays, road, trajectory, seed, sample_xs=(20.0, 38.0))
+        print(f"\n{label} (true crossing at t = {crossing_t:.0f} s, "
+              f"{speed:.0f} m/s):")
+        ticket = None
+        for t, fix, tag_id in fixes:
+            print(f"  t = {t:6.2f} s: localized at x = {fix[0]:6.2f} m")
+            ticket = detector.observe(
+                TagObservation(tag_id=tag_id, position_m=fix, timestamp_s=t)
+            ) or ticket
+        if ticket:
+            print(f"  -> TICKET: account {ticket.tag_id} crossed at "
+                  f"t = {ticket.crossed_at_s:.2f} s ({ticket.phase}) doing "
+                  f"{ticket.speed_m_s:.1f} m/s")
+        else:
+            print("  -> no violation")
+
+    print(f"\nviolations recorded: {len(detector.violations)} (expected: 1)")
+
+
+if __name__ == "__main__":
+    main()

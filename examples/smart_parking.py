@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Smart street parking (§1, §6, §12.2).
+
+A reader on a street lamp watches six curbside spots. Cars park, the city
+localizes each car by its transponder's AoA and bills the right account —
+no asphalt sensors, no enforcement officers. The example parks cars in
+three spots, localizes them from collisions, maps each to a spot, and
+reports per-spot occupancy alongside ground truth.
+
+Run:  python examples/smart_parking.py
+"""
+
+import numpy as np
+
+from repro.core import AoAEstimator, CaraokeReader, ReaderGeometry
+from repro.sim.scenario import parking_scene
+
+
+def main() -> None:
+    occupied_spots = [1, 3, 6]
+    scene, street, targets = parking_scene(
+        target_spots=occupied_spots, n_background_cars=0, rng=11
+    )
+    reader = CaraokeReader(
+        geometry=ReaderGeometry(scene.arrays[0], scene.road),
+        sample_rate_hz=scene.sample_rate_hz,
+    )
+    simulator = scene.simulator(0, rng=12)
+    collision = simulator.query(0.0)
+    report = reader.observe(collision)
+
+    print("=== Smart street parking ===")
+    print(f"spots: {street.n_spots}, occupied (truth): {occupied_spots}")
+    print(f"tags counted: {report.n_tags}")
+    print()
+
+    # Map each measured AoA to the nearest spot. A single pair's angle is
+    # ambiguous (one cone can graze two spots), but the triangle measures
+    # *three* angles per tag; matching on all three pins the spot down.
+    estimator: AoAEstimator = reader.estimator
+    pairs = estimator.array.pairs()
+    spot_assignments: dict[int, float] = {}
+    for aoa in report.aoas:
+        best_spot, best_err = None, np.inf
+        for spot in street.spots():
+            position = spot.transponder_position()
+            err = np.sqrt(
+                np.mean(
+                    [
+                        (
+                            np.rad2deg(pair.true_spatial_angle_rad(position))
+                            - np.rad2deg(alpha)
+                        )
+                        ** 2
+                        for pair, alpha in zip(pairs, aoa.alphas_rad)
+                    ]
+                )
+            )
+            if err < best_err:
+                best_spot, best_err = spot.index, err
+        spot_assignments[best_spot] = aoa.alpha_deg
+        print(
+            f"  tag at CFO {aoa.cfo_hz / 1e3:7.1f} kHz: alpha {aoa.alpha_deg:6.2f} deg"
+            f" -> spot {best_spot} (joint angular margin {best_err:.2f} deg)"
+        )
+
+    print()
+    print("spot  occupancy (measured vs truth)")
+    correct = 0
+    for index in range(1, street.n_spots + 1):
+        measured = index in spot_assignments
+        truth = index in occupied_spots
+        correct += measured == truth
+        print(f"  {index}    {'occupied' if measured else 'free   ':<9} "
+              f"{'occupied' if truth else 'free'}  {'OK' if measured == truth else 'X'}")
+    print(f"\n{correct}/{street.n_spots} spots classified correctly")
+    print("(§12.2: 4-degree mean AoA accuracy suffices to tell adjacent spots apart)")
+
+
+if __name__ == "__main__":
+    main()

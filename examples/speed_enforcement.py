@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Speed enforcement without radar guns (§7, §12.3).
+
+A car with an E-ZPass drives past two pole stations 200 feet apart. Each
+station localizes the transponder from its collision AoAs; dividing the
+displacement by the (NTP-synchronized) time difference gives the speed —
+attributed to a *specific account*, unlike a radar gun, which measures a
+beam and leaves the car attribution to a human (wrong 10-30% of the time,
+§4).
+
+Run:  python examples/speed_enforcement.py
+"""
+
+import numpy as np
+
+from repro.baselines.radar import RadarGun
+from repro.constants import M_S_PER_MPH, SPEED_EXPERIMENT_BASELINE_M
+from repro.core import (
+    AoAEstimator,
+    ReaderGeometry,
+    SpeedEstimator,
+    SpeedObservation,
+    TwoReaderLocalizer,
+)
+from repro.sim.clock import NtpClock
+from repro.sim.mobility import ConstantSpeedTrajectory
+from repro.sim.scenario import Scene, make_tags, two_pole_speed_scene
+
+
+def measure_speed(true_mph: float, seed: int) -> float:
+    baseline = SPEED_EXPERIMENT_BASELINE_M
+    arrays, road = two_pole_speed_scene(baseline_m=baseline)
+    v = true_mph * M_S_PER_MPH
+    trajectory = ConstantSpeedTrajectory(
+        start_m=np.array([-25.0, -1.8, 1.0]), velocity_m_s=np.array([v, 0.0, 0.0])
+    )
+    estimators = [AoAEstimator(a) for a in arrays]
+    localizers = [
+        TwoReaderLocalizer(ReaderGeometry(arrays[0], road), ReaderGeometry(arrays[1], road)),
+        TwoReaderLocalizer(ReaderGeometry(arrays[2], road), ReaderGeometry(arrays[3], road)),
+    ]
+    rng = np.random.default_rng(seed)
+    clocks = [NtpClock(rng=rng), NtpClock(rng=rng)]
+
+    observations = []
+    for station, station_x in enumerate((0.0, baseline)):
+        t = trajectory.time_of_closest_approach(np.array([station_x - 8.0, 0.0, 1.0]))
+        position = trajectory.position(t)
+        tags = make_tags(position[None, :], rng=rng)
+        scene = Scene(tags=tags, road=road, arrays=arrays)
+        base = 2 * station
+        col_a = scene.simulator(base, rng=rng).query(t)
+        col_b = scene.simulator(base + 1, rng=rng).query(t)
+        aoa_a = estimators[base].estimate_all(col_a)[0]
+        aoa_b = estimators[base + 1].estimate_all(col_b)[0]
+        fix = localizers[station].locate(
+            aoa_a, aoa_b, estimators[base], estimators[base + 1], hint_xy=position[:2]
+        )
+        observations.append(SpeedObservation(fix, clocks[station].now(t), f"s{station}"))
+
+    return SpeedEstimator().estimate(observations[0], observations[1]).speed_mph
+
+
+def main() -> None:
+    print("=== Caraoke speed enforcement (two poles, 200 ft apart) ===")
+    print(f"{'true [mph]':>11} {'measured':>9} {'error':>7}")
+    for i, mph in enumerate((10, 20, 30, 40, 50)):
+        measured = measure_speed(mph, seed=100 + i)
+        err = abs(measured - mph) / mph * 100
+        print(f"{mph:11.0f} {measured:9.1f} {err:6.1f}%")
+    print("(§12.3 reports errors within 8% across this range)")
+
+    print()
+    print("=== Radar-gun baseline: great speed, wrong car ===")
+    gun = RadarGun(rng=np.random.default_rng(0))
+    for cars in (1, 2, 4, 7):
+        rate = gun.wrong_ticket_rate(cars_in_beam=cars, trials=2000)
+        print(f"  {cars} car(s) in beam: {rate * 100:5.1f}% of tickets hit the wrong car")
+    print("Caraoke decodes the speeding car's own transponder id — the")
+    print("attribution problem does not exist.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Smart-city services built on the Caraoke core (§1, §4).
+
+The paper's pitch is that one reader infrastructure serves many city
+services. This subpackage implements the service logic the intro
+motivates — red-light enforcement, street-parking billing, and
+find-my-car — as small state machines over the core pipeline's outputs
+(timestamped per-tag positions and decoded ids). Combining them with the
+city's traffic databases is, as §4 notes, out of scope; these classes
+*are* that integration point.
+"""
+
+from .services import (
+    CarFinder,
+    ParkingBill,
+    ParkingBillingService,
+    RedLightDetector,
+    RedLightViolation,
+    TagObservation,
+)
+
+__all__ = [
+    "CarFinder",
+    "ParkingBill",
+    "ParkingBillingService",
+    "RedLightDetector",
+    "RedLightViolation",
+    "TagObservation",
+]

@@ -1,0 +1,235 @@
+"""The smart services of §1/§4: red-light, parking billing, car finder.
+
+All three consume the same record — a :class:`TagObservation`, i.e. one
+localized, identified transponder at one time — which is exactly what a
+Caraoke reader uploads (§12.5: "the channels and CFOs", resolved to
+positions and ids by the backend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.traffic import TrafficLight
+
+__all__ = [
+    "TagObservation",
+    "RedLightViolation",
+    "RedLightDetector",
+    "ParkingBill",
+    "ParkingBillingService",
+    "CarFinder",
+]
+
+
+@dataclass(frozen=True)
+class TagObservation:
+    """One identified, localized transponder sighting.
+
+    Attributes:
+        tag_id: decoded account id (§8), or a stable CFO-derived handle
+            when the service does not need billing-grade identity.
+        position_m: (2,) road-plane fix from localization (§6).
+        timestamp_s: reader-clock time of the query.
+    """
+
+    tag_id: int
+    position_m: np.ndarray
+    timestamp_s: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "position_m", np.asarray(self.position_m, dtype=np.float64)
+        )
+        if self.position_m.shape != (2,):
+            raise ConfigurationError("observation position must be (x, y)")
+
+
+@dataclass(frozen=True)
+class RedLightViolation:
+    """A car that crossed the stop line against the light (§1)."""
+
+    tag_id: int
+    crossed_at_s: float
+    speed_m_s: float
+    phase: str
+
+
+@dataclass
+class RedLightDetector:
+    """Detects stop-line crossings during the red phase.
+
+    Tracks each tag's last observation; when consecutive fixes straddle
+    the stop line, the crossing time is interpolated and checked against
+    the signal phase. Cars legally discharging a queue (crossing during
+    green/yellow) produce nothing.
+
+    Attributes:
+        light: the signal for this approach.
+        stop_line_x_m: stop-line position along the road axis.
+        approach_direction: +1 if violators travel toward +x.
+        min_speed_m_s: crossings slower than this are queue creep, not
+            running the light.
+    """
+
+    light: TrafficLight
+    stop_line_x_m: float
+    approach_direction: float = 1.0
+    min_speed_m_s: float = 1.5
+    _last: dict[int, TagObservation] = field(default_factory=dict)
+    violations: list[RedLightViolation] = field(default_factory=list)
+
+    def observe(self, observation: TagObservation) -> RedLightViolation | None:
+        """Feed one sighting; returns a violation if one just occurred."""
+        previous = self._last.get(observation.tag_id)
+        self._last[observation.tag_id] = observation
+        if previous is None:
+            return None
+        dt = observation.timestamp_s - previous.timestamp_s
+        if dt <= 0:
+            return None
+        before = (previous.position_m[0] - self.stop_line_x_m) * self.approach_direction
+        after = (observation.position_m[0] - self.stop_line_x_m) * self.approach_direction
+        if not (before < 0 <= after):
+            return None
+        # Interpolate the crossing instant along the segment.
+        fraction = -before / (after - before)
+        crossed_at = previous.timestamp_s + fraction * dt
+        speed = abs(after - before) / dt
+        if speed < self.min_speed_m_s:
+            return None
+        phase = self.light.phase(crossed_at)
+        if phase != "red":
+            return None
+        violation = RedLightViolation(
+            tag_id=observation.tag_id,
+            crossed_at_s=crossed_at,
+            speed_m_s=speed,
+            phase=phase,
+        )
+        self.violations.append(violation)
+        return violation
+
+
+@dataclass(frozen=True)
+class ParkingBill:
+    """A completed street-parking session."""
+
+    tag_id: int
+    spot_index: int
+    start_s: float
+    end_s: float
+    rate_per_hour: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def amount(self) -> float:
+        return self.duration_s / 3600.0 * self.rate_per_hour
+
+
+@dataclass
+class ParkingBillingService:
+    """Smart street parking (§1): park anywhere, get billed automatically.
+
+    Sessions open when a tag is first seen stationary at a spot and close
+    after ``absence_timeout_s`` without a sighting (the car left; e-toll
+    tags answer whether the car is on or off, §3, so a parked car keeps
+    responding to every query).
+
+    Attributes:
+        spot_positions_m: {spot index: (x, y)} road-plane spot centers.
+        rate_per_hour: billing rate.
+        match_radius_m: a fix within this radius of a spot counts as
+            parked there (§12.2: AoA accuracy suffices for spot-level
+            discrimination).
+        absence_timeout_s: sightings gap that closes a session.
+    """
+
+    spot_positions_m: dict[int, np.ndarray]
+    rate_per_hour: float = 2.0
+    match_radius_m: float = 3.0
+    absence_timeout_s: float = 120.0
+    _open: dict[int, tuple[int, float, float]] = field(default_factory=dict)
+    bills: list[ParkingBill] = field(default_factory=list)
+
+    def _nearest_spot(self, position_m: np.ndarray) -> int | None:
+        best, best_d = None, self.match_radius_m
+        for index, spot in self.spot_positions_m.items():
+            d = float(np.linalg.norm(np.asarray(spot) - position_m))
+            if d <= best_d:
+                best, best_d = index, d
+        return best
+
+    def observe(self, observation: TagObservation) -> None:
+        """Feed one sighting of a (possibly parked) tag."""
+        spot = self._nearest_spot(observation.position_m)
+        session = self._open.get(observation.tag_id)
+        if session is not None:
+            spot_index, start_s, _ = session
+            if spot == spot_index:
+                self._open[observation.tag_id] = (
+                    spot_index,
+                    start_s,
+                    observation.timestamp_s,
+                )
+                return
+            self._close(observation.tag_id, observation.timestamp_s)
+        if spot is not None:
+            self._open[observation.tag_id] = (
+                spot,
+                observation.timestamp_s,
+                observation.timestamp_s,
+            )
+
+    def sweep(self, now_s: float) -> list[ParkingBill]:
+        """Close sessions whose cars have not been seen recently."""
+        closed = []
+        for tag_id, (_, _, last_seen) in list(self._open.items()):
+            if now_s - last_seen >= self.absence_timeout_s:
+                closed.append(self._close(tag_id, last_seen))
+        return closed
+
+    def _close(self, tag_id: int, end_s: float) -> ParkingBill:
+        spot_index, start_s, _ = self._open.pop(tag_id)
+        bill = ParkingBill(
+            tag_id=tag_id,
+            spot_index=spot_index,
+            start_s=start_s,
+            end_s=end_s,
+            rate_per_hour=self.rate_per_hour,
+        )
+        self.bills.append(bill)
+        return bill
+
+    def occupancy(self) -> dict[int, int]:
+        """{spot: tag id} for currently open sessions."""
+        return {spot: tag for tag, (spot, _, _) in self._open.items()}
+
+
+@dataclass
+class CarFinder:
+    """"Where did I park?" (§4): the last known fix per account."""
+
+    _last: dict[int, TagObservation] = field(default_factory=dict)
+
+    def observe(self, observation: TagObservation) -> None:
+        current = self._last.get(observation.tag_id)
+        if current is None or observation.timestamp_s >= current.timestamp_s:
+            self._last[observation.tag_id] = observation
+
+    def locate(self, tag_id: int) -> TagObservation:
+        """Latest sighting of an account's car.
+
+        Raises:
+            KeyError: the city has never seen this tag.
+        """
+        return self._last[tag_id]
+
+    def known_tags(self) -> list[int]:
+        return sorted(self._last)

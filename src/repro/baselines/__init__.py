@@ -1,0 +1,25 @@
+"""Comparators the paper positions Caraoke against.
+
+* :mod:`repro.baselines.naive_counter` — FFT peak counting without the
+  multi-tag bin test (the Eq 7 regime of §5).
+* :mod:`repro.baselines.camera` — video vehicle counting with the error
+  modes §1/§4 cite (illumination, wind, occlusion: few % to 26 %).
+* :mod:`repro.baselines.radar` — traffic radar: accurate speed, no car
+  association, hence 10-30 % of tickets hit the wrong car (§4).
+* :mod:`repro.baselines.bandpass_decoder` — the band-pass-filter decoder
+  §8 dismisses, implemented so its failure is measurable.
+"""
+
+from .naive_counter import NaiveCounter
+from .camera import CameraConditions, CameraCounter
+from .radar import RadarGun, RadarTicketOutcome
+from .bandpass_decoder import BandpassDecoder
+
+__all__ = [
+    "NaiveCounter",
+    "CameraConditions",
+    "CameraCounter",
+    "RadarGun",
+    "RadarTicketOutcome",
+    "BandpassDecoder",
+]

@@ -1,0 +1,78 @@
+"""The band-pass-filter decoder that §8 dismisses — implemented to fail.
+
+"At first glance, it might seem that one can decode a transponder's
+signal by using a band-pass filter centered around the transponder's CFO
+peak. This solution however does not work because OOK has a relatively
+wide spectrum — i.e., the data is spread as opposed to being concentrated
+around the peak."
+
+This baseline isolates the target's spike with a narrow complex FIR and
+demodulates what comes out. A filter narrow enough to reject neighbouring
+tags (CFOs can sit a few kHz away) also rejects nearly all of the
+target's *data* sidebands (the Manchester spectrum peaks ~370 kHz from
+the carrier), so the chip stream is destroyed; a filter wide enough to
+pass the data passes the other tags too. The decoding benchmark sweeps
+the bandwidth to show there is no workable middle ground.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import PACKET_BITS
+from ..dsp.filters import apply_fir, design_complex_bandpass
+from ..errors import CrcError, ModulationError, PacketError
+from ..phy.modulation import OokModulator
+from ..phy.packet import TransponderPacket
+from ..phy.waveform import Waveform
+
+__all__ = ["BandpassDecoder"]
+
+
+@dataclass
+class BandpassDecoder:
+    """Filter-around-the-spike decoding (the §8 strawman).
+
+    Attributes:
+        half_bandwidth_hz: one-sided passband width around the target CFO.
+        n_taps: FIR length.
+    """
+
+    half_bandwidth_hz: float = 25e3
+    n_taps: int = 257
+
+    def recover_bits(self, capture: Waveform, target_cfo_hz: float) -> np.ndarray:
+        """Best-effort bit recovery through the band-pass filter."""
+        taps = design_complex_bandpass(
+            capture.sample_rate_hz, target_cfo_hz, self.half_bandwidth_hz, self.n_taps
+        )
+        filtered = apply_fir(capture, taps)
+        # Down-convert the surviving band to baseband and demodulate OOK
+        # by magnitude (the filter destroyed coherent chip edges anyway).
+        t = filtered.times()
+        baseband = filtered.samples * np.exp(-2j * np.pi * target_cfo_hz * t)
+        envelope = np.abs(baseband)
+        envelope -= envelope.mean()
+        modulator = OokModulator(sample_rate_hz=capture.sample_rate_hz)
+        try:
+            return modulator.demodulate_soft(envelope, n_bits=PACKET_BITS)
+        except ModulationError:
+            return np.zeros(PACKET_BITS, dtype=np.uint8)
+
+    def decode(self, capture: Waveform, target_cfo_hz: float) -> TransponderPacket | None:
+        """Attempt a full packet decode; virtually always returns None."""
+        bits = self.recover_bits(capture, target_cfo_hz)
+        try:
+            return TransponderPacket.from_bits(bits)
+        except (CrcError, PacketError):
+            return None
+
+    def bit_error_rate(
+        self, capture: Waveform, target_cfo_hz: float, true_bits: np.ndarray
+    ) -> float:
+        """BER against ground truth (the §8 benchmark's metric)."""
+        bits = self.recover_bits(capture, target_cfo_hz)
+        true_bits = np.asarray(true_bits, dtype=np.uint8)
+        return float(np.mean(bits != true_bits))

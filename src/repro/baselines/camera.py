@@ -1,0 +1,100 @@
+"""Camera-based vehicle counting baseline (§1, §4).
+
+The paper motivates Caraoke's counting by the documented weaknesses of
+video detection at intersections: counting errors range "between a few
+percent to 26%, depending on illumination, wind, occlusions, etc."
+(Medina et al. [43]), and lenses need manual cleaning every 6 weeks to 6
+months [16]. This model reproduces those error modes so the counting
+benchmark can place Caraoke's 2% average error next to the camera's
+condition-dependent one.
+
+Error rates are drawn from the ranges reported in [43] for video
+detection systems at signalized intersections; each condition biases the
+counter differently (occlusion under-counts; headlight blooming at night
+double-counts; wind-induced camera motion does both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils import as_rng
+
+__all__ = ["CameraConditions", "CameraCounter"]
+
+
+@dataclass(frozen=True)
+class CameraConditions:
+    """Environment knobs that drive video-detection error.
+
+    Attributes:
+        illumination: "day", "dusk" or "night".
+        wind: camera sway; 0 (calm) .. 1 (storm).
+        occlusion: fraction of vehicles visually blocked by others.
+        dirty_lens: weeks since the last lens cleaning / 26 (0..1).
+    """
+
+    illumination: str = "day"
+    wind: float = 0.0
+    occlusion: float = 0.1
+    dirty_lens: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.illumination not in ("day", "dusk", "night"):
+            raise ConfigurationError(f"unknown illumination {self.illumination!r}")
+        for name, value in (("wind", self.wind), ("occlusion", self.occlusion),
+                            ("dirty_lens", self.dirty_lens)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+#: Per-vehicle miss and double-count probabilities by illumination,
+#: anchored to the [43] error ranges (few % in daylight, up to ~26% in
+#: adverse night/wind conditions).
+_BASE_MISS = {"day": 0.02, "dusk": 0.06, "night": 0.10}
+_BASE_DOUBLE = {"day": 0.01, "dusk": 0.03, "night": 0.09}
+
+
+@dataclass
+class CameraCounter:
+    """Per-vehicle Bernoulli error model for a video counter."""
+
+    conditions: CameraConditions = field(default_factory=CameraConditions)
+    rng: np.random.Generator = field(default_factory=lambda: as_rng(None), repr=False)
+
+    def __post_init__(self) -> None:
+        self.rng = as_rng(self.rng)
+
+    def miss_probability(self) -> float:
+        """P(a present vehicle is not counted)."""
+        c = self.conditions
+        p = _BASE_MISS[c.illumination]
+        p += 0.5 * c.occlusion  # occluded vehicles merge into one blob
+        p += 0.05 * c.wind + 0.08 * c.dirty_lens
+        return float(min(p, 0.9))
+
+    def double_probability(self) -> float:
+        """P(a vehicle is counted twice: blooming, sway re-detection)."""
+        c = self.conditions
+        p = _BASE_DOUBLE[c.illumination]
+        p += 0.10 * c.wind + 0.04 * c.dirty_lens
+        return float(min(p, 0.9))
+
+    def count(self, true_count: int) -> int:
+        """One noisy measurement of ``true_count`` vehicles."""
+        if true_count < 0:
+            raise ConfigurationError("true count must be non-negative")
+        miss = self.miss_probability()
+        double = self.double_probability()
+        seen = self.rng.random(true_count) >= miss
+        doubles = self.rng.random(true_count) < double
+        return int(np.sum(seen) + np.sum(seen & doubles))
+
+    def expected_error_fraction(self) -> float:
+        """|E[count] - true| / true in expectation (bias magnitude)."""
+        miss = self.miss_probability()
+        double = self.double_probability()
+        return float(abs((1.0 - miss) * (1.0 + double) - 1.0))

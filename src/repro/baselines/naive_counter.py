@@ -1,0 +1,49 @@
+"""The naive collision counter: FFT peaks, no multi-tag bin test (§5).
+
+This is the estimator Eq 7 analyzes: count the spikes, assume one tag per
+spike. It systematically undercounts once the birthday effect puts two
+tags in one 1.95 kHz bin — the §5 benchmark contrasts it with the full
+Caraoke counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cfo import DEFAULT_SEARCH_HI_HZ, DEFAULT_SEARCH_LO_HZ
+from ..dsp.peaks import find_spectral_peaks
+from ..dsp.spectrum import fft_spectrum
+from ..phy.waveform import Waveform
+
+__all__ = ["NaiveCounter"]
+
+
+@dataclass
+class NaiveCounter:
+    """Count spectral peaks; each peak is assumed to be exactly one tag."""
+
+    min_snr_db: float = 15.0
+    search_lo_hz: float = DEFAULT_SEARCH_LO_HZ
+    search_hi_hz: float = DEFAULT_SEARCH_HI_HZ
+
+    def count(self, wave: Waveform) -> int:
+        """Number of spikes above the detection threshold."""
+        spectrum = fft_spectrum(wave)
+        peaks = find_spectral_peaks(
+            spectrum, self.search_lo_hz, self.search_hi_hz, min_snr_db=self.min_snr_db
+        )
+        return len(peaks)
+
+    def count_bins(self, cfos_hz: np.ndarray, resolution_hz: float) -> int:
+        """Idealized variant: distinct occupied FFT bins of known CFOs.
+
+        Used by the §5 probability benchmark to isolate the birthday
+        effect from radio effects.
+        """
+        cfos_hz = np.asarray(cfos_hz, dtype=np.float64)
+        if cfos_hz.size == 0:
+            return 0
+        bins = np.floor(cfos_hz / resolution_hz).astype(np.int64)
+        return int(np.unique(bins).size)

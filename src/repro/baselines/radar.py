@@ -1,0 +1,100 @@
+"""Traffic-radar speed enforcement baseline (§1, §4).
+
+"About 10% to 30% of the speeding tickets based on traffic radars are
+estimated to be incorrect. The errors are mostly due to the fact that
+radars cannot associate a speed with a particular car" [6]. The radar
+measures a beam-wide Doppler speed quite accurately; the *officer*
+attributes it to a car. This model reproduces that split: speed error is
+small, attribution error grows with the number of cars in the beam.
+
+Caraoke's speed pipeline (localize *the transponder*, twice) never has
+the attribution problem — the benchmark quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils import as_rng
+
+__all__ = ["RadarTicketOutcome", "RadarGun"]
+
+
+@dataclass(frozen=True)
+class RadarTicketOutcome:
+    """One enforcement event."""
+
+    measured_speed_m_s: float
+    targeted_car: int
+    ticketed_car: int
+
+    @property
+    def correct_car(self) -> bool:
+        return self.targeted_car == self.ticketed_car
+
+
+@dataclass
+class RadarGun:
+    """A Doppler gun plus a human attributing the reading to a car.
+
+    Attributes:
+        speed_sigma_m_s: measurement noise of the gun itself (~1 mph).
+        base_confusion: attribution error probability with a second car
+            present; grows with each additional car in the beam, saturating
+            at ``max_confusion`` (the [6] range: 10-30 %).
+    """
+
+    speed_sigma_m_s: float = 0.45
+    base_confusion: float = 0.10
+    per_car_confusion: float = 0.04
+    max_confusion: float = 0.30
+    rng: np.random.Generator = field(default_factory=lambda: as_rng(None), repr=False)
+
+    def __post_init__(self) -> None:
+        self.rng = as_rng(self.rng)
+        if not 0 <= self.base_confusion <= self.max_confusion <= 1:
+            raise ConfigurationError("confusion probabilities out of order")
+
+    def confusion_probability(self, cars_in_beam: int) -> float:
+        """P(ticket goes to the wrong car) given beam occupancy."""
+        if cars_in_beam < 1:
+            raise ConfigurationError("need at least one car in the beam")
+        if cars_in_beam == 1:
+            return 0.0
+        p = self.base_confusion + self.per_car_confusion * (cars_in_beam - 2)
+        return float(min(p, self.max_confusion))
+
+    def enforce(self, speeds_m_s: np.ndarray, target_index: int) -> RadarTicketOutcome:
+        """Measure the fastest beam return and ticket a (maybe wrong) car."""
+        speeds_m_s = np.asarray(speeds_m_s, dtype=np.float64)
+        if speeds_m_s.ndim != 1 or speeds_m_s.size == 0:
+            raise ConfigurationError("need a non-empty 1-D speed array")
+        if not 0 <= target_index < speeds_m_s.size:
+            raise ConfigurationError("target index out of range")
+        measured = float(
+            speeds_m_s[target_index] + self.rng.normal(0.0, self.speed_sigma_m_s)
+        )
+        p_wrong = self.confusion_probability(speeds_m_s.size)
+        ticketed = target_index
+        if speeds_m_s.size > 1 and self.rng.random() < p_wrong:
+            others = [i for i in range(speeds_m_s.size) if i != target_index]
+            ticketed = int(self.rng.choice(others))
+        return RadarTicketOutcome(
+            measured_speed_m_s=measured,
+            targeted_car=target_index,
+            ticketed_car=ticketed,
+        )
+
+    def wrong_ticket_rate(self, cars_in_beam: int, trials: int = 1000) -> float:
+        """Monte-Carlo wrong-car rate at a given beam occupancy."""
+        if trials <= 0:
+            raise ConfigurationError("trials must be positive")
+        wrong = 0
+        speeds = np.full(cars_in_beam, 15.0)
+        for _ in range(trials):
+            outcome = self.enforce(speeds, target_index=0)
+            wrong += not outcome.correct_car
+        return wrong / trials

@@ -1,0 +1,57 @@
+"""Receiver noise: thermal floor and AWGN injection.
+
+The Caraoke front end is interference-limited (dozens of colliding tags)
+rather than noise-limited, but thermal noise still sets the floor for the
+FFT peak detector and the decoder's stopping time, so it is modelled
+physically: kTB plus a receiver noise figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils import as_rng, db_to_power
+
+__all__ = ["thermal_noise_power_w", "add_awgn", "NoiseModel"]
+
+BOLTZMANN_J_K = 1.380649e-23
+
+
+def thermal_noise_power_w(
+    bandwidth_hz: float, noise_figure_db: float = 7.0, temperature_k: float = 290.0
+) -> float:
+    """Noise power referred to the receiver input: ``k T B x NF``."""
+    if bandwidth_hz <= 0:
+        raise ConfigurationError(f"bandwidth must be positive, got {bandwidth_hz}")
+    return BOLTZMANN_J_K * temperature_k * bandwidth_hz * db_to_power(noise_figure_db)
+
+
+def add_awgn(samples: np.ndarray, power_w: float, rng=None) -> np.ndarray:
+    """Return ``samples`` plus circular complex Gaussian noise of total power.
+
+    Power is split equally between I and Q (sigma^2/2 per quadrature).
+    """
+    if power_w < 0:
+        raise ConfigurationError(f"noise power must be non-negative, got {power_w}")
+    rng = as_rng(rng)
+    samples = np.asarray(samples, dtype=np.complex128)
+    if power_w == 0.0:
+        return samples.copy()
+    sigma = np.sqrt(power_w / 2.0)
+    noise = rng.normal(0.0, sigma, samples.shape) + 1j * rng.normal(0.0, sigma, samples.shape)
+    return samples + noise
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Receiver noise description used by the collision synthesizer."""
+
+    noise_figure_db: float = 7.0
+    temperature_k: float = 290.0
+
+    def power_w(self, bandwidth_hz: float) -> float:
+        """Noise power within ``bandwidth_hz``."""
+        return thermal_noise_power_w(bandwidth_hz, self.noise_figure_db, self.temperature_k)

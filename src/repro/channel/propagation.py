@@ -1,0 +1,66 @@
+"""Line-of-sight propagation (Eq 2).
+
+A pole-mounted outdoor reader has a dominant line-of-sight path to the
+windshield tag (§6 footnote 8), so the base channel model is a single
+complex coefficient: Friis amplitude decay and the carrier phase of the
+path length. Multipath extensions live in :mod:`repro.channel.multipath`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import SPEED_OF_LIGHT_M_S, WAVELENGTH_M
+from ..errors import ConfigurationError
+
+__all__ = ["friis_amplitude", "propagation_delay_s", "LosChannel"]
+
+
+def friis_amplitude(distance_m: float, wavelength_m: float = WAVELENGTH_M) -> float:
+    """Free-space amplitude gain ``lambda / (4 pi d)`` for unit-gain antennas."""
+    if distance_m <= 0:
+        raise ConfigurationError(f"distance must be positive, got {distance_m}")
+    return wavelength_m / (4.0 * np.pi * distance_m)
+
+
+def propagation_delay_s(distance_m: float) -> float:
+    """One-way propagation delay."""
+    return distance_m / SPEED_OF_LIGHT_M_S
+
+
+@dataclass(frozen=True)
+class LosChannel:
+    """Pure line-of-sight channel.
+
+    ``coefficient`` returns the complex h of Eq 2: Friis amplitude times
+    ``exp(-j 2 pi d / lambda)``. The phase term is the quantity AoA
+    estimation consumes — the *difference* of path phases across a
+    lambda/2 baseline encodes cos(alpha) (Eq 10).
+
+    Attributes:
+        wavelength_m: carrier wavelength.
+        gain: scalar antenna/system amplitude gain product.
+    """
+
+    wavelength_m: float = WAVELENGTH_M
+    gain: float = 1.0
+
+    def coefficient(self, tx_m: np.ndarray, rx_m: np.ndarray) -> complex:
+        """Complex channel from a transmit point to a receive point."""
+        tx_m = np.asarray(tx_m, dtype=np.float64)
+        rx_m = np.asarray(rx_m, dtype=np.float64)
+        d = float(np.linalg.norm(rx_m - tx_m))
+        amp = self.gain * friis_amplitude(d, self.wavelength_m)
+        phase = -2.0 * np.pi * d / self.wavelength_m
+        return complex(amp * np.exp(1j * phase))
+
+    def coefficients(self, tx_m: np.ndarray, rx_positions_m: np.ndarray) -> np.ndarray:
+        """Vectorized coefficients from one tx to (K, 3) receive positions."""
+        rx_positions_m = np.atleast_2d(np.asarray(rx_positions_m, dtype=np.float64))
+        d = np.linalg.norm(rx_positions_m - np.asarray(tx_m, dtype=np.float64), axis=1)
+        if np.any(d <= 0):
+            raise ConfigurationError("receive position coincides with transmitter")
+        amp = self.gain * self.wavelength_m / (4.0 * np.pi * d)
+        return amp * np.exp(-2j * np.pi * d / self.wavelength_m)

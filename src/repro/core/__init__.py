@@ -1,0 +1,73 @@
+"""The paper's contribution: counting, localizing, decoding from collisions.
+
+* :mod:`repro.core.cfo` — per-tag CFO refinement and channel readout (§3).
+* :mod:`repro.core.counting` — the §5 collision counter.
+* :mod:`repro.core.theory` — Eq 7 / Eq 9 closed forms and occupancy math.
+* :mod:`repro.core.localization` — AoA and two-reader positioning (§6).
+* :mod:`repro.core.speed` — speed estimation and §7 error bounds.
+* :mod:`repro.core.decoding` — coherent-combining ID decoder (§8).
+* :mod:`repro.core.reader` — the CaraokeReader facade.
+* :mod:`repro.core.mac` — reader-side CSMA rules (§9).
+"""
+
+from .cfo import CfoPeak, estimate_channel, extract_cfo_peaks, refine_frequency
+from .counting import BinClass, BinObservation, CollisionCounter, CountEstimate
+from .theory import (
+    expected_count_naive,
+    p_no_miss_exact,
+    p_no_miss_naive,
+    p_no_miss_paper_bound,
+    simulate_no_miss_probability,
+)
+from .localization import (
+    AoAEstimate,
+    AoAEstimator,
+    ReaderGeometry,
+    TwoReaderLocalizer,
+    aoa_from_phase,
+    phase_from_aoa,
+)
+from .speed import (
+    SpeedEstimate,
+    SpeedEstimator,
+    SpeedObservation,
+    max_position_error_m,
+    max_speed_error_fraction,
+)
+from .decoding import CoherentDecoder, DecodeResult, DecodeSession
+from .reader import CaraokeReader, ReaderReport
+from .mac import CsmaState, ReaderMac
+
+__all__ = [
+    "CfoPeak",
+    "estimate_channel",
+    "extract_cfo_peaks",
+    "refine_frequency",
+    "BinClass",
+    "BinObservation",
+    "CollisionCounter",
+    "CountEstimate",
+    "expected_count_naive",
+    "p_no_miss_exact",
+    "p_no_miss_naive",
+    "p_no_miss_paper_bound",
+    "simulate_no_miss_probability",
+    "AoAEstimate",
+    "AoAEstimator",
+    "ReaderGeometry",
+    "TwoReaderLocalizer",
+    "aoa_from_phase",
+    "phase_from_aoa",
+    "SpeedEstimate",
+    "SpeedEstimator",
+    "SpeedObservation",
+    "max_position_error_m",
+    "max_speed_error_fraction",
+    "CoherentDecoder",
+    "DecodeResult",
+    "DecodeSession",
+    "CaraokeReader",
+    "ReaderReport",
+    "CsmaState",
+    "ReaderMac",
+]

@@ -1,0 +1,612 @@
+"""Counting transponders from collisions (§5).
+
+The estimator: FFT the collision, find the CFO spikes, and — because two
+tags occasionally land in the same 1.95 kHz bin — classify every spike as
+holding one tag or more than one. A spike holding one tag counts as 1, a
+spike holding several counts as 2 (the paper's rule: only
+triples-or-more in one bin are miscounted, Eq 9).
+
+Classification is harder than it looks on real collisions, because every
+spike is surrounded by (a) the wideband OOK data of *all* tags and (b)
+the leakage of *neighbouring resolved spikes*, which can sit only a few
+bins away. The counter therefore:
+
+1. detects spikes against a local (CFAR) floor,
+2. refines each spike frequency to a fraction of a bin,
+3. jointly least-squares fits the complex amplitudes of all detected
+   tones over the full window,
+4. **cancels the other tones** before applying the per-spike test, and
+5. adapts its detection threshold to tag density: in sparse collisions
+   the data floor is structured (a couple of chip streams) and only a
+   high threshold rejects its excursions; in dense collisions the floor
+   Gaussianizes (CLT over many tags) and a lower threshold plus a
+   coherence-reality filter recovers the weak tags that matter there.
+
+The reader's duty-cycled burst issues up to 10 queries per wake-up (§10),
+so :meth:`CollisionCounter.count_multi` can also combine several captures:
+the detection statistic becomes the *average* magnitude spectrum
+(incoherent averaging suppresses data-floor variance; spikes persist),
+and per-spike statistics concatenate across captures after aligning each
+capture's random response phase. A single capture (``count``) reproduces
+the paper's one-shot estimator.
+
+Two per-spike tests are provided:
+
+* ``method="coherence"`` (default) — cut the capture into Q disjoint
+  sub-windows; a lone tag yields Q identical complex DFT values
+  (coherence ~1); co-binned tags beat against each other (coherence
+  drops, magnitudes disperse); a data-floor fluke decorrelates. The
+  single/multiple decision compares the measured coherence against the
+  value a lone tone at the same sub-window SNR would show.
+* ``method="shift"`` — the paper's literal Eq 8 test: |FFT| over
+  ``[0, W)`` versus ``[tau, tau+W)``; a lone tag's magnitude is
+  shift-invariant, co-binned tags beat. Several shifts dodge the
+  ``delta_f * tau ~ integer`` blind spot. (Tone cancellation is applied
+  here too, otherwise resolved neighbours trip the test.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dsp.peaks import find_peaks_in_magnitudes
+from ..dsp.spectrum import fft_spectrum
+from ..errors import ConfigurationError
+from ..phy.waveform import Waveform
+from .cfo import DEFAULT_SEARCH_HI_HZ, DEFAULT_SEARCH_LO_HZ
+
+__all__ = ["BinClass", "BinObservation", "CountEstimate", "CollisionCounter"]
+
+
+class BinClass(enum.Enum):
+    """Classification of one detected spectral spike."""
+
+    SINGLE = "single"
+    MULTIPLE = "multiple"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class BinObservation:
+    """Diagnostics for one candidate spike.
+
+    Attributes:
+        cfo_hz: refined spike frequency.
+        amplitude: jointly fitted complex tone amplitude (h/2 scale, from
+            the first capture).
+        snr: detection magnitude over the local floor.
+        gamma: post-cancellation sub-window amplitude-to-noise ratio.
+        coherence: |mean| / mean|.| of the cancelled sub-window values.
+        expected_single_coherence: what a lone tone at this gamma shows.
+        magnitude_dispersion: std/mean of the sub-window magnitudes.
+        label: the verdict.
+    """
+
+    cfo_hz: float
+    amplitude: complex
+    snr: float
+    gamma: float
+    coherence: float
+    expected_single_coherence: float
+    magnitude_dispersion: float
+    label: BinClass
+
+    @property
+    def contributes(self) -> int:
+        """How many tags this spike adds to the count estimate."""
+        if self.label is BinClass.SINGLE:
+            return 1
+        if self.label is BinClass.MULTIPLE:
+            return 2
+        return 0
+
+
+@dataclass
+class CountEstimate:
+    """The counter's output for one collision (or burst of collisions)."""
+
+    count: int
+    observations: list[BinObservation] = field(default_factory=list)
+    dense_mode: bool = False
+    n_captures: int = 1
+
+    @property
+    def n_single(self) -> int:
+        return sum(1 for o in self.observations if o.label is BinClass.SINGLE)
+
+    @property
+    def n_multiple(self) -> int:
+        return sum(1 for o in self.observations if o.label is BinClass.MULTIPLE)
+
+    @property
+    def n_rejected(self) -> int:
+        return sum(1 for o in self.observations if o.label is BinClass.REJECTED)
+
+    def cfos_hz(self) -> np.ndarray:
+        """CFOs of the accepted spikes (ascending)."""
+        return np.array(
+            sorted(o.cfo_hz for o in self.observations if o.label is not BinClass.REJECTED)
+        )
+
+
+@dataclass
+class CollisionCounter:
+    """The §5 estimator.
+
+    Attributes:
+        min_snr_db: sparse-regime spike detection threshold over the local
+            (CFAR) floor for a single capture. 13 dB holds the false-alarm
+            rate of a ~615-bin Rayleigh search to a few percent per
+            collision, and the structured low-density data floor demands
+            no less.
+        dense_snr_db / probe_snr_db / dense_trigger: a cheap probe
+            detection at ``probe_snr_db`` measures band crowding; at or
+            above ``dense_trigger`` candidates the scene is dense and the
+            real pass runs at ``dense_snr_db`` with the coherence-reality
+            filter enabled — in dense collisions the floor is Gaussian
+            (CLT over many chip streams) so the filter is reliable, and
+            the weak tags it recovers dominate the error budget.
+        multi_capture_relief_db: detection thresholds drop by this much
+            per doubling of averaged captures (incoherent averaging
+            tightens the floor tail), floored at ``min_multi_snr_db``.
+        method: "coherence" (default) or "shift" (the paper's literal test).
+        n_subwindows: disjoint sub-windows per capture for the coherence
+            statistic.
+        slack_base / slack_gamma / min_slack: the single/multiple coherence
+            threshold is ``C_expected(gamma)`` minus a slack that widens
+            for noisy spikes and never shrinks below ``min_slack``.
+        dispersion_base / dispersion_gamma: the companion magnitude test —
+            a lone tone disperses ~``1/(sqrt(2) gamma)``; beyond
+            ``dispersion_base + dispersion_gamma / gamma`` the spike is
+            beating (two tags whose phases start aligned modulate the
+            magnitude while keeping the composite phase — invisible to
+            coherence alone).
+        accept_gamma: candidates whose jointly-fitted amplitude is below
+            this multiple of the local floor are rejected as artifacts
+            (sidelobe skirts of strong tones, data-floor flukes).
+        reality_coherence / reality_gamma: dense-mode-only rejection: a
+            spike below both is a floor fluke, not a tag.
+        merge_bins: candidates refined to within this many bins of each
+            other are merged before fitting (keeps the basis conditioned).
+        shift_samples: window offsets for the "shift" method.
+        shift_tolerance: noise-independent floor of the shift test's
+            relative-magnitude-change threshold.
+    """
+
+    min_snr_db: float = 15.0
+    dense_snr_db: float = 10.0
+    probe_snr_db: float = 13.0
+    dense_trigger: int = 16
+    multi_capture_relief_db: float = 1.5
+    min_multi_snr_db: float = 7.5
+    fingerprint_corr: float = 0.85
+    fingerprint_parent_ratio: float = 3.0
+    fingerprint_max_gamma: float = 8.0
+    method: str = "coherence"
+    n_subwindows: int = 8
+    slack_base: float = 0.03
+    slack_gamma: float = 0.30
+    min_slack: float = 0.055
+    max_slack: float = 0.35
+    dispersion_base: float = 0.04
+    dispersion_gamma: float = 2.2
+    accept_gamma: float = 2.5
+    reality_coherence: float = 0.75
+    reality_gamma: float = 2.3
+    merge_bins: float = 1.2
+    shift_samples: tuple[int, ...] = (128, 320, 512)
+    shift_tolerance: float = 0.18
+    search_lo_hz: float = DEFAULT_SEARCH_LO_HZ
+    search_hi_hz: float = DEFAULT_SEARCH_HI_HZ
+
+    def __post_init__(self) -> None:
+        if self.method not in ("coherence", "shift"):
+            raise ConfigurationError(f"unknown method {self.method!r}")
+        if self.n_subwindows < 3:
+            raise ConfigurationError("need at least 3 sub-windows")
+        if self.dense_snr_db > self.min_snr_db:
+            raise ConfigurationError("dense threshold must not exceed the sparse one")
+
+    # -- public API -------------------------------------------------------------
+
+    def count(self, wave: Waveform) -> CountEstimate:
+        """Estimate how many tags collided inside one capture."""
+        return self.count_multi([wave])
+
+    def count_multi(self, waves: list[Waveform]) -> CountEstimate:
+        """Estimate the tag count from one burst of repeated queries.
+
+        All captures must view the same (static over the ~10 ms burst)
+        scene; tags keep their CFOs but re-randomize their phases, which
+        the per-spike statistics align out.
+        """
+        if not waves:
+            raise ConfigurationError("need at least one capture")
+        # Multi-capture averaging only suppresses *cross-tag* interference
+        # (phases re-randomize per response); each tag's own data spectrum
+        # repeats identically (same bits every response). The sparse-regime
+        # floor is dominated by the latter, so relief applies only to the
+        # dense pass, where cross terms dominate.
+        relief = self.multi_capture_relief_db * np.log2(len(waves))
+        dense_thr = max(self.min_multi_snr_db, self.dense_snr_db - relief)
+        # Regime probe: the raw candidate count at a permissive threshold
+        # cleanly separates sparse scenes (few tags + structured-floor
+        # flukes) from dense ones (many tags, Gaussianized floor).
+        if self._probe_candidates(waves) >= self.dense_trigger:
+            return self._count_pass(waves, dense_thr, dense_mode=True)
+        return self._count_pass(waves, self.min_snr_db, dense_mode=False)
+
+    def _probe_candidates(self, waves: list[Waveform]) -> int:
+        """Candidate spike count at the permissive probe threshold."""
+        spectra = [fft_spectrum(w) for w in waves]
+        n_bins = min(s.n_bins for s in spectra)
+        avg_mag = np.mean([s.magnitude()[:n_bins] for s in spectra], axis=0)
+        peaks = find_peaks_in_magnitudes(
+            avg_mag,
+            spectra[0].bin_hz,
+            self.search_lo_hz,
+            self.search_hi_hz,
+            min_snr_db=self.probe_snr_db,
+        )
+        return len(peaks)
+
+    # -- one detection/classification pass ----------------------------------------
+
+    def _count_pass(
+        self, waves: list[Waveform], snr_db: float, dense_mode: bool
+    ) -> CountEstimate:
+        spectra = [fft_spectrum(w) for w in waves]
+        n_bins = min(s.n_bins for s in spectra)
+        avg_mag = np.mean([s.magnitude()[:n_bins] for s in spectra], axis=0)
+        bin_hz = spectra[0].bin_hz
+        raw_peaks = find_peaks_in_magnitudes(
+            avg_mag, bin_hz, self.search_lo_hz, self.search_hi_hz, min_snr_db=snr_db
+        )
+        if not raw_peaks:
+            return CountEstimate(
+                count=0, observations=[], dense_mode=dense_mode, n_captures=len(waves)
+            )
+
+        refined = [
+            (self._refine_multi(waves, p.freq_hz, bin_hz / 2.0), p.snr, p.floor)
+            for p in raw_peaks
+        ]
+        refined = self._merge_candidates(refined, bin_hz)
+        freqs = np.array([r[0] for r in refined])
+        snrs = np.array([r[1] for r in refined])
+        # Normalized local floors: detection floor is in raw-FFT units over
+        # n_input samples; single-frequency probes below are 1/n normalized.
+        floors_norm = np.array([r[2] for r in refined]) / spectra[0].n_input
+
+        # Joint refinement: a close neighbour's skirt biases the initial
+        # per-peak frequency estimate by hundreds of Hz, which then leaks
+        # a beating residue through the cancellation. Re-refining each
+        # tone on the neighbour-cancelled residual removes the bias.
+        freqs = self._joint_refine(waves[0], freqs, bin_hz)
+
+        per_capture = [self._fit_tones(w, freqs) for w in waves]
+        # Sub-window values per capture, other tones cancelled, phases
+        # aligned on each capture's own fitted amplitude.
+        aligned_values = self._aligned_subwindow_values(waves, freqs, per_capture)
+        amplitudes = per_capture[0][0]
+        mean_abs_amplitude = np.mean(
+            [np.abs(amps) for amps, _ in per_capture], axis=0
+        )
+        # Fingerprinting is a sparse-regime tool: dense collisions have a
+        # Gaussianized floor (the reality filter handles it) and many
+        # candidates, which would inflate random-correlation rejections.
+        fingerprinted = (
+            {} if dense_mode else self._phase_fingerprints(per_capture, mean_abs_amplitude)
+        )
+
+        observations = []
+        for k in range(freqs.size):
+            # A candidate whose jointly-fitted amplitude collapses was a
+            # sidelobe / floor artifact: its spectrum energy is already
+            # explained by the other tones. Reject it before classifying.
+            if mean_abs_amplitude[k] < self.accept_gamma * floors_norm[k]:
+                label = BinClass.REJECTED
+                stats = _stats(mean_abs_amplitude[k] / floors_norm[k], 0.0, 0.0, 0.0)
+            elif k in fingerprinted:
+                label = BinClass.REJECTED
+                stats = _stats(
+                    mean_abs_amplitude[k] / floors_norm[k], fingerprinted[k], 0.0, 0.0
+                )
+            elif self.method == "coherence":
+                label, stats = self._classify_coherence(
+                    aligned_values[k], floors_norm[k], len(waves), dense_mode
+                )
+            else:
+                label, stats = self._classify_shift(
+                    waves[0], k, freqs, per_capture[0][0], per_capture[0][1]
+                )
+            observations.append(
+                BinObservation(
+                    cfo_hz=float(freqs[k]),
+                    amplitude=complex(amplitudes[k]),
+                    snr=float(snrs[k]),
+                    label=label,
+                    **stats,
+                )
+            )
+        count = sum(o.contributes for o in observations)
+        return CountEstimate(
+            count=count,
+            observations=observations,
+            dense_mode=dense_mode,
+            n_captures=len(waves),
+        )
+
+    def _phase_fingerprints(
+        self,
+        per_capture: list[tuple[np.ndarray, np.ndarray]],
+        mean_abs_amplitude: np.ndarray,
+    ) -> dict[int, float]:
+        """Identify candidates that are data artifacts of a stronger tag.
+
+        A tag transmits the same bits in every response, so a narrowband
+        excursion of *its own data spectrum* inherits its per-response
+        random phase: across K captures the excursion's fitted phase
+        trajectory tracks the parent tag's trajectory. A real tag's
+        trajectory is independent of every other tag's. With K >= 3
+        captures, a weak candidate whose trajectory correlates strongly
+        with a candidate ``fingerprint_parent_ratio`` times stronger is
+        rejected. Returns {candidate index: correlation}.
+        """
+        k_captures = len(per_capture)
+        if k_captures < 3:
+            return {}
+        amp_matrix = np.stack([amps for amps, _ in per_capture])  # (K, m)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            phasors = amp_matrix / np.abs(amp_matrix)
+        phasors = np.nan_to_num(phasors)
+        rejected: dict[int, float] = {}
+        m = amp_matrix.shape[1]
+        for k in range(m):
+            if mean_abs_amplitude[k] <= 0:
+                continue
+            for c in range(m):
+                if c == k:
+                    continue
+                if mean_abs_amplitude[c] < self.fingerprint_parent_ratio * mean_abs_amplitude[k]:
+                    continue
+                corr = float(np.abs(np.mean(phasors[:, k] * phasors[:, c].conj())))
+                if corr >= self.fingerprint_corr:
+                    rejected[k] = corr
+                    break
+        return rejected
+
+    def _joint_refine(
+        self, wave: Waveform, freqs: np.ndarray, bin_hz: float
+    ) -> np.ndarray:
+        """One coordinate-descent pass of neighbour-cancelled refinement."""
+        if freqs.size < 2:
+            return freqs
+        amplitudes, probes = self._fit_tones(wave, freqs)
+        t = wave.times()
+        refined = freqs.copy()
+        for k in range(freqs.size):
+            # Only bother when a neighbour sits close enough to bias us.
+            gaps = np.abs(np.delete(freqs, k) - freqs[k])
+            if gaps.min() > 6.0 * bin_hz:
+                continue
+            others = np.delete(np.arange(freqs.size), k)
+            residual = wave.samples - (amplitudes[others][:, None] * probes[others].conj()).sum(axis=0)
+            residual_wave = Waveform(residual, wave.sample_rate_hz, wave.t0_s)
+            refined[k] = _parabolic_refine(residual_wave, freqs[k], bin_hz / 2.0)
+        return refined
+
+    def _refine_multi(self, waves: list[Waveform], freq_hz: float, span_hz: float) -> float:
+        """Refine a tone frequency on the summed |DFT|^2 across captures."""
+        f = float(freq_hz)
+        span = float(span_hz)
+        for _ in range(3):
+            mags = []
+            for df in (-span, 0.0, span):
+                total = 0.0
+                for wave in waves:
+                    t = wave.times()
+                    total += abs(np.mean(wave.samples * np.exp(-2j * np.pi * (f + df) * t))) ** 2
+                mags.append(total)
+            denom = mags[0] - 2.0 * mags[1] + mags[2]
+            if denom == 0.0:
+                break
+            offset = 0.5 * (mags[0] - mags[2]) / denom
+            f += float(np.clip(offset, -1.0, 1.0)) * span
+            span /= 2.0
+        return f
+
+    def _merge_candidates(
+        self, refined: list[tuple[float, float, float]], resolution_hz: float
+    ) -> list[tuple[float, float, float]]:
+        """Merge candidates whose refined frequencies nearly coincide.
+
+        Refinement can walk two adjacent local maxima onto the same tone;
+        fitting both would make the least-squares basis singular. Keep the
+        higher-SNR member of any group closer than ``merge_bins`` bins.
+        """
+        kept: list[tuple[float, float, float]] = []
+        for freq, snr, floor in sorted(refined, key=lambda r: -r[1]):
+            if all(abs(freq - other[0]) > self.merge_bins * resolution_hz for other in kept):
+                kept.append((freq, snr, floor))
+        return sorted(kept)
+
+    # -- tone model --------------------------------------------------------------
+
+    def _fit_tones(
+        self, wave: Waveform, freqs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Jointly fit complex amplitudes of all detected tones.
+
+        Returns (amplitudes, probes) where ``probes[k] = exp(-j2pi f_k t)``
+        (so ``probes[k] * samples`` demodulates tone k) and the model is
+        ``samples ~= sum_k amplitudes[k] * conj(probes[k])``.
+        """
+        t = wave.times()
+        probes = np.exp(-2j * np.pi * freqs[:, None] * t[None, :])
+        basis = probes.conj().T  # (N, m)
+        amplitudes, *_ = np.linalg.lstsq(basis, wave.samples, rcond=None)
+        return amplitudes, probes
+
+    def _aligned_subwindow_values(
+        self,
+        waves: list[Waveform],
+        freqs: np.ndarray,
+        per_capture: list[tuple[np.ndarray, np.ndarray]],
+    ) -> np.ndarray:
+        """(m, Q * n_captures) cancelled, phase-aligned sub-window DFTs.
+
+        Per capture: ``X[k, q] = mean_q(samples * probes[k])`` minus every
+        other tone's exactly-known leakage ``A_j * mean_q(conj(probes[j]) *
+        probes[k])``. Each capture's values are then rotated by the
+        conjugate phase of its own fitted amplitude so that a lone tag
+        lines up across captures despite its per-response random phase.
+        """
+        q = self.n_subwindows
+        chunks = []
+        for wave, (amplitudes, probes) in zip(waves, per_capture):
+            n = wave.n_samples
+            length = n // q
+            usable = length * q
+            reshaped = probes[:, :usable].reshape(freqs.size, q, length)
+            demod = (wave.samples[:usable] * probes[:, :usable]).reshape(
+                freqs.size, q, length
+            )
+            x = demod.mean(axis=2)  # (m, Q)
+            # G[k, j, q] = mean_q(probes[k] * conj(probes[j]))
+            leak = np.einsum("kqn,jqn->kjq", reshaped, reshaped.conj()) / length
+            x_cancelled = x - np.einsum("kjq,j->kq", leak, amplitudes)
+            # The k == j term removed its own amplitude; add it back.
+            x_cancelled = x_cancelled + amplitudes[:, None]
+            phases = np.exp(-1j * np.angle(amplitudes))
+            chunks.append(x_cancelled * phases[:, None])
+        return np.concatenate(chunks, axis=1)
+
+    # -- classifiers -------------------------------------------------------------
+
+    @staticmethod
+    def _expected_single_coherence(gamma: float, n_windows: int) -> float:
+        """Coherence a lone tone shows at sub-window SNR ``gamma``.
+
+        With per-window noise of unit scale and tone amplitude gamma:
+        ``|mean| ~ sqrt(gamma^2 + 1/Q)`` and ``mean|.| ~ sqrt(gamma^2 + 1)``.
+        """
+        g2 = gamma * gamma
+        return float(np.sqrt((g2 + 1.0 / n_windows) / (g2 + 1.0)))
+
+    def _single_threshold(self, expected: float, gamma: float) -> float:
+        """Coherence above which a spike may be a lone tone.
+
+        The tolerance widens as the spike weakens (the coherence statistic
+        itself gets noisier) and never falls below ``min_slack`` (residual
+        imperfection of neighbour-tone cancellation), calibrated against
+        measured single-tone coherence scatter.
+        """
+        slack = self.slack_base + self.slack_gamma / max(gamma, 0.3)
+        slack = min(self.max_slack, max(self.min_slack, slack))
+        return expected * (1.0 - slack)
+
+    def _dispersion_threshold(self, gamma: float) -> float:
+        """Magnitude dispersion above which a spike holds several tags.
+
+        A lone tone's sub-window magnitudes are ``|A + n_q|`` with
+        ``std/mean ~ 1/(sqrt(2) gamma)``; co-binned tags *beat*, and the
+        beat shows in the magnitudes even when the composite phase stays
+        put (tones that start aligned rotate the magnitude, not the
+        phase — coherence alone is blind to them).
+        """
+        return self.dispersion_base + self.dispersion_gamma / max(gamma, 0.3)
+
+    def _classify_coherence(
+        self,
+        values: np.ndarray,
+        floor_norm: float,
+        n_captures: int,
+        dense_mode: bool,
+    ) -> tuple[BinClass, dict]:
+        mags = np.abs(values)
+        mean_mag = float(mags.mean())
+        sigma_q = max(floor_norm * np.sqrt(self.n_subwindows), 1e-300)
+        gamma = mean_mag / sigma_q
+        if mean_mag == 0.0:
+            return BinClass.REJECTED, _stats(0.0, 0.0, 0.0, 0.0)
+        coherence = float(np.abs(values.mean()) / mean_mag)
+        dispersion = float(mags.std() / mean_mag)
+        expected = self._expected_single_coherence(
+            gamma, self.n_subwindows * n_captures
+        )
+        stats = _stats(gamma, coherence, expected, dispersion)
+        if dense_mode and coherence < self.reality_coherence and gamma < self.reality_gamma:
+            return BinClass.REJECTED, stats
+        if coherence >= self._single_threshold(expected, gamma) and dispersion <= self._dispersion_threshold(gamma):
+            return BinClass.SINGLE, stats
+        return BinClass.MULTIPLE, stats
+
+    def _classify_shift(
+        self,
+        wave: Waveform,
+        k: int,
+        freqs: np.ndarray,
+        amplitudes: np.ndarray,
+        probes: np.ndarray,
+    ) -> tuple[BinClass, dict]:
+        """The paper's Eq 8 test (with neighbour-tone cancellation)."""
+        max_shift = max(self.shift_samples)
+        window = wave.n_samples - max_shift
+        if window <= 0:
+            raise ConfigurationError("waveform shorter than the largest shift")
+
+        def cancelled_window_mag(offset: int) -> float:
+            demod = wave.samples[offset : offset + window] * probes[k, offset : offset + window]
+            value = demod.mean()
+            for j in range(freqs.size):
+                if j == k:
+                    continue
+                cross = (
+                    probes[k, offset : offset + window]
+                    * probes[j, offset : offset + window].conj()
+                )
+                value -= amplitudes[j] * cross.mean()
+            return abs(value)
+
+        reference = cancelled_window_mag(0)
+        if reference == 0.0:
+            return BinClass.REJECTED, _stats(0.0, 0.0, 0.0, 0.0)
+        worst = 0.0
+        for shift in self.shift_samples:
+            shifted = cancelled_window_mag(shift)
+            worst = max(worst, abs(shifted - reference) / reference)
+        if worst <= self.shift_tolerance:
+            return BinClass.SINGLE, _stats(np.nan, 1.0, 1.0, worst)
+        return BinClass.MULTIPLE, _stats(np.nan, 0.0, 1.0, worst)
+
+
+def _parabolic_refine(wave: Waveform, freq_hz: float, span_hz: float) -> float:
+    """Iterated parabolic |DFT| maximization (local copy avoids the
+    counting -> cfo -> counting import cycle for this one helper)."""
+    t = wave.times()
+    f, span = float(freq_hz), float(span_hz)
+    for _ in range(3):
+        mags = [
+            abs(np.mean(wave.samples * np.exp(-2j * np.pi * (f + df) * t)))
+            for df in (-span, 0.0, span)
+        ]
+        denom = mags[0] - 2.0 * mags[1] + mags[2]
+        if denom == 0.0:
+            break
+        offset = 0.5 * (mags[0] - mags[2]) / denom
+        f += float(np.clip(offset, -1.0, 1.0)) * span
+        span /= 2.0
+    return f
+
+
+def _stats(gamma: float, coherence: float, expected: float, dispersion: float) -> dict:
+    return {
+        "gamma": float(gamma),
+        "coherence": float(coherence),
+        "expected_single_coherence": float(expected),
+        "magnitude_dispersion": float(dispersion),
+    }

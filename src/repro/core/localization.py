@@ -1,0 +1,232 @@
+"""Localizing tags from collision phase differences (§6, Fig 5-7).
+
+Pipeline: for each tag's CFO spike, read the complex channel at two
+antennas (Eq 5 per antenna); their phase ratio gives the spatial angle
+``alpha`` via ``cos(alpha) = delta_phi * lambda / (2 pi d)`` (Eq 10). The
+three-antenna triangle measures alpha on all three baselines and trusts
+the one nearest broadside (§6). One reader constrains the tag to a cone;
+its road-plane section is a conic (hyperbola untilted, ellipse at 60°
+tilt); two readers intersect their conics and the on-road solution is the
+car (Fig 7, footnote 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.antenna import AntennaPair, TriangleArray
+from ..channel.collision import ReceivedCollision
+from ..channel.geometry import RoadSegment, aoa_cone_conic, intersect_conics
+from ..constants import PAIR_USABLE_MAX_DEG, PAIR_USABLE_MIN_DEG, WAVELENGTH_M
+from ..errors import GeometryError, LocalizationError
+from .cfo import estimate_channel, extract_cfo_peaks
+
+__all__ = [
+    "aoa_from_phase",
+    "phase_from_aoa",
+    "AoAEstimate",
+    "AoAEstimator",
+    "ReaderGeometry",
+    "TwoReaderLocalizer",
+]
+
+
+def aoa_from_phase(
+    delta_phi_rad: float,
+    spacing_m: float,
+    wavelength_m: float = WAVELENGTH_M,
+    strict: bool = False,
+) -> float:
+    """Invert Eq 10: ``alpha = arccos(delta_phi * lambda / (2 pi d))``.
+
+    Noise can push the implied cosine slightly outside [-1, 1]; by default
+    it is clamped (the estimate saturates at end-fire), with ``strict``
+    such measurements raise :class:`LocalizationError` instead.
+    """
+    if spacing_m <= 0:
+        raise LocalizationError(f"spacing must be positive, got {spacing_m}")
+    cos_alpha = delta_phi_rad * wavelength_m / (2.0 * np.pi * spacing_m)
+    if abs(cos_alpha) > 1.0:
+        if strict:
+            raise LocalizationError(
+                f"phase {delta_phi_rad:.3f} rad implies |cos(alpha)| = "
+                f"{abs(cos_alpha):.3f} > 1"
+            )
+        cos_alpha = float(np.clip(cos_alpha, -1.0, 1.0))
+    return float(np.arccos(cos_alpha))
+
+
+def phase_from_aoa(
+    alpha_rad: float, spacing_m: float, wavelength_m: float = WAVELENGTH_M
+) -> float:
+    """Forward Eq 10: the phase difference a tag at angle alpha produces."""
+    return float(2.0 * np.pi * spacing_m / wavelength_m * np.cos(alpha_rad))
+
+
+@dataclass
+class AoAEstimate:
+    """Per-tag AoA measurement from one reader.
+
+    Attributes:
+        cfo_hz: the tag's spike frequency (its identity within the capture).
+        alphas_rad: spatial angle per antenna pair.
+        best_pair_index: the pair whose angle is nearest 90° (§6).
+        channels: per-antenna channel estimates at the spike.
+    """
+
+    cfo_hz: float
+    alphas_rad: tuple[float, ...]
+    best_pair_index: int
+    channels: np.ndarray = field(default_factory=lambda: np.zeros(0, complex))
+
+    @property
+    def alpha_rad(self) -> float:
+        """The selected pair's spatial angle."""
+        return self.alphas_rad[self.best_pair_index]
+
+    @property
+    def alpha_deg(self) -> float:
+        return float(np.rad2deg(self.alpha_rad))
+
+    def in_usable_band(self) -> bool:
+        """Whether the selected angle is within the 60-120° sweet spot."""
+        return PAIR_USABLE_MIN_DEG <= self.alpha_deg <= PAIR_USABLE_MAX_DEG
+
+
+@dataclass
+class AoAEstimator:
+    """Measures spatial angles for every tag in a collision (§6).
+
+    Attributes:
+        array: the reader's antenna triangle.
+        wavelength_m: carrier wavelength.
+        min_snr_db: spike detection threshold (forwarded to peak search).
+    """
+
+    array: TriangleArray
+    wavelength_m: float = WAVELENGTH_M
+    min_snr_db: float = 15.0
+
+    def estimate_for_cfo(self, collision: ReceivedCollision, cfo_hz: float) -> AoAEstimate:
+        """AoA of the tag whose spike sits at (or near) ``cfo_hz``.
+
+        Reads the channel at each antenna, then forms the phase difference
+        per pair. All three pairs are computed; the one nearest broadside
+        is selected, emulating the antenna switch of Fig 6.
+        """
+        if collision.n_antennas < 3:
+            raise LocalizationError(
+                f"triangle AoA needs 3 antenna captures, got {collision.n_antennas}"
+            )
+        channels = np.array(
+            [estimate_channel(collision.antenna(k), cfo_hz) for k in range(3)]
+        )
+        if np.any(np.abs(channels) == 0.0):
+            raise LocalizationError("zero channel estimate; no signal at the CFO")
+        alphas = []
+        for pair, (i, j) in zip(self.array.pairs(), self.array.pair_indices()):
+            delta_phi = float(np.angle(channels[j] / channels[i]))
+            alphas.append(aoa_from_phase(delta_phi, pair.spacing_m, self.wavelength_m))
+        best = int(np.argmin([abs(a - np.pi / 2.0) for a in alphas]))
+        return AoAEstimate(
+            cfo_hz=cfo_hz,
+            alphas_rad=tuple(alphas),
+            best_pair_index=best,
+            channels=channels,
+        )
+
+    def estimate_all(self, collision: ReceivedCollision) -> list[AoAEstimate]:
+        """Detect every spike on antenna 0 and measure each tag's AoA."""
+        peaks = extract_cfo_peaks(collision.antenna(0), min_snr_db=self.min_snr_db)
+        return [self.estimate_for_cfo(collision, p.cfo_hz) for p in peaks]
+
+    def best_pair(self, estimate: AoAEstimate) -> AntennaPair:
+        """The physical pair selected for an estimate."""
+        return self.array.pairs()[estimate.best_pair_index]
+
+
+@dataclass
+class ReaderGeometry:
+    """Where a reader sits relative to the road it watches."""
+
+    array: TriangleArray
+    road: RoadSegment
+
+    @property
+    def pole_position_m(self) -> np.ndarray:
+        return self.array.center_m
+
+    @property
+    def pole_height_m(self) -> float:
+        return float(self.array.center_m[2] - self.road.z_m)
+
+
+@dataclass
+class TwoReaderLocalizer:
+    """Intersects AoA conics from two readers into an (x, y) on the road.
+
+    §6: one AoA confines the car to a conic on the road plane; a second
+    reader (typically across the street) adds another; their intersection
+    points are computed numerically and candidates off the pavement are
+    rejected (they are "on the sidewalk", footnote 10).
+    """
+
+    first: ReaderGeometry
+    second: ReaderGeometry
+    road_margin_m: float = 1.5
+    #: Height of the windshield-mounted transponder above the road. The
+    #: AoA cone is intersected with the *transponder* plane (footnote 14:
+    #: pole, antennas and tag are treated as coplanar geometry), then the
+    #: (x, y) is reported on the road.
+    tag_height_m: float = 1.0
+
+    def locate(
+        self,
+        estimate_a: AoAEstimate,
+        estimate_b: AoAEstimate,
+        estimator_a: AoAEstimator,
+        estimator_b: AoAEstimator,
+        hint_xy: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Locate one tag from its AoA at both readers.
+
+        Args:
+            hint_xy: optional prior (x, y); when several candidates
+                survive the road filter, the one nearest the hint wins
+                (e.g. a coarse position from timing, or the previous fix
+                of a tracked car).
+
+        Returns:
+            (x, y) world coordinates on the road plane.
+
+        Raises:
+            GeometryError: if the conics do not intersect on the road.
+        """
+        road = self.first.road
+        pair_a = estimator_a.best_pair(estimate_a)
+        pair_b = estimator_b.best_pair(estimate_b)
+        plane_z = road.z_m + self.tag_height_m
+        conic_a = aoa_cone_conic(
+            pair_a.midpoint_m, pair_a.axis, estimate_a.alpha_rad, plane_z
+        )
+        conic_b = aoa_cone_conic(
+            pair_b.midpoint_m, pair_b.axis, estimate_b.alpha_rad, plane_z
+        )
+        x_range = (road.x_min_m - self.road_margin_m, road.x_max_m + self.road_margin_m)
+        points = intersect_conics(conic_a, conic_b, x_range)
+        on_road = [p for p in points if road.contains(p, margin_m=self.road_margin_m)]
+        if not on_road:
+            raise GeometryError(
+                f"no conic intersection on the road (found {len(points)} points total)"
+            )
+        # If several candidates survive (grazing geometries), prefer the
+        # hint when given, otherwise keep the one closest to the road
+        # centerline — farther ones are curb-side mirror artifacts.
+        if hint_xy is not None and len(on_road) > 1:
+            hint = np.asarray(hint_xy, dtype=np.float64)
+            best = min(on_road, key=lambda p: float(np.linalg.norm(p - hint)))
+        else:
+            best = min(on_road, key=lambda p: abs(p[1] - road.y_center_m))
+        return np.asarray(best, dtype=np.float64)

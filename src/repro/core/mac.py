@@ -1,0 +1,99 @@
+"""Reader-side medium access (§9).
+
+Tags have no MAC, so the *readers* must avoid stepping on each other.
+Two interference cases:
+
+1. **Query x query** — harmless: queries are bare sinewaves near the
+   carrier, and a sum of sinewaves is still a valid trigger. Readers
+   never defer to other queries' energy alone being present *before*
+   their own; they only need rule 2.
+2. **Query x tag response** — harmful and avoidable: a response can only
+   exist if some query ended within the last turnaround window. A reader
+   that observes the channel idle for ``query + turnaround = 120 us`` is
+   guaranteed no response is in flight or imminent, and may transmit.
+
+The resulting protocol is CSMA with a fixed 120 µs listen window and *no
+contention window* (query collisions being acceptable, there is nothing
+to randomize away).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import CSMA_LISTEN_S
+from ..errors import ConfigurationError
+
+__all__ = ["CsmaState", "ReaderMac"]
+
+
+@dataclass
+class CsmaState:
+    """What a reader has heard: merged busy intervals on the medium."""
+
+    busy_intervals: list[tuple[float, float]] = field(default_factory=list)
+
+    def add_busy(self, start_s: float, end_s: float) -> None:
+        """Record a heard transmission, merging overlaps."""
+        if end_s <= start_s:
+            raise ConfigurationError(f"empty interval [{start_s}, {end_s}]")
+        merged = []
+        new_lo, new_hi = start_s, end_s
+        for lo, hi in sorted(self.busy_intervals):
+            if hi < new_lo or lo > new_hi:
+                merged.append((lo, hi))
+            else:
+                new_lo, new_hi = min(lo, new_lo), max(hi, new_hi)
+        merged.append((new_lo, new_hi))
+        self.busy_intervals = sorted(merged)
+
+    def idle_since(self, t_s: float) -> float:
+        """How long the medium has been continuously idle at time ``t_s``.
+
+        Returns +inf if nothing was ever heard before ``t_s``.
+        """
+        last_end = None
+        for lo, hi in self.busy_intervals:
+            if lo <= t_s < hi:
+                return 0.0
+            if hi <= t_s:
+                last_end = hi if last_end is None else max(last_end, hi)
+        return float("inf") if last_end is None else t_s - last_end
+
+
+@dataclass
+class ReaderMac:
+    """The §9 CSMA policy: listen 120 µs, then transmit.
+
+    Attributes:
+        listen_s: required continuous idle time (query + turnaround).
+        defer_to_queries: if False (the default, per §9), energy
+            identified as *another reader's query* does not block
+            transmission — query collisions are benign. Enabling it
+            models a conservative reader for the ablation benchmark.
+    """
+
+    listen_s: float = CSMA_LISTEN_S
+    defer_to_queries: bool = False
+
+    def can_transmit(self, now_s: float, state: CsmaState) -> bool:
+        """Whether a reader may begin its query at ``now_s``."""
+        return state.idle_since(now_s) >= self.listen_s
+
+    def next_opportunity(self, now_s: float, state: CsmaState) -> float:
+        """Earliest time >= now at which transmission becomes allowed."""
+        if self.can_transmit(now_s, state):
+            return now_s
+        horizon = now_s
+        for lo, hi in state.busy_intervals:
+            if hi > horizon - self.listen_s:
+                horizon = max(horizon, hi + self.listen_s)
+        return horizon
+
+    def guaranteed_safe(self, idle_observed_s: float) -> bool:
+        """§9's argument, as a predicate: after ``query + turnaround`` of
+        silence no tag response can start, because any response needs a
+        query to have ended within the last turnaround window."""
+        return idle_observed_s >= self.listen_s

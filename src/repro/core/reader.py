@@ -1,0 +1,121 @@
+"""The Caraoke reader facade (§4, §10).
+
+A :class:`CaraokeReader` bundles the reader-side processing chain —
+counting (§5), AoA (§6) and decoding (§8) — behind one object tied to a
+deployment geometry. It *processes* collisions; producing them is the
+channel/simulation layer's job (readers are handed a ``query_fn``), which
+keeps the algorithms testable against hand-built captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.collision import ReceivedCollision
+from ..constants import QUERY_PERIOD_S
+from ..errors import ConfigurationError
+from .counting import CollisionCounter, CountEstimate
+from .decoding import CoherentDecoder, DecodeResult, DecodeSession
+from .localization import AoAEstimate, AoAEstimator, ReaderGeometry
+
+__all__ = ["ReaderReport", "CaraokeReader"]
+
+
+@dataclass
+class ReaderReport:
+    """What a reader uploads per measurement (§12.5: "channels and CFOs").
+
+    Attributes:
+        timestamp_s: reader-local time of the query.
+        count: the §5 estimate of tags in range.
+        aoas: per-tag AoA measurements.
+    """
+
+    timestamp_s: float
+    count: CountEstimate
+    aoas: list[AoAEstimate] = field(default_factory=list)
+
+    @property
+    def n_tags(self) -> int:
+        return self.count.count
+
+    def payload_bits(self) -> int:
+        """Approximate uplink cost: CFO (4 B) + channel (8 B) per spike,
+        plus a header — the "few kbits" of §12.5 footnote 15."""
+        return 64 + len(self.count.observations) * 96
+
+
+@dataclass
+class CaraokeReader:
+    """One pole-mounted reader: geometry + processing chain.
+
+    Attributes:
+        geometry: antenna array and the road it watches.
+        counter: the counting engine (§5).
+        estimator: the AoA engine (§6); built from the geometry if omitted.
+        sample_rate_hz: ADC rate of the captures this reader processes.
+    """
+
+    geometry: ReaderGeometry
+    sample_rate_hz: float
+    counter: CollisionCounter = field(default_factory=CollisionCounter)
+    estimator: AoAEstimator | None = None
+    query_period_s: float = QUERY_PERIOD_S
+
+    def __post_init__(self) -> None:
+        if self.estimator is None:
+            self.estimator = AoAEstimator(self.geometry.array)
+
+    # -- per-collision processing -----------------------------------------------
+
+    def count(self, collision: ReceivedCollision) -> CountEstimate:
+        """§5: how many tags are in this collision."""
+        return self.counter.count(collision.antenna(0))
+
+    def aoas(self, collision: ReceivedCollision) -> list[AoAEstimate]:
+        """§6: spatial angle of every detected tag."""
+        return self.estimator.estimate_all(collision)
+
+    def observe(self, collision: ReceivedCollision, timestamp_s: float | None = None) -> ReaderReport:
+        """Count + localize in one pass, sharing the spike detection.
+
+        The count's accepted spikes seed the AoA measurements, mirroring
+        the hardware pipeline (one sFFT pass feeds everything, §10).
+        """
+        estimate = self.count(collision)
+        aoas = []
+        if collision.n_antennas >= 3:
+            for cfo in estimate.cfos_hz():
+                aoas.append(self.estimator.estimate_for_cfo(collision, float(cfo)))
+        return ReaderReport(
+            timestamp_s=collision.t0_s if timestamp_s is None else timestamp_s,
+            count=estimate,
+            aoas=aoas,
+        )
+
+    # -- decoding ------------------------------------------------------------------
+
+    def decode_session(self, query_fn, antenna_index: int = 0) -> DecodeSession:
+        """Open a repeated-query decode session (§8).
+
+        Args:
+            query_fn: ``query_fn(t_s) -> ReceivedCollision`` — typically
+                ``StaticCollisionSimulator.query`` or a live radio.
+            antenna_index: antenna whose stream feeds the decoder.
+        """
+        decoder = CoherentDecoder(self.sample_rate_hz, self.query_period_s)
+        return DecodeSession(query_fn=query_fn, decoder=decoder, antenna_index=antenna_index)
+
+    def decode_all_in_range(
+        self, query_fn, max_queries: int = 64
+    ) -> dict[float, DecodeResult]:
+        """Count first, then decode every detected tag (§12.4 workflow)."""
+        session = self.decode_session(query_fn)
+        session._ensure_captures(1)
+        estimate = self.counter.count(session.captures[0])
+        cfos = [float(c) for c in estimate.cfos_hz()]
+        if not cfos:
+            return {}
+        return session.decode_all(cfos, max_queries=max_queries)

@@ -1,0 +1,134 @@
+"""Speed from repeated localization (§7).
+
+A car's speed is the distance between two localizations divided by the
+travel time. Position error is bounded by the hyperbola geometry
+(footnote 11); timing error is the NTP synchronization between readers
+("tens of ms"). §7 works the error budget for a 13-foot pole over two
+lanes: at most 8.5 feet of position error, giving <= 5.5 % speed error at
+20 mph and <= 6.8 % at 50 mph over a 360-foot baseline — both closed
+forms are implemented here alongside the estimator itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import (
+    ANTENNA_TILT_DEG,
+    LANE_WIDTH_M,
+    NTP_SYNC_SIGMA_S,
+)
+from ..errors import ConfigurationError
+
+__all__ = [
+    "max_position_error_m",
+    "max_speed_error_fraction",
+    "SpeedObservation",
+    "SpeedEstimate",
+    "SpeedEstimator",
+]
+
+
+def max_position_error_m(
+    pole_height_m: float,
+    n_lanes_same_direction: int,
+    lane_width_m: float = LANE_WIDTH_M,
+    alpha_deg: float = ANTENNA_TILT_DEG,
+) -> float:
+    """Footnote 11: worst-case along-road position error from one AoA.
+
+    ``(sqrt(b^2 + (l w)^2) - b) / tan(alpha)`` where b is the antenna
+    height, l the number of lanes in the travel direction, w the lane
+    width, and alpha the worst usable spatial angle (60°). With b = 13 ft
+    and two 12-ft lanes this evaluates to ~8.5 ft, the paper's number.
+    """
+    if pole_height_m <= 0 or n_lanes_same_direction < 1 or lane_width_m <= 0:
+        raise ConfigurationError("invalid geometry for the position error bound")
+    across = n_lanes_same_direction * lane_width_m
+    alpha = np.deg2rad(alpha_deg)
+    if np.tan(alpha) <= 0:
+        raise ConfigurationError(f"alpha must be in (0, 90) degrees, got {alpha_deg}")
+    return float((np.hypot(pole_height_m, across) - pole_height_m) / np.tan(alpha))
+
+
+def max_speed_error_fraction(
+    speed_m_s: float,
+    baseline_m: float,
+    position_error_m: float,
+    sync_error_s: float,
+) -> float:
+    """§7: worst-case relative speed error over a two-pole baseline.
+
+    First-order budget: both endpoints may each be off by the position
+    error (same sign worst case) and the interval by the synchronization
+    error, so ``dv/v <= (2 e_x + v e_t) / D``. Grows with speed — the
+    sync term — matching the paper's 5.5 % (20 mph) to 6.8 % (50 mph).
+    """
+    if speed_m_s <= 0 or baseline_m <= 0:
+        raise ConfigurationError("speed and baseline must be positive")
+    return float((2.0 * position_error_m + speed_m_s * abs(sync_error_s)) / baseline_m)
+
+
+@dataclass(frozen=True)
+class SpeedObservation:
+    """One localization event: where and when a station saw the car."""
+
+    position_m: np.ndarray
+    timestamp_s: float
+    station: str = ""
+
+
+@dataclass(frozen=True)
+class SpeedEstimate:
+    """The result of pairing two observations."""
+
+    speed_m_s: float
+    distance_m: float
+    elapsed_s: float
+
+    @property
+    def speed_mph(self) -> float:
+        return self.speed_m_s * 2.2369362920544
+
+
+@dataclass
+class SpeedEstimator:
+    """Pairs observations from two pole stations into a speed estimate.
+
+    Attributes:
+        min_elapsed_s: guards against degenerate pairs (clock jitter can
+            make near-simultaneous observations explode the ratio).
+        along_road_only: measure displacement along x (the travel
+            direction) rather than Euclidean — matches §7, where speed is
+            ``(x2 - x1) / delay``.
+    """
+
+    min_elapsed_s: float = 0.2
+    along_road_only: bool = True
+
+    def estimate(self, first: SpeedObservation, second: SpeedObservation) -> SpeedEstimate:
+        """Speed between two timestamped localizations."""
+        elapsed = second.timestamp_s - first.timestamp_s
+        if abs(elapsed) < self.min_elapsed_s:
+            raise ConfigurationError(
+                f"observations only {elapsed * 1e3:.1f} ms apart; too close to divide"
+            )
+        delta = np.asarray(second.position_m, dtype=np.float64) - np.asarray(
+            first.position_m, dtype=np.float64
+        )
+        distance = abs(float(delta[0])) if self.along_road_only else float(np.linalg.norm(delta))
+        return SpeedEstimate(
+            speed_m_s=distance / abs(elapsed), distance_m=distance, elapsed_s=abs(elapsed)
+        )
+
+    @staticmethod
+    def expected_error_fraction(
+        speed_m_s: float,
+        baseline_m: float,
+        position_error_m: float,
+        sync_sigma_s: float = NTP_SYNC_SIGMA_S,
+    ) -> float:
+        """Convenience wrapper over :func:`max_speed_error_fraction`."""
+        return max_speed_error_fraction(speed_m_s, baseline_m, position_error_m, sync_sigma_s)

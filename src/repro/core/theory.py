@@ -1,0 +1,201 @@
+"""Closed-form counting analysis (§5, Eq 6, 7, 9).
+
+The §5 analysis treats counting as a balls-in-bins problem: m colliding
+tags land in N = 615 FFT bins (1.2 MHz span / 1.95 kHz resolution).
+
+* The **naive** estimator (count peaks) is correct only when all m bins
+  are distinct — the birthday probability of Eq 7.
+* The **upgraded** estimator (peaks, with 2-in-a-bin detection) fails only
+  when some bin holds >= 3 tags; Eq 9 union-bounds that. We also provide
+  the exact occupancy probability for comparison.
+* Monte-Carlo helpers evaluate both estimators under *any* CFO
+  distribution — the paper's empirical population is noticeably less
+  favourable than uniform (99.9/99.5/95.3 % vs the uniform bound's
+  99.9/99.9/99.7 % for m = 5/10/20).
+"""
+
+from __future__ import annotations
+
+from math import comb, exp, factorial, lgamma, log
+
+import numpy as np
+
+from ..constants import CFO_BIN_COUNT, CFO_SPAN_HZ, FFT_RESOLUTION_HZ, READER_LO_HZ
+from ..errors import ConfigurationError
+from ..phy.oscillator import CfoModel
+from ..utils import as_rng
+
+__all__ = [
+    "fft_resolution_hz",
+    "n_cfo_bins",
+    "p_no_miss_naive",
+    "p_no_miss_paper_bound",
+    "p_no_miss_exact",
+    "expected_count_naive",
+    "simulate_no_miss_probability",
+    "simulate_counting_accuracy",
+]
+
+
+def fft_resolution_hz(window_s: float) -> float:
+    """Eq 6: FFT bin width is the reciprocal of the analysis window."""
+    if window_s <= 0:
+        raise ConfigurationError(f"window must be positive, got {window_s}")
+    return 1.0 / window_s
+
+
+def n_cfo_bins(span_hz: float = CFO_SPAN_HZ, resolution_hz: float = FFT_RESOLUTION_HZ) -> int:
+    """Number of FFT bins the CFO span occupies (N = 615 in the paper)."""
+    if span_hz <= 0 or resolution_hz <= 0:
+        raise ConfigurationError("span and resolution must be positive")
+    return int(np.ceil(span_hz / resolution_hz))
+
+
+def p_no_miss_naive(m: int, n_bins: int = CFO_BIN_COUNT) -> float:
+    """Eq 7: P(all m tags in distinct bins) = N!/(N-m)! / N^m.
+
+    Evaluated as a product for numerical stability; this is the success
+    probability of the naive peak-counting estimator.
+    """
+    _validate(m, n_bins)
+    if m > n_bins:
+        return 0.0
+    log_p = sum(log(1.0 - i / n_bins) for i in range(1, m))
+    return exp(log_p)
+
+
+def p_no_miss_paper_bound(m: int, n_bins: int = CFO_BIN_COUNT) -> float:
+    """Eq 9: the paper's union lower bound for the upgraded estimator.
+
+    ``1 - N * C(m,3) * N^(m-3) / N^m = 1 - C(m,3) / N^2`` — one term per
+    possible bin holding a specific triple.
+    """
+    _validate(m, n_bins)
+    if m < 3:
+        return 1.0
+    return max(0.0, 1.0 - comb(m, 3) / (n_bins * n_bins))
+
+
+def p_no_miss_exact(m: int, n_bins: int = CFO_BIN_COUNT) -> float:
+    """Exact P(no bin holds >= 3 of m uniform tags).
+
+    Sums over the number b of bins holding exactly two tags:
+
+    ``P = sum_b C(N, b) * C(N - b, m - 2b) * m! / 2^b / N^m``
+
+    (choose the double bins, choose the single bins, count the assignments
+    of labelled tags). Computed in log space.
+    """
+    _validate(m, n_bins)
+    if m < 3:
+        return 1.0  # a bin needs three tags to break the estimator
+    if m > 2 * n_bins:
+        return 0.0
+    log_nm = m * log(n_bins)
+    total = 0.0
+    for b in range(0, m // 2 + 1):
+        singles = m - 2 * b
+        if singles + b > n_bins:
+            continue
+        log_term = (
+            _log_comb(n_bins, b)
+            + _log_comb(n_bins - b, singles)
+            + lgamma(m + 1)
+            - b * log(2.0)
+            - log_nm
+        )
+        total += exp(log_term)
+    return min(1.0, total)
+
+
+def expected_count_naive(m: int, n_bins: int = CFO_BIN_COUNT) -> float:
+    """Expected number of occupied bins: ``N (1 - (1 - 1/N)^m)``.
+
+    The naive estimator's mean output; its shortfall vs m quantifies the
+    systematic undercount at high density.
+    """
+    _validate(m, n_bins)
+    return n_bins * (1.0 - (1.0 - 1.0 / n_bins) ** m)
+
+
+def _validate(m: int, n_bins: int) -> None:
+    if m < 0:
+        raise ConfigurationError(f"m must be non-negative, got {m}")
+    if n_bins <= 0:
+        raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+
+
+def _log_comb(n: int, k: int) -> float:
+    return lgamma(n + 1) - lgamma(k + 1) - lgamma(n - k + 1)
+
+
+# -- Monte Carlo under arbitrary CFO distributions ---------------------------
+
+
+def _bin_draws(
+    model: CfoModel,
+    m: int,
+    n_bins: int,
+    runs: int,
+    rng,
+    lo_hz: float,
+    resolution_hz: float,
+) -> np.ndarray:
+    """Draw carrier populations and map them to FFT bin indices: (runs, m)."""
+    rng = as_rng(rng)
+    carriers = np.stack([model.sample_carriers(m, rng) for _ in range(runs)])
+    bins = np.floor((carriers - lo_hz) / resolution_hz).astype(np.int64)
+    return np.clip(bins, 0, n_bins - 1)
+
+
+def simulate_no_miss_probability(
+    model: CfoModel,
+    m: int,
+    estimator: str = "upgraded",
+    runs: int = 10_000,
+    n_bins: int = CFO_BIN_COUNT,
+    resolution_hz: float = FFT_RESOLUTION_HZ,
+    lo_hz: float = READER_LO_HZ,
+    rng=None,
+) -> float:
+    """Monte-Carlo P(no tag missed) under a CFO distribution.
+
+    ``estimator="naive"`` requires all bins distinct; ``"upgraded"``
+    tolerates doubles but fails on any bin with >= 3 tags (§5). This is
+    how the paper evaluates its empirical CFO population.
+    """
+    if estimator not in ("naive", "upgraded"):
+        raise ConfigurationError(f"unknown estimator {estimator!r}")
+    bins = _bin_draws(model, m, n_bins, runs, rng, lo_hz, resolution_hz)
+    successes = 0
+    for row in bins:
+        counts = np.bincount(row, minlength=n_bins)
+        if estimator == "naive":
+            successes += int((counts <= 1).all())
+        else:
+            successes += int((counts <= 2).all())
+    return successes / bins.shape[0]
+
+
+def simulate_counting_accuracy(
+    model: CfoModel,
+    m: int,
+    runs: int = 10_000,
+    n_bins: int = CFO_BIN_COUNT,
+    resolution_hz: float = FFT_RESOLUTION_HZ,
+    lo_hz: float = READER_LO_HZ,
+    rng=None,
+) -> float:
+    """Mean accuracy (estimate/true, as %) of the *ideal* upgraded counter.
+
+    "Ideal" = bin occupancy observed perfectly; doubles count as 2, any
+    occupancy >= 3 still counts as 2 (the §5 rule). This isolates the CFO
+    birthday effect from radio effects; the full-pipeline Fig 11 benchmark
+    layers the radio on top.
+    """
+    bins = _bin_draws(model, m, n_bins, runs, rng, lo_hz, resolution_hz)
+    estimates = np.empty(bins.shape[0])
+    for i, row in enumerate(bins):
+        counts = np.bincount(row, minlength=n_bins)
+        estimates[i] = np.sum(np.minimum(counts, 2))
+    return float(np.mean(estimates / m) * 100.0)

@@ -1,0 +1,28 @@
+"""Signal processing: spectra, peak picking, sparse FFT, beamforming, SAR."""
+
+from .spectrum import Spectrum, fft_spectrum, single_bin_dft
+from .peaks import SpectralPeak, estimate_noise_floor, find_spectral_peaks, parabolic_offset
+from .sfft import SparseTone, sparse_fft_peaks
+from .filters import apply_fir, design_complex_bandpass
+from .beamforming import bartlett_spectrum, music_spectrum, steering_matrix
+from .sar import ArrayMeasurement, CircularSAR, angular_peak_ratio
+
+__all__ = [
+    "Spectrum",
+    "fft_spectrum",
+    "single_bin_dft",
+    "SpectralPeak",
+    "estimate_noise_floor",
+    "find_spectral_peaks",
+    "parabolic_offset",
+    "SparseTone",
+    "sparse_fft_peaks",
+    "apply_fir",
+    "design_complex_bandpass",
+    "bartlett_spectrum",
+    "music_spectrum",
+    "steering_matrix",
+    "ArrayMeasurement",
+    "CircularSAR",
+    "angular_peak_ratio",
+]

@@ -1,0 +1,150 @@
+"""Windowed FFTs and single-frequency DFT probes.
+
+Caraoke works in the frequency domain: the FFT of a 512 µs collision has
+one spike per colliding tag (Fig 4), at the tag's CFO, whose complex value
+is half the tag's channel (Eq 5). Resolution is set by the window length
+(Eq 6): the full response gives 1/512 µs = 1.953 kHz bins.
+
+Two access patterns are provided: a full :class:`Spectrum` (peak *search*)
+and :func:`single_bin_dft`, an exact DFT at one arbitrary — not necessarily
+bin-centered — frequency (channel readout, the §5 time-shift test, and CFO
+refinement all probe single known frequencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SpectrumError
+from ..phy.waveform import Waveform
+
+__all__ = ["Spectrum", "fft_spectrum", "single_bin_dft"]
+
+_WINDOWS = {
+    "rect": lambda n: np.ones(n),
+    "hann": lambda n: np.hanning(n),
+    "hamming": lambda n: np.hamming(n),
+}
+
+
+@dataclass
+class Spectrum:
+    """FFT of a waveform window, with frequency bookkeeping.
+
+    Attributes:
+        values: complex FFT output, ``values[k]`` at frequency ``k * bin_hz``
+            (frequencies at or above ``sample_rate/2`` alias to negative).
+        sample_rate_hz: the input sample rate.
+        window_start_s: absolute time of the first input sample.
+        n_input: number of time samples transformed (before zero padding).
+    """
+
+    values: np.ndarray
+    sample_rate_hz: float
+    window_start_s: float
+    n_input: int
+
+    @property
+    def n_bins(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def bin_hz(self) -> float:
+        """Bin spacing. Equals 1/T for an unpadded window (Eq 6)."""
+        return self.sample_rate_hz / self.n_bins
+
+    @property
+    def resolution_hz(self) -> float:
+        """True spectral resolution 1/T, independent of zero padding."""
+        return self.sample_rate_hz / self.n_input
+
+    def freqs_hz(self) -> np.ndarray:
+        """Frequency of each bin in [0, sample_rate)."""
+        return np.arange(self.n_bins) * self.bin_hz
+
+    def magnitude(self) -> np.ndarray:
+        return np.abs(self.values)
+
+    def power(self) -> np.ndarray:
+        return np.abs(self.values) ** 2
+
+    def bin_of(self, freq_hz: float) -> int:
+        """Nearest bin index for a frequency in [0, sample_rate)."""
+        if not 0 <= freq_hz < self.sample_rate_hz:
+            raise SpectrumError(
+                f"frequency {freq_hz} outside [0, {self.sample_rate_hz})"
+            )
+        return int(round(freq_hz / self.bin_hz)) % self.n_bins
+
+    def freq_of(self, bin_index: int) -> float:
+        return (bin_index % self.n_bins) * self.bin_hz
+
+
+def fft_spectrum(
+    wave: Waveform,
+    window: str = "rect",
+    n_fft: int | None = None,
+    offset_samples: int = 0,
+    length_samples: int | None = None,
+) -> Spectrum:
+    """FFT of (a window of) a waveform.
+
+    Args:
+        wave: input waveform.
+        window: "rect", "hann" or "hamming". The tag peaks are narrowband
+            tones riding on wideband OOK data; the rectangular window keeps
+            the paper's 1/T resolution and is the default.
+        n_fft: zero-padded FFT size (>= window length).
+        offset_samples: start of the analysis window within the waveform —
+            this is the time shift tau of the §5 multi-tag bin test.
+        length_samples: analysis window length (defaults to the rest).
+
+    Returns:
+        A :class:`Spectrum`.
+    """
+    if length_samples is None:
+        length_samples = wave.n_samples - offset_samples
+    segment = wave.window(offset_samples, length_samples)
+    try:
+        taper = _WINDOWS[window](segment.n_samples)
+    except KeyError:
+        raise SpectrumError(f"unknown window {window!r}; options: {sorted(_WINDOWS)}")
+    n_fft = n_fft or segment.n_samples
+    if n_fft < segment.n_samples:
+        raise SpectrumError(f"n_fft={n_fft} shorter than window {segment.n_samples}")
+    values = np.fft.fft(segment.samples * taper, n=n_fft)
+    return Spectrum(
+        values=values,
+        sample_rate_hz=wave.sample_rate_hz,
+        window_start_s=segment.t0_s,
+        n_input=segment.n_samples,
+    )
+
+
+def single_bin_dft(
+    wave: Waveform,
+    freq_hz: float,
+    offset_samples: int = 0,
+    length_samples: int | None = None,
+    absolute_time: bool = True,
+) -> complex:
+    """Exact normalized DFT of a waveform window at one frequency.
+
+    Computes ``mean(x[n] * exp(-j 2 pi f t_n))`` over the window. With
+    ``absolute_time`` the phase reference is the world clock, which makes
+    values comparable across antennas and across windows — exactly what the
+    channel readout (Eq 5), the AoA phase difference (§6), and the
+    time-shift magnitude test (§5) need.
+
+    The normalization is ``1/n``, so a pure tone ``A*exp(j 2 pi f t)``
+    returns ``A`` and the tag's OOK signal returns ``h/2`` (Eq 5): callers
+    recover the channel as ``2 * single_bin_dft(...)``.
+    """
+    if length_samples is None:
+        length_samples = wave.n_samples - offset_samples
+    segment = wave.window(offset_samples, length_samples)
+    t = segment.times() if absolute_time else np.arange(segment.n_samples) / wave.sample_rate_hz
+    probe = np.exp(-2j * np.pi * freq_hz * t)
+    return complex(np.mean(segment.samples * probe))

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the Caraoke reproduction.
+
+All library errors derive from :class:`CaraokeError`, so callers can catch
+one type at an API boundary. Subclasses mark which stage of the pipeline
+failed.
+"""
+
+from __future__ import annotations
+
+
+class CaraokeError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(CaraokeError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class PacketError(CaraokeError):
+    """A transponder packet could not be built or parsed."""
+
+
+class CrcError(PacketError):
+    """A packet failed its CRC check."""
+
+
+class ModulationError(CaraokeError):
+    """Chip/bit streams do not form a valid Manchester/OOK signal."""
+
+
+class SpectrumError(CaraokeError):
+    """A spectral operation received an unusable window or signal."""
+
+
+class DecodingError(CaraokeError):
+    """The coherent-combining decoder could not recover a packet."""
+
+
+class LocalizationError(CaraokeError):
+    """AoA or position could not be computed for the given geometry."""
+
+
+class GeometryError(CaraokeError):
+    """Degenerate geometric configuration (e.g. no curve intersection)."""
+
+
+class SimulationError(CaraokeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class PowerModelError(CaraokeError):
+    """The hardware power/energy model was driven outside its envelope."""

@@ -1,0 +1,20 @@
+"""Reader hardware models: ADC, power states, solar harvest, battery."""
+
+from .adc import ADC
+from .power import DutyCycle, PowerModel, PowerState
+from .solar import IrradianceProfile, SolarPanel, clear_day, cloudy_day, night_only
+from .battery import Battery, simulate_energy_budget
+
+__all__ = [
+    "ADC",
+    "DutyCycle",
+    "PowerModel",
+    "PowerState",
+    "IrradianceProfile",
+    "SolarPanel",
+    "clear_day",
+    "cloudy_day",
+    "night_only",
+    "Battery",
+    "simulate_energy_budget",
+]

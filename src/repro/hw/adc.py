@@ -1,0 +1,87 @@
+"""The reader's ADC (§11): 12-bit, differential inputs.
+
+Quantization sits between the RF front end and every algorithm, so the
+model is exact: mid-tread uniform quantization of I and Q with clipping
+at the full scale, plus an automatic-gain convention that places the
+signal RMS a configurable backoff below full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..phy.waveform import Waveform
+
+__all__ = ["ADC"]
+
+
+@dataclass(frozen=True)
+class ADC:
+    """Uniform mid-tread quantizer for complex baseband.
+
+    Attributes:
+        n_bits: resolution (12 in the Caraoke reader).
+        full_scale: absolute clip level per I/Q rail.
+        agc_backoff_db: when ``quantize_agc`` is used, the input RMS is
+            scaled to sit this many dB below full scale (headroom for the
+            OOK envelope and collisions).
+    """
+
+    n_bits: int = 12
+    full_scale: float = 1.0
+    agc_backoff_db: float = 12.0
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.n_bits <= 24:
+            raise ConfigurationError(f"n_bits must be in [2, 24], got {self.n_bits}")
+        if self.full_scale <= 0:
+            raise ConfigurationError("full scale must be positive")
+
+    @property
+    def n_levels(self) -> int:
+        return 1 << self.n_bits
+
+    @property
+    def step(self) -> float:
+        """Quantization step per rail."""
+        return 2.0 * self.full_scale / self.n_levels
+
+    def quantize_real(self, samples: np.ndarray) -> np.ndarray:
+        """Quantize one rail, clipping at the full scale."""
+        clipped = np.clip(samples, -self.full_scale, self.full_scale - self.step)
+        return np.round(clipped / self.step) * self.step
+
+    def quantize(self, samples: np.ndarray) -> np.ndarray:
+        """Quantize a complex stream (I and Q independently)."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        return self.quantize_real(samples.real) + 1j * self.quantize_real(samples.imag)
+
+    def quantize_waveform(self, wave: Waveform, agc: bool = True) -> tuple[Waveform, float]:
+        """Digitize a waveform; returns (digitized, gain applied).
+
+        With ``agc`` the input is scaled so its RMS sits ``agc_backoff_db``
+        below full scale before quantization — the returned gain lets
+        callers undo the scaling if they need absolute units.
+        """
+        gain = 1.0
+        if agc:
+            rms = wave.rms()
+            if rms > 0:
+                target = self.full_scale * 10.0 ** (-self.agc_backoff_db / 20.0)
+                gain = target / rms
+        digitized = self.quantize(wave.samples * gain)
+        return Waveform(digitized, wave.sample_rate_hz, wave.t0_s), gain
+
+    def clip_fraction(self, samples: np.ndarray) -> float:
+        """Fraction of samples whose I or Q rail clipped."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        limit = self.full_scale - self.step
+        clipped = (np.abs(samples.real) > limit) | (np.abs(samples.imag) > limit)
+        return float(np.mean(clipped)) if samples.size else 0.0
+
+    def theoretical_sqnr_db(self) -> float:
+        """Ideal quantization SNR for a full-scale sine: 6.02 b + 1.76."""
+        return 6.02 * self.n_bits + 1.76

@@ -1,0 +1,139 @@
+"""Rechargeable storage and the §12.5 energy budget.
+
+§12.5: "the energy harvested from solar during 3 hours can be stored in a
+rechargeable battery and run the device for a week regardless of weather
+condition." At 500 mW harvest, 3 h is 5.4 kJ; at the 9 mW duty-cycled
+average, a week is 5.44 kJ — the claim is tight and the simulation here
+reproduces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PowerModelError
+from .power import DutyCycle, PowerModel
+from .solar import IrradianceProfile, SolarPanel
+
+__all__ = ["Battery", "simulate_energy_budget"]
+
+
+@dataclass
+class Battery:
+    """An energy reservoir with charge/discharge efficiency.
+
+    Attributes:
+        capacity_j: maximum stored energy.
+        charge_j: current stored energy.
+        charge_efficiency: fraction of input energy actually stored.
+    """
+
+    capacity_j: float
+    charge_j: float = 0.0
+    charge_efficiency: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.capacity_j <= 0:
+            raise PowerModelError("capacity must be positive")
+        if not 0 < self.charge_efficiency <= 1:
+            raise PowerModelError("charge efficiency must be in (0, 1]")
+        if not 0 <= self.charge_j <= self.capacity_j:
+            raise PowerModelError("initial charge outside [0, capacity]")
+
+    @property
+    def state_of_charge(self) -> float:
+        return self.charge_j / self.capacity_j
+
+    def store(self, energy_j: float) -> float:
+        """Charge; returns the energy actually stored (after clipping)."""
+        if energy_j < 0:
+            raise PowerModelError("cannot store negative energy")
+        stored = min(energy_j * self.charge_efficiency, self.capacity_j - self.charge_j)
+        self.charge_j += stored
+        return stored
+
+    def draw(self, energy_j: float) -> bool:
+        """Discharge; returns False (and empties) on brown-out."""
+        if energy_j < 0:
+            raise PowerModelError("cannot draw negative energy")
+        if energy_j > self.charge_j:
+            self.charge_j = 0.0
+            return False
+        self.charge_j -= energy_j
+        return True
+
+
+@dataclass
+class BudgetResult:
+    """Outcome of an energy-budget simulation."""
+
+    survived: bool
+    uptime_s: float
+    final_charge_j: float
+    min_state_of_charge: float
+    harvested_j: float
+    consumed_j: float
+    trace_t_s: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
+    trace_soc: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
+
+
+def simulate_energy_budget(
+    battery: Battery,
+    panel: SolarPanel,
+    profile: IrradianceProfile,
+    power: PowerModel,
+    duty: DutyCycle,
+    duration_s: float,
+    step_s: float = 60.0,
+) -> BudgetResult:
+    """Co-simulate harvest, storage and duty-cycled consumption.
+
+    The reader draws its duty-cycled average continuously (the battery
+    smooths the 10 ms bursts); the panel charges whenever irradiance is
+    non-zero. The run stops early on brown-out.
+
+    Returns:
+        A :class:`BudgetResult` with survival, uptime and the SoC trace.
+    """
+    if duration_s <= 0 or step_s <= 0:
+        raise PowerModelError("duration and step must be positive")
+    draw_w = power.average_power_w(duty)
+    t = 0.0
+    harvested = consumed = 0.0
+    min_soc = battery.state_of_charge
+    times = [0.0]
+    socs = [battery.state_of_charge]
+    while t < duration_s:
+        dt = min(step_s, duration_s - t)
+        harvest_j = panel.output_w(profile, t) * dt
+        harvested += battery.store(harvest_j)
+        need_j = draw_w * dt
+        consumed += need_j
+        alive = battery.draw(need_j)
+        t += dt
+        min_soc = min(min_soc, battery.state_of_charge)
+        times.append(t)
+        socs.append(battery.state_of_charge)
+        if not alive:
+            return BudgetResult(
+                survived=False,
+                uptime_s=t,
+                final_charge_j=battery.charge_j,
+                min_state_of_charge=min_soc,
+                harvested_j=harvested,
+                consumed_j=consumed,
+                trace_t_s=np.array(times),
+                trace_soc=np.array(socs),
+            )
+    return BudgetResult(
+        survived=True,
+        uptime_s=duration_s,
+        final_charge_j=battery.charge_j,
+        min_state_of_charge=min_soc,
+        harvested_j=harvested,
+        consumed_j=consumed,
+        trace_t_s=np.array(times),
+        trace_soc=np.array(socs),
+    )

@@ -1,0 +1,92 @@
+"""Solar harvesting (§10, §12.5).
+
+The reader carries a 6 x 7.5 cm monocrystalline panel delivering 500 mW
+in full sun. Day/night and weather are modelled as an irradiance profile
+in [0, 1] scaling the panel's peak output; §12.5's claim — three hours of
+sun charge a battery that runs the reader for a week — is reproduced by
+the energy-budget simulation in :mod:`repro.hw.battery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..constants import SOLAR_PEAK_W
+from ..errors import ConfigurationError
+
+__all__ = ["IrradianceProfile", "SolarPanel", "clear_day", "cloudy_day", "night_only"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class IrradianceProfile:
+    """Relative irradiance (0..1) as a function of time-of-day."""
+
+    fn: Callable[[float], float]
+    label: str = ""
+
+    def at(self, t_s: float) -> float:
+        value = float(self.fn(t_s % SECONDS_PER_DAY))
+        return float(np.clip(value, 0.0, 1.0))
+
+
+def clear_day(sunrise_s: float = 6 * 3600.0, sunset_s: float = 18 * 3600.0) -> IrradianceProfile:
+    """A half-sine solar day between sunrise and sunset."""
+    if sunset_s <= sunrise_s:
+        raise ConfigurationError("sunset must follow sunrise")
+
+    def fn(t: float) -> float:
+        if not sunrise_s <= t <= sunset_s:
+            return 0.0
+        phase = (t - sunrise_s) / (sunset_s - sunrise_s)
+        return float(np.sin(np.pi * phase))
+
+    return IrradianceProfile(fn, "clear-day")
+
+
+def cloudy_day(attenuation: float = 0.15) -> IrradianceProfile:
+    """A clear day scaled down by heavy cloud cover."""
+    if not 0.0 <= attenuation <= 1.0:
+        raise ConfigurationError("attenuation must be in [0, 1]")
+    base = clear_day()
+    return IrradianceProfile(lambda t: attenuation * base.at(t), "cloudy-day")
+
+
+def night_only() -> IrradianceProfile:
+    """No harvest at all (worst case for battery sizing)."""
+    return IrradianceProfile(lambda t: 0.0, "night")
+
+
+@dataclass(frozen=True)
+class SolarPanel:
+    """A panel delivering ``peak_w`` at unit irradiance.
+
+    Attributes:
+        peak_w: full-sun output (500 mW for the OSEPP SC10050).
+        efficiency_derating: wiring/regulator losses multiplier.
+    """
+
+    peak_w: float = SOLAR_PEAK_W
+    efficiency_derating: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.peak_w <= 0 or not 0 < self.efficiency_derating <= 1:
+            raise ConfigurationError("invalid panel parameters")
+
+    def output_w(self, profile: IrradianceProfile, t_s: float) -> float:
+        """Instantaneous harvest at time ``t_s``."""
+        return self.peak_w * self.efficiency_derating * profile.at(t_s)
+
+    def energy_j(
+        self, profile: IrradianceProfile, start_s: float, end_s: float, step_s: float = 60.0
+    ) -> float:
+        """Harvested energy over an interval (trapezoidal integration)."""
+        if end_s <= start_s:
+            raise ConfigurationError("end must follow start")
+        t = np.arange(start_s, end_s + step_s, step_s)
+        p = np.array([self.output_w(profile, float(ti)) for ti in t])
+        return float(np.trapezoid(p, t))

@@ -1,0 +1,39 @@
+"""Transponder physical layer: waveforms, coding, packets, modulation, tags.
+
+This subpackage models everything §3 of the paper describes about the air
+protocol: the 20 µs sinewave query, the 100 µs turnaround, and the 512 µs
+OOK/Manchester 256-bit response transmitted at a tag-specific carrier.
+"""
+
+from .waveform import Waveform
+from .crc import Crc, CRC16_CCITT
+from .manchester import manchester_encode, manchester_decode, manchester_soft_decode
+from .packet import TransponderPacket, PacketFields
+from .modulation import OokModulator
+from .oscillator import (
+    Oscillator,
+    CfoModel,
+    UniformCfoModel,
+    TruncatedGaussianCfoModel,
+    EmpiricalCfoModel,
+)
+from .transponder import Transponder, TagResponse
+
+__all__ = [
+    "Waveform",
+    "Crc",
+    "CRC16_CCITT",
+    "manchester_encode",
+    "manchester_decode",
+    "manchester_soft_decode",
+    "TransponderPacket",
+    "PacketFields",
+    "OokModulator",
+    "Oscillator",
+    "CfoModel",
+    "UniformCfoModel",
+    "TruncatedGaussianCfoModel",
+    "EmpiricalCfoModel",
+    "Transponder",
+    "TagResponse",
+]

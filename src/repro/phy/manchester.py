@@ -1,0 +1,77 @@
+"""Manchester chip coding.
+
+The tags transmit OOK with Manchester encoding (§3, Fig 2b). Manchester
+matters to Caraoke beyond clock recovery: it forces every bit to spend half
+its time "on" and half "off", so the baseband signal ``s(t)`` has mean 1/2
+and ``s'(t) = s(t) - 1/2`` has *zero* mean (§3 footnote 6). That zero mean
+is what puts a spectral null at the tag's own CFO and lets the FFT peak
+read off the channel coefficient cleanly (Eq 5).
+
+Convention used here: bit 1 -> chips (1, 0); bit 0 -> chips (0, 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModulationError
+
+__all__ = ["manchester_encode", "manchester_decode", "manchester_soft_decode"]
+
+
+def manchester_encode(bits: np.ndarray) -> np.ndarray:
+    """Encode bits into twice as many chips.
+
+    Args:
+        bits: array of 0/1 values, any integer dtype.
+
+    Returns:
+        uint8 chip array of length ``2 * len(bits)``.
+    """
+    bits = np.asarray(bits)
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise ModulationError("bits must be 0 or 1")
+    bits = bits.astype(np.uint8)
+    chips = np.empty(2 * bits.size, dtype=np.uint8)
+    chips[0::2] = bits
+    chips[1::2] = 1 - bits
+    return chips
+
+
+def manchester_decode(chips: np.ndarray) -> np.ndarray:
+    """Decode hard chips back into bits, validating the code constraint.
+
+    Raises:
+        ModulationError: if the chip count is odd or any chip pair is
+            (0, 0) or (1, 1), which no Manchester bit produces.
+    """
+    chips = np.asarray(chips, dtype=np.uint8)
+    if chips.size % 2:
+        raise ModulationError(f"chip count must be even, got {chips.size}")
+    first = chips[0::2]
+    second = chips[1::2]
+    if np.any(first == second):
+        bad = int(np.flatnonzero(first == second)[0])
+        raise ModulationError(f"invalid Manchester pair at bit {bad}")
+    return first.copy()
+
+
+def manchester_soft_decode(chip_values: np.ndarray) -> np.ndarray:
+    """Decode soft chip amplitudes by comparing the halves of each bit.
+
+    Each bit decision is ``first_half > second_half``, which cancels any DC
+    offset and slow amplitude ripple — exactly what the coherent-combining
+    decoder needs, since its averaged signal rides on a DC term (§8).
+
+    Args:
+        chip_values: real-valued array of soft chip amplitudes, even length.
+
+    Returns:
+        uint8 bit array of half the length.
+    """
+    chip_values = np.asarray(chip_values, dtype=np.float64)
+    if chip_values.size % 2:
+        raise ModulationError(f"chip count must be even, got {chip_values.size}")
+    first = chip_values[0::2]
+    second = chip_values[1::2]
+    return (first > second).astype(np.uint8)

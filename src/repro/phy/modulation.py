@@ -1,0 +1,91 @@
+"""On-off keying modulation of Manchester chips (§3, Eq 1).
+
+A tag transmits a "1" chip by emitting its carrier and a "0" chip by
+staying silent, so the baseband signal ``s(t)`` toggles between 0 and 1
+(Eq 1-4). The modulator produces the *baseband* chip train; the carrier
+(and therefore the CFO) is applied later by mixing against absolute time,
+and the channel coefficient is applied by the collision synthesizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import CHIP_DURATION_S, DEFAULT_SAMPLE_RATE_HZ
+from ..errors import ConfigurationError, ModulationError
+from .manchester import manchester_encode, manchester_soft_decode
+
+__all__ = ["OokModulator"]
+
+
+@dataclass(frozen=True)
+class OokModulator:
+    """Maps bits <-> baseband OOK/Manchester sample trains.
+
+    Attributes:
+        sample_rate_hz: baseband sample rate. Must contain an integer
+            number of samples per 1 µs chip.
+        chip_duration_s: chip period (1 µs for the 500 kb/s tag).
+    """
+
+    sample_rate_hz: float = DEFAULT_SAMPLE_RATE_HZ
+    chip_duration_s: float = CHIP_DURATION_S
+
+    def __post_init__(self) -> None:
+        sps = self.sample_rate_hz * self.chip_duration_s
+        if abs(sps - round(sps)) > 1e-9 or round(sps) < 1:
+            raise ConfigurationError(
+                f"sample rate {self.sample_rate_hz} Hz does not give an integer "
+                f"number of samples per {self.chip_duration_s}s chip"
+            )
+
+    @property
+    def samples_per_chip(self) -> int:
+        """Samples in one chip interval."""
+        return int(round(self.sample_rate_hz * self.chip_duration_s))
+
+    def modulate_chips(self, chips: np.ndarray) -> np.ndarray:
+        """Expand a 0/1 chip array into a rectangular sample train."""
+        chips = np.asarray(chips, dtype=np.float64)
+        if chips.size and (chips.min() < 0 or chips.max() > 1):
+            raise ModulationError("chips must be 0 or 1")
+        return np.repeat(chips, self.samples_per_chip)
+
+    def modulate_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Manchester-encode bits and expand them into baseband samples."""
+        return self.modulate_chips(manchester_encode(bits))
+
+    def chip_matched_filter(self, samples: np.ndarray) -> np.ndarray:
+        """Integrate-and-dump each chip interval into one soft value.
+
+        Accepts real or complex input; complex input is reduced with its
+        real part, which is correct after the decoder has divided out the
+        (complex) channel and removed the CFO (§8).
+        """
+        samples = np.asarray(samples)
+        if np.iscomplexobj(samples):
+            samples = samples.real
+        spc = self.samples_per_chip
+        n_chips = samples.size // spc
+        if n_chips == 0:
+            raise ModulationError(
+                f"need at least {spc} samples for one chip, got {samples.size}"
+            )
+        trimmed = samples[: n_chips * spc]
+        return trimmed.reshape(n_chips, spc).mean(axis=1)
+
+    def demodulate_soft(self, samples: np.ndarray, n_bits: int | None = None) -> np.ndarray:
+        """Recover bits from baseband samples via per-bit half comparison."""
+        soft_chips = self.chip_matched_filter(samples)
+        if n_bits is not None:
+            needed = 2 * n_bits
+            if soft_chips.size < needed:
+                raise ModulationError(
+                    f"need {needed} chips for {n_bits} bits, got {soft_chips.size}"
+                )
+            soft_chips = soft_chips[:needed]
+        elif soft_chips.size % 2:
+            soft_chips = soft_chips[:-1]
+        return manchester_soft_decode(soft_chips)

@@ -1,0 +1,149 @@
+"""Tag oscillators and carrier-frequency-offset population models.
+
+E-toll tags are active RFIDs with free-running oscillators, so each tag
+has its own carrier somewhere in 914.3-915.5 MHz (§3). Caraoke's entire
+design rests on this spread: the CFO is the handle that separates tags
+inside a collision (§1, §5).
+
+Three population models are provided:
+
+* :class:`UniformCfoModel` — the uniform assumption used in the §5
+  closed-form analysis.
+* :class:`TruncatedGaussianCfoModel` — the empirical population summary
+  the authors measured on 155 tags (mean 914.84 MHz, sigma 0.21 MHz,
+  §5 footnote 7).
+* :class:`EmpiricalCfoModel` — draws from a fixed list of carriers, e.g.
+  the synthetic 155-tag dataset in :mod:`repro.datasets`, mirroring how
+  §12.1 builds collisions out of recorded tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import (
+    CARRIER_MAX_HZ,
+    CARRIER_MIN_HZ,
+    EMPIRICAL_CARRIER_MEAN_HZ,
+    EMPIRICAL_CARRIER_STD_HZ,
+    READER_LO_HZ,
+)
+from ..errors import ConfigurationError
+from ..utils import as_rng
+
+__all__ = [
+    "Oscillator",
+    "CfoModel",
+    "UniformCfoModel",
+    "TruncatedGaussianCfoModel",
+    "EmpiricalCfoModel",
+]
+
+
+@dataclass(frozen=True)
+class Oscillator:
+    """A tag's free-running carrier oscillator.
+
+    Attributes:
+        carrier_hz: the oscillator's actual carrier frequency.
+        drift_hz_per_s: slow linear drift (0 by default; tags are queried
+            over a few ms, where drift is negligible).
+    """
+
+    carrier_hz: float
+    drift_hz_per_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.carrier_hz <= 0:
+            raise ConfigurationError(f"carrier must be positive, got {self.carrier_hz}")
+
+    def carrier_at(self, t_s: float) -> float:
+        """Carrier frequency at absolute time ``t_s``."""
+        return self.carrier_hz + self.drift_hz_per_s * t_s
+
+    def cfo_hz(self, lo_hz: float = READER_LO_HZ, t_s: float = 0.0) -> float:
+        """Offset from a receiver local oscillator at time ``t_s``."""
+        return self.carrier_at(t_s) - lo_hz
+
+
+class CfoModel:
+    """Base class: a distribution over tag carrier frequencies."""
+
+    def sample_carriers(self, n: int, rng=None) -> np.ndarray:
+        """Draw ``n`` carrier frequencies in Hz."""
+        raise NotImplementedError
+
+    def sample_oscillators(self, n: int, rng=None) -> list[Oscillator]:
+        """Draw ``n`` oscillators."""
+        return [Oscillator(float(f)) for f in self.sample_carriers(n, rng)]
+
+
+@dataclass(frozen=True)
+class UniformCfoModel(CfoModel):
+    """Carriers uniform over the tag band — the §5 analysis assumption."""
+
+    low_hz: float = CARRIER_MIN_HZ
+    high_hz: float = CARRIER_MAX_HZ
+
+    def __post_init__(self) -> None:
+        if self.high_hz <= self.low_hz:
+            raise ConfigurationError("high_hz must exceed low_hz")
+
+    def sample_carriers(self, n: int, rng=None) -> np.ndarray:
+        rng = as_rng(rng)
+        return rng.uniform(self.low_hz, self.high_hz, size=n)
+
+
+@dataclass(frozen=True)
+class TruncatedGaussianCfoModel(CfoModel):
+    """Gaussian carriers truncated to the tag band (§5 footnote 7)."""
+
+    mean_hz: float = EMPIRICAL_CARRIER_MEAN_HZ
+    std_hz: float = EMPIRICAL_CARRIER_STD_HZ
+    low_hz: float = CARRIER_MIN_HZ
+    high_hz: float = CARRIER_MAX_HZ
+
+    def __post_init__(self) -> None:
+        if self.std_hz <= 0:
+            raise ConfigurationError("std_hz must be positive")
+        if not self.low_hz < self.mean_hz < self.high_hz:
+            raise ConfigurationError("mean must lie inside the truncation band")
+
+    def sample_carriers(self, n: int, rng=None) -> np.ndarray:
+        rng = as_rng(rng)
+        out = np.empty(n)
+        filled = 0
+        while filled < n:
+            draw = rng.normal(self.mean_hz, self.std_hz, size=2 * (n - filled) + 8)
+            keep = draw[(draw >= self.low_hz) & (draw <= self.high_hz)]
+            take = min(keep.size, n - filled)
+            out[filled : filled + take] = keep[:take]
+            filled += take
+        return out
+
+
+@dataclass(frozen=True)
+class EmpiricalCfoModel(CfoModel):
+    """Draws (without replacement when possible) from a fixed population."""
+
+    carriers_hz: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.carriers_hz:
+            raise ConfigurationError("population must be non-empty")
+
+    @classmethod
+    def from_array(cls, carriers: np.ndarray) -> "EmpiricalCfoModel":
+        return cls(tuple(float(c) for c in np.asarray(carriers, dtype=np.float64)))
+
+    @property
+    def population_size(self) -> int:
+        return len(self.carriers_hz)
+
+    def sample_carriers(self, n: int, rng=None) -> np.ndarray:
+        rng = as_rng(rng)
+        pop = np.asarray(self.carriers_hz)
+        replace = n > pop.size
+        return rng.choice(pop, size=n, replace=replace)

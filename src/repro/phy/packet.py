@@ -1,0 +1,175 @@
+"""The 256-bit transponder packet (Fig 2b).
+
+The paper shows the response as 256 bits containing a 47-bit
+agency-programmable field, factory-fixed fields, and a CRC. The exact IAG
+field layout is proprietary, so this library defines a documented layout
+with the same budget:
+
+====================  ======  =====================================
+field                 bits    notes
+====================  ======  =====================================
+sync                  16      fixed ``0xF0F0`` pattern
+agency_id             7       issuing agency
+serial_number         32      factory-fixed tag serial
+tag_type              8       vehicle class / mount type
+programmable          47      agency-programmable field (Fig 2b)
+factory_field         130     PRBS derived from the serial number
+crc16                 16      CRC-16-CCITT over bits 16..239
+====================  ======  =====================================
+
+Total: 256 bits. The CRC covers everything after the sync word, so a
+decoder that mis-slices the response will fail the checksum rather than
+yield a wrong id — this is the stopping rule of §8/§12.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import PACKET_BITS, PROGRAMMABLE_BITS
+from ..errors import CrcError, PacketError
+from ..utils import as_rng, bits_to_int, int_to_bits, prbs_bits
+from .crc import CRC16_CCITT
+
+__all__ = ["PacketFields", "TransponderPacket"]
+
+SYNC_WORD = 0xF0F0
+SYNC_BITS = 16
+AGENCY_BITS = 7
+SERIAL_BITS = 32
+TYPE_BITS = 8
+FACTORY_BITS = 130
+CRC_BITS = 16
+
+_FIELD_WIDTHS = (
+    SYNC_BITS,
+    AGENCY_BITS,
+    SERIAL_BITS,
+    TYPE_BITS,
+    PROGRAMMABLE_BITS,
+    FACTORY_BITS,
+    CRC_BITS,
+)
+assert sum(_FIELD_WIDTHS) == PACKET_BITS
+
+
+@dataclass(frozen=True)
+class PacketFields:
+    """The application-visible fields of a transponder packet."""
+
+    agency_id: int
+    serial_number: int
+    tag_type: int
+    programmable: int
+
+    def __post_init__(self) -> None:
+        checks = (
+            ("agency_id", self.agency_id, AGENCY_BITS),
+            ("serial_number", self.serial_number, SERIAL_BITS),
+            ("tag_type", self.tag_type, TYPE_BITS),
+            ("programmable", self.programmable, PROGRAMMABLE_BITS),
+        )
+        for name, value, width in checks:
+            if not 0 <= value < (1 << width):
+                raise PacketError(f"{name}={value} does not fit in {width} bits")
+
+
+class TransponderPacket:
+    """A complete, CRC-protected 256-bit transponder response payload."""
+
+    def __init__(self, fields: PacketFields):
+        self.fields = fields
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        agency_id: int,
+        serial_number: int,
+        tag_type: int = 0,
+        programmable: int = 0,
+    ) -> "TransponderPacket":
+        """Build a packet from field values."""
+        return cls(PacketFields(agency_id, serial_number, tag_type, programmable))
+
+    @classmethod
+    def random(cls, rng=None) -> "TransponderPacket":
+        """A packet with random field values (deterministic given ``rng``)."""
+        rng = as_rng(rng)
+        return cls.create(
+            agency_id=int(rng.integers(0, 1 << AGENCY_BITS)),
+            serial_number=int(rng.integers(0, 1 << SERIAL_BITS)),
+            tag_type=int(rng.integers(0, 1 << TYPE_BITS)),
+            programmable=int(rng.integers(0, 1 << PROGRAMMABLE_BITS)),
+        )
+
+    # -- serialization --------------------------------------------------------
+
+    def to_bits(self) -> np.ndarray:
+        """Serialize to the 256-bit MSB-first on-air representation."""
+        f = self.fields
+        body = np.concatenate(
+            [
+                int_to_bits(f.agency_id, AGENCY_BITS),
+                int_to_bits(f.serial_number, SERIAL_BITS),
+                int_to_bits(f.tag_type, TYPE_BITS),
+                int_to_bits(f.programmable, PROGRAMMABLE_BITS),
+                prbs_bits(FACTORY_BITS, seed=f.serial_number & 0xFFFF),
+            ]
+        )
+        bits = np.concatenate([int_to_bits(SYNC_WORD, SYNC_BITS), CRC16_CCITT.append(body)])
+        if bits.size != PACKET_BITS:
+            raise PacketError(f"internal error: built {bits.size} bits")
+        return bits
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray, check_sync: bool = True) -> "TransponderPacket":
+        """Parse and validate 256 on-air bits.
+
+        Raises:
+            PacketError: wrong length or bad sync word.
+            CrcError: checksum failure (the §8 decoder's retry signal).
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size != PACKET_BITS:
+            raise PacketError(f"expected {PACKET_BITS} bits, got {bits.size}")
+        sync = bits_to_int(bits[:SYNC_BITS])
+        if check_sync and sync != SYNC_WORD:
+            raise PacketError(f"bad sync word 0x{sync:04x}")
+        body = CRC16_CCITT.verify(bits[SYNC_BITS:])
+        offset = 0
+        values = []
+        for width in (AGENCY_BITS, SERIAL_BITS, TYPE_BITS, PROGRAMMABLE_BITS):
+            values.append(bits_to_int(body[offset : offset + width]))
+            offset += width
+        agency_id, serial_number, tag_type, programmable = values
+        factory = body[offset : offset + FACTORY_BITS]
+        expected_factory = prbs_bits(FACTORY_BITS, seed=serial_number & 0xFFFF)
+        if not np.array_equal(factory, expected_factory):
+            raise CrcError("factory field inconsistent with serial number")
+        return cls(PacketFields(agency_id, serial_number, tag_type, programmable))
+
+    # -- convenience -----------------------------------------------------------
+
+    @property
+    def tag_id(self) -> int:
+        """The (agency, serial) pair as one integer, i.e. the account id."""
+        return (self.fields.agency_id << SERIAL_BITS) | self.fields.serial_number
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransponderPacket):
+            return NotImplemented
+        return self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(self.fields)
+
+    def __repr__(self) -> str:
+        f = self.fields
+        return (
+            f"TransponderPacket(agency={f.agency_id}, serial={f.serial_number}, "
+            f"type={f.tag_type}, programmable={f.programmable})"
+        )

@@ -1,0 +1,197 @@
+"""Complex-baseband waveform container.
+
+A :class:`Waveform` is a uniformly sampled complex baseband signal with an
+absolute start time. Absolute time matters in Caraoke: the CFO phase of a
+tag evolves as ``exp(j*2*pi*cfo*t)`` in *absolute* time, and the counting
+algorithm compares FFTs taken over time-shifted windows of one capture
+(§5, Eq 8), so windows must know where they sit on the time axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, SpectrumError
+
+__all__ = ["Waveform"]
+
+
+@dataclass
+class Waveform:
+    """Uniformly sampled complex baseband signal.
+
+    Attributes:
+        samples: complex128 array of baseband samples.
+        sample_rate_hz: sampling rate in Hz.
+        t0_s: absolute time of ``samples[0]`` in seconds.
+    """
+
+    samples: np.ndarray
+    sample_rate_hz: float
+    t0_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.samples = np.asarray(self.samples, dtype=np.complex128)
+        if self.samples.ndim != 1:
+            raise ConfigurationError("waveform samples must be one-dimensional")
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError(
+                f"sample rate must be positive, got {self.sample_rate_hz}"
+            )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def silence(
+        cls, duration_s: float, sample_rate_hz: float, t0_s: float = 0.0
+    ) -> "Waveform":
+        """An all-zero waveform of the given duration."""
+        n = int(round(duration_s * sample_rate_hz))
+        return cls(np.zeros(n, dtype=np.complex128), sample_rate_hz, t0_s)
+
+    @classmethod
+    def tone(
+        cls,
+        freq_hz: float,
+        duration_s: float,
+        sample_rate_hz: float,
+        t0_s: float = 0.0,
+        amplitude: complex = 1.0,
+    ) -> "Waveform":
+        """A complex exponential at ``freq_hz``, phased against absolute time.
+
+        ``tone(f).samples[n] == amplitude * exp(j*2*pi*f*(t0 + n/fs))`` so that
+        two tones created with different ``t0`` are mutually phase-coherent.
+        """
+        n = int(round(duration_s * sample_rate_hz))
+        t = t0_s + np.arange(n) / sample_rate_hz
+        return cls(amplitude * np.exp(2j * np.pi * freq_hz * t), sample_rate_hz, t0_s)
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples."""
+        return int(self.samples.size)
+
+    @property
+    def duration_s(self) -> float:
+        """Signal duration in seconds."""
+        return self.n_samples / self.sample_rate_hz
+
+    @property
+    def end_s(self) -> float:
+        """Absolute time one sample past the last sample."""
+        return self.t0_s + self.duration_s
+
+    def times(self) -> np.ndarray:
+        """Absolute sample times in seconds."""
+        return self.t0_s + np.arange(self.n_samples) / self.sample_rate_hz
+
+    def power(self) -> float:
+        """Mean sample power ``E[|x|^2]``."""
+        if self.n_samples == 0:
+            return 0.0
+        return float(np.mean(np.abs(self.samples) ** 2))
+
+    def rms(self) -> float:
+        """Root-mean-square amplitude."""
+        return float(np.sqrt(self.power()))
+
+    # -- algebra -------------------------------------------------------------
+
+    def copy(self) -> "Waveform":
+        """Deep copy."""
+        return Waveform(self.samples.copy(), self.sample_rate_hz, self.t0_s)
+
+    def scaled(self, gain: complex) -> "Waveform":
+        """Return the waveform multiplied by a complex gain."""
+        return Waveform(self.samples * gain, self.sample_rate_hz, self.t0_s)
+
+    def delayed(self, delay_s: float) -> "Waveform":
+        """Return the same samples shifted later in absolute time.
+
+        The delay is applied to the time axis only; sub-sample phase effects
+        are modelled separately through channel coefficients.
+        """
+        return Waveform(self.samples.copy(), self.sample_rate_hz, self.t0_s + delay_s)
+
+    def mixed(self, freq_hz: float, phase_rad: float = 0.0) -> "Waveform":
+        """Multiply by ``exp(j*(2*pi*freq*t + phase))`` in absolute time.
+
+        This is how a tag's baseband chips acquire its CFO (Eq 3), and how a
+        receiver removes an estimated CFO (§8).
+        """
+        t = self.times()
+        rotated = self.samples * np.exp(1j * (2.0 * np.pi * freq_hz * t + phase_rad))
+        return Waveform(rotated, self.sample_rate_hz, self.t0_s)
+
+    def sliced(self, start_s: float, end_s: float) -> "Waveform":
+        """Extract the samples whose times fall in ``[start_s, end_s)``."""
+        if end_s <= start_s:
+            raise SpectrumError(f"empty slice requested: [{start_s}, {end_s})")
+        i0 = max(0, int(np.ceil((start_s - self.t0_s) * self.sample_rate_hz - 1e-9)))
+        i1 = min(
+            self.n_samples,
+            int(np.ceil((end_s - self.t0_s) * self.sample_rate_hz - 1e-9)),
+        )
+        if i1 <= i0:
+            raise SpectrumError(
+                f"slice [{start_s}, {end_s}) does not overlap waveform "
+                f"[{self.t0_s}, {self.end_s})"
+            )
+        return Waveform(
+            self.samples[i0:i1].copy(),
+            self.sample_rate_hz,
+            self.t0_s + i0 / self.sample_rate_hz,
+        )
+
+    def window(self, offset_samples: int, length_samples: int) -> "Waveform":
+        """Extract ``length_samples`` starting ``offset_samples`` in.
+
+        Used by the multi-tag bin test, which compares FFT magnitudes over
+        ``[0, W)`` and ``[tau, tau + W)`` windows of the same capture (§5).
+        """
+        if offset_samples < 0 or length_samples <= 0:
+            raise SpectrumError(
+                f"invalid window offset={offset_samples} length={length_samples}"
+            )
+        if offset_samples + length_samples > self.n_samples:
+            raise SpectrumError(
+                f"window [{offset_samples}, {offset_samples + length_samples}) "
+                f"exceeds waveform of {self.n_samples} samples"
+            )
+        return Waveform(
+            self.samples[offset_samples : offset_samples + length_samples].copy(),
+            self.sample_rate_hz,
+            self.t0_s + offset_samples / self.sample_rate_hz,
+        )
+
+    def __add__(self, other: "Waveform") -> "Waveform":
+        """Superpose two waveforms, aligning them on the absolute time axis.
+
+        The result spans the union of both time ranges; start-time offsets
+        are rounded to the nearest sample (sub-sample offsets belong in the
+        channel phase, not the sample grid).
+        """
+        if not isinstance(other, Waveform):
+            return NotImplemented
+        if abs(self.sample_rate_hz - other.sample_rate_hz) > 1e-6:
+            raise ConfigurationError(
+                "cannot add waveforms with different sample rates "
+                f"({self.sample_rate_hz} vs {other.sample_rate_hz})"
+            )
+        fs = self.sample_rate_hz
+        t0 = min(self.t0_s, other.t0_s)
+        off_a = int(round((self.t0_s - t0) * fs))
+        off_b = int(round((other.t0_s - t0) * fs))
+        n = max(off_a + self.n_samples, off_b + other.n_samples)
+        out = np.zeros(n, dtype=np.complex128)
+        out[off_a : off_a + self.n_samples] += self.samples
+        out[off_b : off_b + other.n_samples] += other.samples
+        return Waveform(out, fs, t0)
+
+    def __len__(self) -> int:
+        return self.n_samples

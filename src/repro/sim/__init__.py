@@ -1,0 +1,32 @@
+"""Discrete-event world: clocks, media, traffic, mobility, parking, scenes."""
+
+from .events import Event, EventScheduler
+from .clock import DriftingClock, NtpClock
+from .medium import Medium, ReaderNode, Transmission, TxKind
+from .traffic import IntersectionSimulator, PoissonArrivals, TrafficLight, TrafficSample
+from .mobility import ConstantSpeedTrajectory, DriveBy
+from .parking import ParkingSpot, ParkingStreet
+from .scenario import Scene, intersection_scene, parking_scene, two_pole_speed_scene
+
+__all__ = [
+    "Event",
+    "EventScheduler",
+    "DriftingClock",
+    "NtpClock",
+    "Medium",
+    "ReaderNode",
+    "Transmission",
+    "TxKind",
+    "IntersectionSimulator",
+    "PoissonArrivals",
+    "TrafficLight",
+    "TrafficSample",
+    "ConstantSpeedTrajectory",
+    "DriveBy",
+    "ParkingSpot",
+    "ParkingStreet",
+    "Scene",
+    "intersection_scene",
+    "parking_scene",
+    "two_pole_speed_scene",
+]

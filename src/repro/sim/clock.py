@@ -1,0 +1,71 @@
+"""Reader clocks and NTP synchronization (§6, §7).
+
+Speed estimation divides a distance by a time interval measured on two
+*different* readers, synchronized over the Internet via NTP to "tens of
+ms". :class:`NtpClock` models exactly that: a local oscillator with drift,
+periodically snapped to true time plus a random sync residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import NTP_SYNC_SIGMA_S
+from ..errors import ConfigurationError
+from ..utils import as_rng
+
+__all__ = ["DriftingClock", "NtpClock"]
+
+
+@dataclass
+class DriftingClock:
+    """A free-running clock: offset plus parts-per-million rate error."""
+
+    offset_s: float = 0.0
+    drift_ppm: float = 0.0
+
+    def now(self, true_time_s: float) -> float:
+        """What this clock reads when the true time is ``true_time_s``."""
+        return true_time_s * (1.0 + self.drift_ppm * 1e-6) + self.offset_s
+
+
+@dataclass
+class NtpClock:
+    """A drifting clock disciplined by periodic NTP syncs.
+
+    Attributes:
+        sync_sigma_s: standard deviation of the residual offset right
+            after a sync (the paper's "tens of ms" over LTE).
+        sync_interval_s: how often the reader re-syncs.
+        drift_ppm: oscillator rate error accumulating between syncs.
+    """
+
+    sync_sigma_s: float = NTP_SYNC_SIGMA_S
+    sync_interval_s: float = 64.0
+    drift_ppm: float = 2.0
+    rng: np.random.Generator = field(default_factory=lambda: as_rng(None), repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sync_interval_s <= 0:
+            raise ConfigurationError("sync interval must be positive")
+        self.rng = as_rng(self.rng)
+        self._last_sync_true_s = 0.0
+        self._offset_s = float(self.rng.normal(0.0, self.sync_sigma_s))
+
+    def now(self, true_time_s: float) -> float:
+        """Clock reading at a true time, re-syncing as needed.
+
+        Must be called with non-decreasing true times.
+        """
+        while true_time_s - self._last_sync_true_s >= self.sync_interval_s:
+            self._last_sync_true_s += self.sync_interval_s
+            self._offset_s = float(self.rng.normal(0.0, self.sync_sigma_s))
+        elapsed = true_time_s - self._last_sync_true_s
+        return true_time_s + self._offset_s + elapsed * self.drift_ppm * 1e-6
+
+    @property
+    def current_offset_s(self) -> float:
+        """The present sync residual (for tests and diagnostics)."""
+        return self._offset_s

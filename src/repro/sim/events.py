@@ -1,0 +1,107 @@
+"""A minimal discrete-event scheduler.
+
+Used by the multi-reader MAC simulation (§9) and the traffic model
+(Fig 12): events are (time, priority, callback) triples executed in time
+order; callbacks may schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "EventScheduler"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled callback. Ordering: time, then priority, then FIFO."""
+
+    time_s: float
+    priority: int
+    sequence: int
+    callback: Callable[["EventScheduler"], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventScheduler:
+    """Heap-based discrete-event loop.
+
+    The current time is only advanced by :meth:`run_until` / :meth:`run`;
+    callbacks observe it via :attr:`now_s` and may call :meth:`schedule`.
+    """
+
+    def __init__(self, start_s: float = 0.0):
+        self.now_s = start_s
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.processed = 0
+
+    def schedule(
+        self,
+        time_s: float,
+        callback: Callable[["EventScheduler"], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Add an event; scheduling in the past is an error."""
+        if time_s < self.now_s - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at {time_s} (now is {self.now_s})"
+            )
+        event = Event(time_s, priority, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay_s: float,
+        callback: Callable[["EventScheduler"], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Relative-time convenience wrapper around :meth:`schedule`."""
+        return self.schedule(self.now_s + delay_s, callback, priority, label)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the next event, if any."""
+        return self._heap[0].time_s if self._heap else None
+
+    def step(self) -> Event | None:
+        """Run exactly one event; returns it (or None if idle)."""
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self.now_s = event.time_s
+        event.callback(self)
+        self.processed += 1
+        return event
+
+    def run_until(self, end_s: float, max_events: int = 1_000_000) -> int:
+        """Run all events with time <= end_s; returns how many ran."""
+        ran = 0
+        while self._heap and self._heap[0].time_s <= end_s:
+            if ran >= max_events:
+                raise SimulationError(f"exceeded {max_events} events before {end_s}s")
+            self.step()
+            ran += 1
+        self.now_s = max(self.now_s, end_s)
+        return ran
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Run to quiescence; returns how many events ran."""
+        ran = 0
+        while self._heap:
+            if ran >= max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+            self.step()
+            ran += 1
+        return ran

@@ -1,0 +1,177 @@
+"""Shared-medium simulation for the multi-reader MAC (§9).
+
+Models the §9 interference taxonomy on an event timeline:
+
+* a **query** triggers every in-range tag (even when queries from several
+  readers overlap — the superposition of sinewaves is still a valid
+  trigger);
+* a **tag response** overlapped by a *query* transmission is corrupted at
+  readers trying to receive it (the harmful case CSMA must avoid);
+* tag responses overlapping each other are *not* corruption — decoding
+  collisions is the whole point of Caraoke.
+
+Readers run the :class:`~repro.core.mac.ReaderMac` policy against what
+they can hear. The benchmark compares corrupted-response rates with CSMA
+on versus off (ALOHA-style blind querying).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import CSMA_LISTEN_S, QUERY_DURATION_S, RESPONSE_DURATION_S, TURNAROUND_S
+from ..core.mac import CsmaState, ReaderMac
+from ..errors import SimulationError
+from ..utils import as_rng
+from .events import EventScheduler
+
+__all__ = ["TxKind", "Transmission", "ReaderNode", "Medium"]
+
+
+class TxKind(enum.Enum):
+    QUERY = "query"
+    RESPONSE = "response"
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One on-air transmission interval."""
+
+    kind: TxKind
+    source: str
+    start_s: float
+    end_s: float
+
+    def overlaps(self, other: "Transmission") -> bool:
+        return self.start_s < other.end_s and other.start_s < self.end_s
+
+
+@dataclass
+class ReaderNode:
+    """One reader on the shared medium.
+
+    Attributes:
+        name: identifier.
+        use_csma: whether the §9 listen-before-talk policy is enforced;
+            False models a naive periodic reader (the ablation baseline).
+        query_interval_s: target cadence of queries.
+        jitter_s: uniform jitter applied to each cadence step.
+    """
+
+    name: str
+    use_csma: bool = True
+    query_interval_s: float = 1e-3
+    jitter_s: float = 0.2e-3
+    mac: ReaderMac = field(default_factory=ReaderMac)
+    queries_sent: int = 0
+    queries_deferred: int = 0
+
+
+class Medium:
+    """The shared channel: schedules queries, responses and corruption.
+
+    All readers hear all readers (same street), and ``n_tags`` tags are in
+    range of every reader. Per query, every tag responds after the 100 µs
+    turnaround; the response is *corrupted* if any query transmission
+    overlaps it.
+    """
+
+    def __init__(self, n_tags: int = 3, rng=None):
+        if n_tags < 0:
+            raise SimulationError("n_tags must be non-negative")
+        self.n_tags = n_tags
+        self.rng = as_rng(rng)
+        self.readers: list[ReaderNode] = []
+        self.transmissions: list[Transmission] = []
+        self.responses: list[Transmission] = []
+        self.triggered_queries = 0
+
+    def add_reader(self, reader: ReaderNode) -> None:
+        self.readers.append(reader)
+
+    # -- simulation ------------------------------------------------------------
+
+    def run(self, duration_s: float) -> dict:
+        """Run the medium for a duration; returns summary statistics."""
+        scheduler = EventScheduler()
+        for reader in self.readers:
+            first = float(self.rng.uniform(0.0, reader.query_interval_s))
+            scheduler.schedule(first, self._make_attempt(reader), label=f"{reader.name}-first")
+        scheduler.run_until(duration_s)
+        return self.stats()
+
+    def _make_attempt(self, reader: ReaderNode):
+        def attempt(scheduler: EventScheduler) -> None:
+            now = scheduler.now_s
+            if reader.use_csma and not reader.mac.can_transmit(now, self._heard_state(now)):
+                reader.queries_deferred += 1
+                retry = reader.mac.next_opportunity(now, self._heard_state(now))
+                # Defer; small jitter avoids lock-step retries of two readers.
+                retry += float(self.rng.uniform(0.0, 20e-6))
+                scheduler.schedule(retry, self._make_attempt(reader), label=f"{reader.name}-retry")
+                return
+            self._transmit_query(scheduler, reader, now)
+            next_attempt = now + reader.query_interval_s + float(
+                self.rng.uniform(-reader.jitter_s, reader.jitter_s)
+            )
+            scheduler.schedule(
+                max(next_attempt, now + 1e-9),
+                self._make_attempt(reader),
+                label=f"{reader.name}-next",
+            )
+
+        return attempt
+
+    def _transmit_query(self, scheduler: EventScheduler, reader: ReaderNode, now: float) -> None:
+        query = Transmission(TxKind.QUERY, reader.name, now, now + QUERY_DURATION_S)
+        self.transmissions.append(query)
+        reader.queries_sent += 1
+        self.triggered_queries += 1
+        # Every in-range tag responds 100 us after the query ends (§3).
+        # Tags triggered by overlapping queries respond once per trigger
+        # window; coincident triggers merge into the same response slot.
+        response_start = query.end_s + TURNAROUND_S
+        for tag_index in range(self.n_tags):
+            response = Transmission(
+                TxKind.RESPONSE,
+                f"tag{tag_index}",
+                response_start,
+                response_start + RESPONSE_DURATION_S,
+            )
+            self.responses.append(response)
+            self.transmissions.append(response)
+
+    def _heard_state(self, now: float) -> CsmaState:
+        """What a reader carrier-sensing at ``now`` has heard recently."""
+        state = CsmaState()
+        horizon = now - 10 * CSMA_LISTEN_S
+        for tx in self.transmissions:
+            if tx.end_s >= horizon and tx.start_s <= now:
+                state.add_busy(tx.start_s, min(tx.end_s, now + 1e-12))
+        return state
+
+    # -- metrics ------------------------------------------------------------------
+
+    def corrupted_responses(self) -> list[Transmission]:
+        """Responses overlapped by some reader's query transmission."""
+        queries = [t for t in self.transmissions if t.kind is TxKind.QUERY]
+        corrupted = []
+        for response in self.responses:
+            if any(q.overlaps(response) for q in queries):
+                corrupted.append(response)
+        return corrupted
+
+    def stats(self) -> dict:
+        """Summary: queries, responses, corruption rate, deferral counts."""
+        corrupted = self.corrupted_responses()
+        n_responses = len(self.responses)
+        return {
+            "queries_sent": sum(r.queries_sent for r in self.readers),
+            "queries_deferred": sum(r.queries_deferred for r in self.readers),
+            "responses": n_responses,
+            "corrupted_responses": len(corrupted),
+            "corruption_rate": len(corrupted) / n_responses if n_responses else 0.0,
+        }

@@ -1,0 +1,78 @@
+"""Car mobility: constant-speed passes for the speed experiments (§12.3).
+
+The speed evaluation drives a car past two pole stations 200 feet apart
+at 10-50 mph. :class:`ConstantSpeedTrajectory` provides positions as a
+function of time; :class:`DriveBy` computes when the car is best measured
+by each station (closest approach) and when it is within radio range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import READER_RANGE_M
+from ..errors import ConfigurationError
+
+__all__ = ["ConstantSpeedTrajectory", "DriveBy"]
+
+
+@dataclass(frozen=True)
+class ConstantSpeedTrajectory:
+    """Straight-line motion: ``p(t) = start + v * (t - t0)``."""
+
+    start_m: np.ndarray
+    velocity_m_s: np.ndarray
+    t0_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "start_m", np.asarray(self.start_m, dtype=np.float64))
+        object.__setattr__(self, "velocity_m_s", np.asarray(self.velocity_m_s, dtype=np.float64))
+        if self.start_m.shape != (3,) or self.velocity_m_s.shape != (3,):
+            raise ConfigurationError("start and velocity must be 3-vectors")
+
+    @property
+    def speed_m_s(self) -> float:
+        return float(np.linalg.norm(self.velocity_m_s))
+
+    def position(self, t_s: float) -> np.ndarray:
+        return self.start_m + self.velocity_m_s * (t_s - self.t0_s)
+
+    def time_of_closest_approach(self, point_m: np.ndarray) -> float:
+        """When the trajectory passes nearest to a point."""
+        point_m = np.asarray(point_m, dtype=np.float64)
+        v2 = float(np.dot(self.velocity_m_s, self.velocity_m_s))
+        if v2 == 0.0:
+            raise ConfigurationError("stationary trajectory has no closest approach")
+        delta = point_m - self.start_m
+        return self.t0_s + float(np.dot(delta, self.velocity_m_s)) / v2
+
+
+@dataclass(frozen=True)
+class DriveBy:
+    """A car passing a sequence of pole stations."""
+
+    trajectory: ConstantSpeedTrajectory
+    range_m: float = READER_RANGE_M
+
+    def measurement_time(self, pole_position_m: np.ndarray) -> float:
+        """When a station should measure the car: closest approach."""
+        return self.trajectory.time_of_closest_approach(pole_position_m)
+
+    def in_range_interval(self, pole_position_m: np.ndarray) -> tuple[float, float] | None:
+        """The (enter, exit) times during which the car is in radio range.
+
+        Returns None if the trajectory never comes within range.
+        """
+        pole_position_m = np.asarray(pole_position_m, dtype=np.float64)
+        t_close = self.measurement_time(pole_position_m)
+        closest = self.trajectory.position(t_close)
+        min_distance = float(np.linalg.norm(closest - pole_position_m))
+        if min_distance > self.range_m:
+            return None
+        speed = self.trajectory.speed_m_s
+        if speed == 0.0:
+            return None
+        half_chord = float(np.sqrt(self.range_m**2 - min_distance**2)) / speed
+        return (t_close - half_chord, t_close + half_chord)

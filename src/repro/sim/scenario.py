@@ -1,0 +1,213 @@
+"""Scene builders: deployable worlds for examples, tests and benchmarks.
+
+A :class:`Scene` bundles tags, road geometry, reader arrays and the
+channel into one object that can mint :class:`StaticCollisionSimulator`
+instances per reader. The builders mirror the paper's deployments
+(Fig 10): curbside parking under a pole (§12.2), two pole stations for
+speed runs (§12.3), and a queue of cars at a signalized intersection
+(Fig 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.antenna import TriangleArray
+from ..channel.collision import StaticCollisionSimulator
+from ..channel.geometry import RoadSegment
+from ..channel.propagation import LosChannel
+from ..channel.noise import NoiseModel
+from ..constants import (
+    DEFAULT_SAMPLE_RATE_HZ,
+    EXPERIMENT_POLE_HEIGHT_M,
+    LANE_WIDTH_M,
+    READER_LO_HZ,
+    SPEED_EXPERIMENT_BASELINE_M,
+)
+from ..datasets import empirical_cfo_dataset
+from ..errors import ConfigurationError
+from ..phy.oscillator import CfoModel
+from ..phy.transponder import Transponder
+from ..phy.packet import TransponderPacket
+from ..utils import as_rng
+from .parking import ParkingStreet
+
+__all__ = ["Scene", "parking_scene", "two_pole_speed_scene", "intersection_scene", "make_tags"]
+
+
+def make_tags(
+    positions_m: np.ndarray,
+    cfo_model: CfoModel | None = None,
+    rng=None,
+) -> list[Transponder]:
+    """Tags at given positions with carriers drawn from a CFO model."""
+    rng = as_rng(rng)
+    positions_m = np.atleast_2d(np.asarray(positions_m, dtype=np.float64))
+    model = cfo_model or empirical_cfo_dataset()
+    oscillators = model.sample_oscillators(positions_m.shape[0], rng)
+    return [
+        Transponder(
+            packet=TransponderPacket.random(rng),
+            oscillator=osc,
+            position_m=pos,
+            rng=rng,
+        )
+        for osc, pos in zip(oscillators, positions_m)
+    ]
+
+
+@dataclass
+class Scene:
+    """A deployable world: tags + road + reader arrays + channel.
+
+    Attributes:
+        tags: the transponders present.
+        road: the road segment (for localization constraints).
+        arrays: one antenna triangle per reader pole.
+        channel: propagation model shared by all links.
+        lo_hz / sample_rate_hz / noise_power_w: receiver parameters.
+    """
+
+    tags: list[Transponder]
+    road: RoadSegment
+    arrays: list[TriangleArray]
+    channel: object = field(default_factory=LosChannel)
+    lo_hz: float = READER_LO_HZ
+    sample_rate_hz: float = DEFAULT_SAMPLE_RATE_HZ
+    noise_power_w: float = field(
+        default_factory=lambda: NoiseModel().power_w(DEFAULT_SAMPLE_RATE_HZ)
+    )
+
+    def simulator(self, array_index: int = 0, rng=None) -> StaticCollisionSimulator:
+        """A repeated-query simulator as seen from one reader."""
+        if not 0 <= array_index < len(self.arrays):
+            raise ConfigurationError(f"no array {array_index}")
+        return StaticCollisionSimulator(
+            tags=self.tags,
+            antenna_positions_m=self.arrays[array_index].positions_m,
+            channel=self.channel,
+            lo_hz=self.lo_hz,
+            sample_rate_hz=self.sample_rate_hz,
+            noise_power_w=self.noise_power_w,
+            rng=rng,
+        )
+
+
+def parking_scene(
+    target_spots: list[int],
+    n_background_cars: int = 3,
+    pole_height_m: float = EXPERIMENT_POLE_HEIGHT_M,
+    n_spots: int = 6,
+    rng=None,
+    cfo_model: CfoModel | None = None,
+) -> tuple[Scene, ParkingStreet, list[np.ndarray]]:
+    """The §12.2 layout: a pole watching a row of curbside spots.
+
+    The pole stands at the origin; the road runs along +x; parked cars sit
+    across the road at y = -(lane + parking offset). Background cars are
+    parked in other random spots (their tags collide with the targets').
+
+    Returns:
+        (scene, street, target tag positions).
+    """
+    rng = as_rng(rng)
+    curb_y = -(LANE_WIDTH_M * 1.5)
+    street = ParkingStreet(
+        origin_m=np.array([2.0, curb_y, 0.0]), n_spots=n_spots, curb_offset_m=0.0
+    )
+    positions = []
+    for spot_index in target_spots:
+        positions.append(street.park(spot_index).transponder_position())
+    free = street.free_spots()
+    rng.shuffle(free)
+    for spot_index in free[:n_background_cars]:
+        positions.append(street.park(spot_index).transponder_position())
+
+    tags = make_tags(np.array(positions), cfo_model=cfo_model, rng=rng)
+    array = TriangleArray.street_pole(np.array([0.0, 0.0, pole_height_m]))
+    road = RoadSegment(
+        x_min_m=-10.0,
+        x_max_m=street.origin_m[0] + n_spots * street.spot_length_m + 10.0,
+        y_center_m=curb_y / 2.0,
+        width_m=abs(curb_y) + LANE_WIDTH_M,
+    )
+    scene = Scene(tags=tags, road=road, arrays=[array])
+    return scene, street, positions[: len(target_spots)]
+
+
+def two_pole_speed_scene(
+    baseline_m: float = SPEED_EXPERIMENT_BASELINE_M,
+    pole_height_m: float = EXPERIMENT_POLE_HEIGHT_M,
+    road_width_m: float = 2.0 * LANE_WIDTH_M,
+    stagger_m: float = 5.0,
+) -> tuple[list[TriangleArray], RoadSegment]:
+    """The §12.3 layout: two measurement stations along a straight road.
+
+    Each station is a pair of readers on opposite sides of the road
+    (localization needs two AoA conics, §6), staggered slightly along x so
+    the conic intersection is unambiguous. Station 1 sits near x = 0,
+    station 2 at x = baseline.
+
+    Returns:
+        (four arrays: [station1-north, station1-south, station2-north,
+        station2-south], road).
+    """
+    road = RoadSegment(
+        x_min_m=-30.0,
+        x_max_m=baseline_m + 30.0,
+        y_center_m=0.0,
+        width_m=road_width_m,
+    )
+    half = road_width_m / 2.0 + 1.0  # poles a meter behind the curb
+    arrays = [
+        TriangleArray.street_pole(
+            np.array([0.0, half, pole_height_m]), toward_road=-1.0
+        ),
+        TriangleArray.street_pole(
+            np.array([stagger_m, -half, pole_height_m]), toward_road=1.0
+        ),
+        TriangleArray.street_pole(
+            np.array([baseline_m, half, pole_height_m]), toward_road=-1.0
+        ),
+        TriangleArray.street_pole(
+            np.array([baseline_m + stagger_m, -half, pole_height_m]), toward_road=1.0
+        ),
+    ]
+    return arrays, road
+
+
+def intersection_scene(
+    queue_length: int,
+    lane_y_m: float = -LANE_WIDTH_M / 2.0,
+    car_spacing_m: float = 7.0,
+    stop_line_x_m: float = 4.0,
+    pole_height_m: float = EXPERIMENT_POLE_HEIGHT_M,
+    rng=None,
+    cfo_model: CfoModel | None = None,
+) -> Scene:
+    """A queue of tagged cars waiting at a light, watched from a pole.
+
+    Car k queues at ``stop_line + k * spacing`` along the approach; the
+    reader pole stands at the origin (the intersection corner). Used by
+    the Fig 12 benchmark to turn queue sizes into actual collisions.
+    """
+    rng = as_rng(rng)
+    if queue_length < 0:
+        raise ConfigurationError("queue length must be non-negative")
+    positions = np.array(
+        [
+            [stop_line_x_m + k * car_spacing_m + rng.uniform(-1.0, 1.0), lane_y_m, 1.0]
+            for k in range(queue_length)
+        ]
+    ).reshape(queue_length, 3)
+    tags = make_tags(positions, cfo_model=cfo_model, rng=rng) if queue_length else []
+    array = TriangleArray.street_pole(np.array([0.0, 0.0, pole_height_m]))
+    road = RoadSegment(
+        x_min_m=-20.0,
+        x_max_m=stop_line_x_m + max(queue_length, 1) * car_spacing_m + 20.0,
+        y_center_m=lane_y_m,
+        width_m=2 * LANE_WIDTH_M,
+    )
+    return Scene(tags=tags, road=road, arrays=[array])

@@ -1,0 +1,55 @@
+"""Shared fixtures: canonical tags, channels and collision scenes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.antenna import TriangleArray
+from repro.channel.propagation import LosChannel
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ, EXPERIMENT_POLE_HEIGHT_M, READER_LO_HZ
+from repro.phy.oscillator import Oscillator
+from repro.phy.packet import TransponderPacket
+from repro.phy.transponder import Transponder
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def fs():
+    return DEFAULT_SAMPLE_RATE_HZ
+
+
+@pytest.fixture
+def pole_array():
+    """A street-pole triangle array at the experiment height."""
+    return TriangleArray.street_pole(np.array([0.0, 0.0, EXPERIMENT_POLE_HEIGHT_M]))
+
+
+@pytest.fixture
+def los_channel():
+    return LosChannel()
+
+
+def make_tag(
+    cfo_hz: float,
+    position_m=(5.0, -4.0, 1.0),
+    seed: int = 0,
+    lo_hz: float = READER_LO_HZ,
+) -> Transponder:
+    """A tag with a given CFO (relative to the reader LO) and position."""
+    rng = np.random.default_rng(seed)
+    return Transponder(
+        packet=TransponderPacket.random(rng),
+        oscillator=Oscillator(lo_hz + cfo_hz),
+        position_m=np.asarray(position_m, dtype=np.float64),
+        rng=rng,
+    )
+
+
+@pytest.fixture
+def tag_factory():
+    return make_tag

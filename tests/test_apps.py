@@ -1,0 +1,128 @@
+"""Unit tests for repro.apps (the §1/§4 smart services)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    CarFinder,
+    ParkingBillingService,
+    RedLightDetector,
+    TagObservation,
+)
+from repro.errors import ConfigurationError
+from repro.sim.traffic import TrafficLight
+
+
+def obs(tag_id, x, y, t):
+    return TagObservation(tag_id=tag_id, position_m=np.array([x, y]), timestamp_s=t)
+
+
+@pytest.fixture
+def light():
+    # green 0-30, yellow 30-33, red 33-60.
+    return TrafficLight(green_s=30.0, yellow_s=3.0, red_s=27.0)
+
+
+class TestRedLightDetector:
+    def test_running_the_red_is_flagged(self, light):
+        detector = RedLightDetector(light=light, stop_line_x_m=0.0)
+        detector.observe(obs(1, -10.0, 0.0, 40.0))  # red phase
+        violation = detector.observe(obs(1, 10.0, 0.0, 42.0))
+        assert violation is not None
+        assert violation.tag_id == 1
+        assert 40.0 < violation.crossed_at_s < 42.0
+        assert violation.speed_m_s == pytest.approx(10.0)
+
+    def test_green_crossing_is_legal(self, light):
+        detector = RedLightDetector(light=light, stop_line_x_m=0.0)
+        detector.observe(obs(2, -10.0, 0.0, 10.0))
+        assert detector.observe(obs(2, 10.0, 0.0, 12.0)) is None
+        assert detector.violations == []
+
+    def test_queue_creep_not_flagged(self, light):
+        detector = RedLightDetector(light=light, stop_line_x_m=0.0, min_speed_m_s=1.5)
+        detector.observe(obs(3, -1.0, 0.0, 40.0))
+        assert detector.observe(obs(3, 0.5, 0.0, 42.0)) is None  # 0.75 m/s
+
+    def test_car_behind_line_not_flagged(self, light):
+        detector = RedLightDetector(light=light, stop_line_x_m=0.0)
+        detector.observe(obs(4, -20.0, 0.0, 40.0))
+        assert detector.observe(obs(4, -5.0, 0.0, 42.0)) is None
+
+    def test_crossing_time_interpolated_into_phase(self, light):
+        """A car observed before the red that crosses after it starts."""
+        detector = RedLightDetector(light=light, stop_line_x_m=0.0)
+        # Observations at t=32 (yellow) and t=36 (red); the car crosses
+        # x=0 at t ~ 35 -> red.
+        detector.observe(obs(5, -15.0, 0.0, 32.0))
+        violation = detector.observe(obs(5, 5.0, 0.0, 36.0))
+        assert violation is not None and violation.phase == "red"
+
+    def test_opposite_direction(self, light):
+        detector = RedLightDetector(
+            light=light, stop_line_x_m=0.0, approach_direction=-1.0
+        )
+        detector.observe(obs(6, 10.0, 0.0, 40.0))
+        assert detector.observe(obs(6, -10.0, 0.0, 42.0)) is not None
+
+
+class TestParkingBilling:
+    @pytest.fixture
+    def service(self):
+        spots = {i: np.array([6.0 * i, -10.0]) for i in range(1, 4)}
+        return ParkingBillingService(spot_positions_m=spots, rate_per_hour=3.0)
+
+    def test_session_opens_and_bills_on_departure(self, service):
+        service.observe(obs(1, 6.0, -10.0, 0.0))
+        service.observe(obs(1, 6.1, -10.0, 1800.0))  # still parked
+        bills = service.sweep(now_s=1800.0 + 200.0)
+        assert len(bills) == 1
+        bill = bills[0]
+        assert bill.spot_index == 1
+        assert bill.duration_s == pytest.approx(1800.0)
+        assert bill.amount == pytest.approx(1.5)  # half an hour at 3/h
+
+    def test_occupancy_tracking(self, service):
+        service.observe(obs(1, 6.0, -10.0, 0.0))
+        service.observe(obs(2, 12.0, -10.0, 0.0))
+        assert service.occupancy() == {1: 1, 2: 2}
+
+    def test_driving_past_spots_opens_then_closes(self, service):
+        """A car cruising along the curb must not accumulate charges."""
+        service.observe(obs(3, 6.0, -10.0, 0.0))
+        service.observe(obs(3, 12.0, -10.0, 5.0))  # moved to another spot
+        service.observe(obs(3, 18.0, -10.0, 10.0))
+        # Sessions were opened/closed as it moved; the "bills" are seconds.
+        assert all(b.amount < 0.01 for b in service.bills)
+
+    def test_far_from_spots_ignored(self, service):
+        service.observe(obs(4, 100.0, 5.0, 0.0))
+        assert service.occupancy() == {}
+
+    def test_bad_position_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TagObservation(tag_id=1, position_m=np.zeros(3), timestamp_s=0.0)
+
+
+class TestCarFinder:
+    def test_returns_latest_fix(self):
+        finder = CarFinder()
+        finder.observe(obs(7, 0.0, 0.0, 10.0))
+        finder.observe(obs(7, 30.0, -10.0, 50.0))
+        assert finder.locate(7).position_m[0] == pytest.approx(30.0)
+
+    def test_stale_update_ignored(self):
+        finder = CarFinder()
+        finder.observe(obs(7, 30.0, -10.0, 50.0))
+        finder.observe(obs(7, 0.0, 0.0, 10.0))  # out-of-order upload
+        assert finder.locate(7).timestamp_s == 50.0
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(KeyError):
+            CarFinder().locate(99)
+
+    def test_known_tags_sorted(self):
+        finder = CarFinder()
+        finder.observe(obs(5, 0.0, 0.0, 0.0))
+        finder.observe(obs(2, 0.0, 0.0, 0.0))
+        assert finder.known_tags() == [2, 5]

@@ -1,0 +1,162 @@
+"""Unit tests for repro.core.counting (§5)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.antenna import TriangleArray
+from repro.channel.collision import StaticCollisionSimulator
+from repro.channel.noise import thermal_noise_power_w
+from repro.channel.propagation import LosChannel
+from repro.core.counting import BinClass, CollisionCounter, CountEstimate
+from repro.errors import ConfigurationError
+from tests.conftest import make_tag
+
+FS = 4e6
+NOISE_W = thermal_noise_power_w(FS)
+
+
+def build_simulator(cfos, seed=0, positions=None):
+    tags = []
+    rng = np.random.default_rng(seed)
+    for i, cfo in enumerate(cfos):
+        if positions is not None:
+            pos = positions[i]
+        else:
+            pos = (rng.uniform(-8, 8), rng.uniform(-11, -7), 1.0)
+        tags.append(make_tag(cfo, position_m=pos, seed=100 + i))
+    array = TriangleArray.street_pole(np.array([0.0, 0.0, 3.8]))
+    return StaticCollisionSimulator(
+        tags, array.positions_m, LosChannel(), noise_power_w=NOISE_W, rng=seed
+    )
+
+
+class TestBasicCounting:
+    def test_empty_scene_counts_zero(self):
+        sim = build_simulator([])
+        counter = CollisionCounter()
+        assert counter.count(sim.query(0.0).antenna(0)).count == 0
+
+    def test_single_tag(self):
+        sim = build_simulator([500e3])
+        estimate = CollisionCounter().count(sim.query(0.0).antenna(0))
+        assert estimate.count == 1
+        assert estimate.observations[0].label is BinClass.SINGLE
+
+    def test_five_separated_tags(self):
+        sim = build_simulator([100e3, 350e3, 600e3, 850e3, 1100e3])
+        estimate = CollisionCounter().count(sim.query(0.0).antenna(0))
+        assert estimate.count == 5
+        assert estimate.n_single == 5
+
+    def test_cfos_reported(self):
+        sim = build_simulator([200e3, 900e3])
+        estimate = CollisionCounter().count(sim.query(0.0).antenna(0))
+        cfos = estimate.cfos_hz()
+        assert cfos.size == 2
+        assert cfos[0] == pytest.approx(200e3, abs=500)
+        assert cfos[1] == pytest.approx(900e3, abs=500)
+
+
+class TestMultiTagBin:
+    def test_same_bin_pair_counted_as_two(self):
+        """Two tags 800 Hz apart share a 1.95 kHz bin; the §5 test must
+        upgrade the single spike to a count of 2."""
+        hits = 0
+        for seed in range(10):
+            sim = build_simulator([500_000.0, 500_800.0], seed=seed)
+            estimate = CollisionCounter().count(sim.query(0.0).antenna(0))
+            hits += estimate.count == 2
+        assert hits >= 7  # blind spots (delta_f ~ 0) are physical
+
+    def test_near_zero_separation_is_blind(self):
+        """Two tags 5 Hz apart are indistinguishable inside 512 us — the
+        inherent blind spot both tests share."""
+        sim = build_simulator([500_000.0, 500_005.0], seed=1)
+        estimate = CollisionCounter().count(sim.query(0.0).antenna(0))
+        assert estimate.count in (1, 2)  # typically 1; never more
+
+    def test_adjacent_bins_counted_separately(self):
+        """Tags 2 bins apart are resolved peaks, one each."""
+        sim = build_simulator([500_000.0, 503_906.0], seed=2)
+        estimate = CollisionCounter().count(sim.query(0.0).antenna(0))
+        assert estimate.count == 2
+
+
+class TestMultiCapture:
+    def test_count_multi_matches_single_on_sparse(self):
+        sim = build_simulator([300e3, 700e3], seed=3)
+        waves = [sim.query(i * 1e-3).antenna(0) for i in range(4)]
+        counter = CollisionCounter()
+        assert counter.count_multi(waves).count == 2
+
+    def test_multi_capture_improves_dense(self):
+        rng = np.random.default_rng(11)
+        cfos = rng.uniform(20e3, 1.19e6, size=40)
+        sim = build_simulator(cfos, seed=4)
+        counter = CollisionCounter()
+        single = counter.count(sim.query(0.0).antenna(0)).count
+        waves = [sim.query(i * 1e-3).antenna(0) for i in range(4)]
+        multi = counter.count_multi(waves).count
+        assert abs(multi - 40) <= abs(single - 40) + 2
+
+    def test_empty_capture_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CollisionCounter().count_multi([])
+
+
+class TestRegimes:
+    def test_dense_mode_triggers_on_crowded_band(self):
+        rng = np.random.default_rng(12)
+        cfos = rng.uniform(20e3, 1.19e6, size=35)
+        sim = build_simulator(cfos, seed=5)
+        estimate = CollisionCounter().count(sim.query(0.0).antenna(0))
+        assert estimate.dense_mode
+
+    def test_sparse_mode_for_few_tags(self):
+        sim = build_simulator([300e3, 900e3], seed=6)
+        estimate = CollisionCounter().count(sim.query(0.0).antenna(0))
+        assert not estimate.dense_mode
+
+    def test_dense_threshold_order_validated(self):
+        with pytest.raises(ConfigurationError):
+            CollisionCounter(min_snr_db=10.0, dense_snr_db=12.0)
+
+
+class TestShiftMethod:
+    def test_shift_method_counts_separated_tags(self):
+        sim = build_simulator([150e3, 450e3, 800e3], seed=7)
+        counter = CollisionCounter(method="shift")
+        assert counter.count(sim.query(0.0).antenna(0)).count == 3
+
+    def test_shift_method_detects_cobinned_pair(self):
+        hits = 0
+        for seed in range(10):
+            sim = build_simulator([600_000.0, 600_900.0], seed=20 + seed)
+            counter = CollisionCounter(method="shift")
+            estimate = counter.count(sim.query(0.0).antenna(0))
+            hits += estimate.count == 2
+        assert hits >= 6
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CollisionCounter(method="wavelet")
+
+
+class TestEstimateAccounting:
+    def test_contribution_rules(self):
+        estimate = CountEstimate(count=0)
+        assert estimate.n_single == estimate.n_multiple == estimate.n_rejected == 0
+
+    def test_subwindow_minimum(self):
+        with pytest.raises(ConfigurationError):
+            CollisionCounter(n_subwindows=2)
+
+    def test_accuracy_over_random_scenes(self):
+        """Average accuracy within a few percent at moderate density."""
+        counts = []
+        for seed in range(8):
+            rng = np.random.default_rng(400 + seed)
+            cfos = rng.uniform(20e3, 1.19e6, size=10)
+            sim = build_simulator(cfos, seed=500 + seed)
+            counts.append(CollisionCounter().count(sim.query(0.0).antenna(0)).count)
+        assert np.mean(counts) == pytest.approx(10.0, abs=1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for repro.phy.crc."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, CrcError
+from repro.phy.crc import CRC8_ATM, CRC16_CCITT, CRC32_IEEE, Crc
+
+
+class TestKnownVectors:
+    def test_crc16_ccitt_check_value(self):
+        # CRC-16/CCITT-FALSE("123456789") == 0x29B1
+        assert CRC16_CCITT.compute_bytes(b"123456789") == 0x29B1
+
+    def test_crc32_check_value(self):
+        # CRC-32/MPEG-2 (non-reflected, xorout 0) of "123456789" is
+        # 0x0376E6E7; ours xors with 0xFFFFFFFF on top of that spec.
+        crc = Crc(width=32, poly=0x04C11DB7, init=0xFFFFFFFF, xorout=0, name="mpeg2")
+        assert crc.compute_bytes(b"123456789") == 0x0376E6E7
+
+    def test_crc8_atm_check_value(self):
+        # CRC-8 (poly 0x07, init 0) of "123456789" is 0xF4.
+        assert CRC8_ATM.compute_bytes(b"123456789") == 0xF4
+
+    def test_empty_input(self):
+        assert CRC16_CCITT.compute(np.zeros(0, dtype=np.uint8)) == 0xFFFF
+
+
+class TestAppendCheckVerify:
+    def test_append_then_check(self):
+        payload = np.array([1, 0, 1, 1, 0, 0, 1], dtype=np.uint8)
+        framed = CRC16_CCITT.append(payload)
+        assert framed.size == payload.size + 16
+        assert CRC16_CCITT.check(framed)
+
+    def test_verify_returns_payload(self):
+        payload = np.array([1, 1, 0, 1], dtype=np.uint8)
+        framed = CRC16_CCITT.append(payload)
+        assert np.array_equal(CRC16_CCITT.verify(framed), payload)
+
+    def test_verify_raises_on_corruption(self):
+        framed = CRC16_CCITT.append(np.ones(8, dtype=np.uint8))
+        framed[3] ^= 1
+        with pytest.raises(CrcError):
+            CRC16_CCITT.verify(framed)
+
+    def test_check_too_short(self):
+        assert not CRC16_CCITT.check(np.ones(8, dtype=np.uint8))
+
+
+class TestErrorDetection:
+    def test_detects_every_single_bit_flip(self):
+        payload = np.array([1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0], dtype=np.uint8)
+        framed = CRC16_CCITT.append(payload)
+        for position in range(framed.size):
+            corrupted = framed.copy()
+            corrupted[position] ^= 1
+            assert not CRC16_CCITT.check(corrupted), f"missed flip at {position}"
+
+    def test_detects_burst_up_to_width(self):
+        """A CRC of width w detects all bursts of length <= w."""
+        rng = np.random.default_rng(3)
+        payload = rng.integers(0, 2, size=64).astype(np.uint8)
+        framed = CRC16_CCITT.append(payload)
+        for start in range(0, framed.size - 16):
+            corrupted = framed.copy()
+            corrupted[start : start + 16] ^= 1
+            assert not CRC16_CCITT.check(corrupted)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=0))
+    def test_random_single_flip_detected(self, data, position_seed):
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        framed = CRC16_CCITT.append(bits)
+        position = position_seed % framed.size
+        corrupted = framed.copy()
+        corrupted[position] ^= 1
+        assert not CRC16_CCITT.check(corrupted)
+
+
+class TestSpecValidation:
+    def test_width_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Crc(width=0, poly=0x1, init=0)
+
+    def test_poly_too_wide(self):
+        with pytest.raises(ConfigurationError):
+            Crc(width=8, poly=0x1FF, init=0)

@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.decoding (§8)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.antenna import TriangleArray
+from repro.channel.collision import StaticCollisionSimulator
+from repro.channel.noise import thermal_noise_power_w
+from repro.channel.propagation import LosChannel
+from repro.core.cfo import extract_cfo_peaks
+from repro.core.decoding import CoherentDecoder, DecodeSession
+from repro.errors import DecodingError
+from tests.conftest import make_tag
+
+FS = 4e6
+NOISE_W = thermal_noise_power_w(FS)
+
+
+def build_sim(cfos, seed=0, positions=None):
+    rng = np.random.default_rng(seed)
+    tags = []
+    for i, cfo in enumerate(cfos):
+        pos = positions[i] if positions else (rng.uniform(-8, 8), rng.uniform(-11, -7), 1.0)
+        tags.append(make_tag(cfo, position_m=pos, seed=50 + i))
+    array = TriangleArray.street_pole(np.array([0.0, 0.0, 3.8]))
+    sim = StaticCollisionSimulator(
+        tags, array.positions_m, LosChannel(), noise_power_w=NOISE_W, rng=seed
+    )
+    return sim, tags
+
+
+class TestCoherentDecoder:
+    def test_single_tag_decodes_in_one_query(self):
+        sim, tags = build_sim([400e3], seed=1)
+        decoder = CoherentDecoder(FS)
+        captures = [sim.query(0.0).antenna(0)]
+        result = decoder.decode(captures, 400e3)
+        assert result.success
+        assert result.n_queries == 1
+        assert result.packet == tags[0].packet
+
+    def test_two_tags_need_few_queries(self):
+        sim, tags = build_sim([300e3, 800e3], seed=2)
+        decoder = CoherentDecoder(FS)
+        captures = [sim.query(i * 1e-3).antenna(0) for i in range(16)]
+        result = decoder.decode(captures, 300e3)
+        assert result.success
+        assert result.n_queries <= 16
+        assert result.packet == tags[0].packet
+
+    def test_decodes_correct_tag_of_five(self):
+        cfos = [150e3, 400e3, 650e3, 900e3, 1150e3]
+        sim, tags = build_sim(cfos, seed=3)
+        decoder = CoherentDecoder(FS)
+        captures = [sim.query(i * 1e-3).antenna(0) for i in range(48)]
+        result = decoder.decode(captures, 650e3)
+        assert result.success
+        assert result.packet == tags[2].packet
+
+    def test_identification_time_metric(self):
+        sim, _ = build_sim([500e3], seed=4)
+        decoder = CoherentDecoder(FS, query_period_s=1e-3)
+        result = decoder.decode([sim.query(0.0).antenna(0)], 500e3)
+        assert result.identification_time_ms == pytest.approx(1.0)
+
+    def test_budget_exhaustion_returns_failure(self):
+        """A target CFO pointing at empty spectrum can never decode."""
+        sim, _ = build_sim([300e3], seed=5)
+        decoder = CoherentDecoder(FS)
+        captures = [sim.query(i * 1e-3).antenna(0) for i in range(4)]
+        result = decoder.decode(captures, 1_000_000.0)
+        assert not result.success
+        assert result.n_queries == 4
+
+    def test_no_captures_rejected(self):
+        with pytest.raises(DecodingError):
+            CoherentDecoder(FS).decode([], 100e3)
+
+    def test_more_queries_help_more_tags(self):
+        """Fig 16's mechanism: queries needed grow with collision size."""
+        decoder = CoherentDecoder(FS)
+        needed = {}
+        for m in (1, 4):
+            rng = np.random.default_rng(40 + m)
+            cfos = list(rng.uniform(50e3, 1.15e6, size=m))
+            sim, tags = build_sim(cfos, seed=40 + m)
+            captures = [sim.query(i * 1e-3).antenna(0) for i in range(64)]
+            result = decoder.decode(captures, cfos[0])
+            assert result.success
+            needed[m] = result.n_queries
+        assert needed[4] >= needed[1]
+
+
+class TestDecodeSession:
+    def test_decode_all_from_shared_stream(self):
+        cfos = [200e3, 500e3, 800e3]
+        sim, tags = build_sim(cfos, seed=6)
+        decoder = CoherentDecoder(FS)
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=decoder)
+        results = session.decode_all(cfos, max_queries=64)
+        assert all(r.success for r in results.values())
+        decoded = {r.packet.tag_id for r in results.values()}
+        assert decoded == {t.packet.tag_id for t in tags}
+
+    def test_captures_shared_between_targets(self):
+        """Decoding the second tag must not issue a fresh capture set
+        (§12.4: decoding all tags costs the same air time as one)."""
+        cfos = [250e3, 750e3]
+        sim, _ = build_sim(cfos, seed=7)
+        decoder = CoherentDecoder(FS)
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=decoder)
+        session.decode_target(cfos[0], max_queries=32)
+        captures_after_first = len(session.captures)
+        session.decode_target(cfos[1], max_queries=32)
+        # Second target may extend, but must start from the shared pool.
+        assert len(session.captures) >= captures_after_first
+        assert session.total_air_time_s == pytest.approx(len(session.captures) * 1e-3)
+
+    def test_uses_detected_peaks(self):
+        cfos = [350e3, 950e3]
+        sim, tags = build_sim(cfos, seed=8)
+        peaks = extract_cfo_peaks(sim.query(0.0).antenna(0), min_snr_db=15)
+        assert len(peaks) == 2
+        decoder = CoherentDecoder(FS)
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=decoder)
+        results = session.decode_all([p.cfo_hz for p in peaks], max_queries=64)
+        assert {r.packet.tag_id for r in results.values() if r.success} == {
+            t.packet.tag_id for t in tags
+        }

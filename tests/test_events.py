@@ -1,0 +1,112 @@
+"""Unit tests for repro.sim.events and repro.sim.clock."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import DriftingClock, NtpClock
+from repro.sim.events import EventScheduler
+
+
+class TestEventScheduler:
+    def test_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(2.0, lambda s: order.append("late"))
+        scheduler.schedule(1.0, lambda s: order.append("early"))
+        scheduler.run()
+        assert order == ["early", "late"]
+
+    def test_priority_breaks_ties(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda s: order.append("low"), priority=1)
+        scheduler.schedule(1.0, lambda s: order.append("high"), priority=0)
+        scheduler.run()
+        assert order == ["high", "low"]
+
+    def test_fifo_within_same_priority(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda s: order.append("first"))
+        scheduler.schedule(1.0, lambda s: order.append("second"))
+        scheduler.run()
+        assert order == ["first", "second"]
+
+    def test_callbacks_can_schedule(self):
+        scheduler = EventScheduler()
+        seen = []
+
+        def chain(s):
+            seen.append(s.now_s)
+            if len(seen) < 3:
+                s.schedule_in(1.0, chain)
+
+        scheduler.schedule(0.0, chain)
+        scheduler.run()
+        assert seen == [0.0, 1.0, 2.0]
+
+    def test_run_until_stops(self):
+        scheduler = EventScheduler()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            scheduler.schedule(t, lambda s, t=t: seen.append(t))
+        ran = scheduler.run_until(2.0)
+        assert ran == 2 and seen == [1.0, 2.0]
+        assert scheduler.pending == 1
+        assert scheduler.now_s == 2.0
+
+    def test_past_scheduling_rejected(self):
+        scheduler = EventScheduler(start_s=5.0)
+        with pytest.raises(SimulationError):
+            scheduler.schedule(4.0, lambda s: None)
+
+    def test_runaway_guard(self):
+        scheduler = EventScheduler()
+
+        def forever(s):
+            s.schedule_in(1e-9, forever)
+
+        scheduler.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(1.0, max_events=100)
+
+    def test_step_returns_event(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda s: None, label="tick")
+        event = scheduler.step()
+        assert event.label == "tick"
+        assert scheduler.step() is None
+
+
+class TestClocks:
+    def test_drifting_clock_offset(self):
+        clock = DriftingClock(offset_s=0.5)
+        assert clock.now(10.0) == pytest.approx(10.5)
+
+    def test_drifting_clock_ppm(self):
+        clock = DriftingClock(drift_ppm=100.0)
+        assert clock.now(1000.0) == pytest.approx(1000.1)
+
+    def test_ntp_clock_error_bounded(self):
+        clock = NtpClock(sync_sigma_s=0.01, rng=np.random.default_rng(0))
+        errors = [abs(clock.now(t) - t) for t in np.linspace(0, 600, 100)]
+        assert max(errors) < 0.06  # few sigma plus drift
+
+    def test_ntp_resync_changes_offset(self):
+        clock = NtpClock(sync_sigma_s=0.01, sync_interval_s=10.0, rng=np.random.default_rng(1))
+        first = clock.current_offset_s
+        clock.now(25.0)  # crosses two sync boundaries
+        assert clock.current_offset_s != first
+
+    def test_ntp_typical_error_tens_of_ms(self):
+        """The paper's 'tens of ms' synchronization regime."""
+        rng = np.random.default_rng(2)
+        offsets = [abs(NtpClock(rng=rng).current_offset_s) for _ in range(300)]
+        assert 0.005 < np.mean(offsets) < 0.02  # sigma = 10 ms default
+
+    def test_bad_interval_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            NtpClock(sync_interval_s=0.0)

@@ -1,0 +1,210 @@
+"""Unit tests for repro.hw (ADC §11, power §10/§12.5, solar, battery)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import ACTIVE_POWER_W, SLEEP_POWER_W, SOLAR_PEAK_W
+from repro.errors import ConfigurationError, PowerModelError
+from repro.hw.adc import ADC
+from repro.hw.battery import Battery, simulate_energy_budget
+from repro.hw.power import DutyCycle, PowerModel, PowerState
+from repro.hw.solar import SolarPanel, clear_day, cloudy_day, night_only
+from repro.phy.waveform import Waveform
+
+
+class TestADC:
+    def test_quantization_error_bounded(self):
+        adc = ADC(n_bits=12, full_scale=1.0)
+        rng = np.random.default_rng(0)
+        samples = rng.uniform(-0.9, 0.9, 1000) + 1j * rng.uniform(-0.9, 0.9, 1000)
+        error = adc.quantize(samples) - samples
+        assert np.max(np.abs(error.real)) <= adc.step / 2 + 1e-12
+        assert np.max(np.abs(error.imag)) <= adc.step / 2 + 1e-12
+
+    def test_clipping(self):
+        adc = ADC(n_bits=12, full_scale=1.0)
+        out = adc.quantize(np.array([10.0 + 0j]))
+        assert out[0].real <= 1.0
+
+    def test_clip_fraction(self):
+        adc = ADC(n_bits=12, full_scale=1.0)
+        samples = np.array([0.5 + 0j, 2.0 + 0j])
+        assert adc.clip_fraction(samples) == pytest.approx(0.5)
+
+    def test_sqnr_formula(self):
+        assert ADC(n_bits=12).theoretical_sqnr_db() == pytest.approx(74.0, abs=0.1)
+
+    def test_agc_backoff(self):
+        adc = ADC(n_bits=12, agc_backoff_db=12.0)
+        wave = Waveform.tone(100e3, 1e-4, 4e6, amplitude=0.001)
+        digitized, gain = adc.quantize_waveform(wave)
+        assert digitized.rms() == pytest.approx(10 ** (-12 / 20), rel=0.01)
+        assert gain > 1.0
+
+    def test_quantization_preserves_caraoke_snr(self):
+        """12 bits leaves quantization ~74 dB down - far below the data
+        floor, so the algorithms are unaffected (§11 design point)."""
+        adc = ADC(n_bits=12)
+        wave = Waveform.tone(400e3, 512e-6, 4e6, amplitude=0.05)
+        digitized, gain = adc.quantize_waveform(wave)
+        error = digitized.samples / gain - wave.samples
+        snr_db = 10 * np.log10(wave.power() / np.mean(np.abs(error) ** 2))
+        assert snr_db > 55.0
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ADC(n_bits=1)
+
+
+class TestPowerModel:
+    def test_average_power_paper_number(self):
+        """§12.5: 10 ms active per second -> ~9 mW average."""
+        model = PowerModel()
+        duty = DutyCycle(active_s=10e-3, period_s=1.0)
+        assert model.average_power_w(duty) == pytest.approx(9.07e-3, rel=0.01)
+
+    def test_harvest_margin_56x(self):
+        """§12.5: 500 mW harvest is ~56x the average draw."""
+        model = PowerModel()
+        duty = DutyCycle(active_s=10e-3, period_s=1.0)
+        assert model.harvest_margin(duty, SOLAR_PEAK_W) == pytest.approx(56.0, rel=0.02)
+
+    def test_state_machine_matches_closed_form(self):
+        model = PowerModel()
+        duty = DutyCycle(active_s=10e-3, period_s=1.0)
+        energy = model.simulate_schedule(duty, duration_s=100.0)
+        assert energy == pytest.approx(model.average_power_w(duty) * 100.0, rel=0.01)
+
+    def test_transition_accounting(self):
+        model = PowerModel()
+        model.transition(PowerState.ACTIVE, 0.0)
+        model.transition(PowerState.SLEEP, 1.0)
+        assert model.energy_j(2.0) == pytest.approx(ACTIVE_POWER_W + SLEEP_POWER_W)
+
+    def test_time_reversal_rejected(self):
+        model = PowerModel()
+        model.transition(PowerState.ACTIVE, 1.0)
+        with pytest.raises(PowerModelError):
+            model.transition(PowerState.SLEEP, 0.5)
+
+    def test_duty_cycle_validation(self):
+        with pytest.raises(PowerModelError):
+            DutyCycle(active_s=2.0, period_s=1.0)
+
+    def test_sleep_dominates_energy_budget(self):
+        """At 1 query/s the active bursts are 99% of the energy even at
+        1% of the time - the design insight behind duty cycling."""
+        model = PowerModel()
+        duty = DutyCycle(active_s=10e-3, period_s=1.0)
+        active_energy = ACTIVE_POWER_W * duty.active_s
+        sleep_energy = SLEEP_POWER_W * (duty.period_s - duty.active_s)
+        assert active_energy > 100 * sleep_energy
+
+
+class TestSolar:
+    def test_clear_day_peaks_at_noon(self):
+        profile = clear_day()
+        assert profile.at(12 * 3600.0) == pytest.approx(1.0)
+        assert profile.at(0.0) == 0.0
+
+    def test_cloudy_attenuates(self):
+        assert cloudy_day(0.15).at(12 * 3600.0) == pytest.approx(0.15)
+
+    def test_night_only(self):
+        assert night_only().at(12 * 3600.0) == 0.0
+
+    def test_panel_output(self):
+        panel = SolarPanel()
+        assert panel.output_w(clear_day(), 12 * 3600.0) == pytest.approx(SOLAR_PEAK_W)
+
+    def test_daily_energy(self):
+        panel = SolarPanel()
+        energy = panel.energy_j(clear_day(), 0.0, 86_400.0)
+        # Half-sine over 12 h: mean 2/pi of peak -> ~13.75 kJ.
+        expected = SOLAR_PEAK_W * (2 / np.pi) * 12 * 3600
+        assert energy == pytest.approx(expected, rel=0.01)
+
+    def test_profile_wraps_daily(self):
+        profile = clear_day()
+        assert profile.at(12 * 3600.0) == pytest.approx(profile.at(86_400.0 + 12 * 3600.0))
+
+
+class TestBattery:
+    def test_store_respects_capacity(self):
+        battery = Battery(capacity_j=100.0, charge_j=95.0, charge_efficiency=1.0)
+        stored = battery.store(20.0)
+        assert stored == pytest.approx(5.0)
+        assert battery.charge_j == pytest.approx(100.0)
+
+    def test_draw_success_and_brownout(self):
+        battery = Battery(capacity_j=100.0, charge_j=10.0)
+        assert battery.draw(5.0)
+        assert not battery.draw(50.0)
+        assert battery.charge_j == 0.0
+
+    def test_charge_efficiency(self):
+        battery = Battery(capacity_j=100.0, charge_efficiency=0.9)
+        battery.store(10.0)
+        assert battery.charge_j == pytest.approx(9.0)
+
+    def test_validation(self):
+        with pytest.raises(PowerModelError):
+            Battery(capacity_j=-1.0)
+        with pytest.raises(PowerModelError):
+            Battery(capacity_j=10.0, charge_j=20.0)
+
+
+class TestEnergyBudget:
+    def test_three_hours_of_sun_runs_a_week(self):
+        """§12.5's headline: 3 h of full-sun harvest (~5.4 kJ) covers a
+        week at the 9 mW duty-cycled average (~5.4 kJ)."""
+        harvest_3h_j = SOLAR_PEAK_W * 3 * 3600
+        battery = Battery(capacity_j=harvest_3h_j, charge_j=harvest_3h_j)
+        result = simulate_energy_budget(
+            battery=battery,
+            panel=SolarPanel(),
+            profile=night_only(),  # worst case: no further harvest
+            power=PowerModel(),
+            duty=DutyCycle(active_s=10e-3, period_s=1.0),
+            duration_s=6.8 * 86_400.0,
+        )
+        assert result.survived
+
+    def test_continuous_active_mode_browns_out(self):
+        """§12.5: 900 mW continuous cannot run on the 500 mW panel."""
+        battery = Battery(capacity_j=1000.0, charge_j=1000.0)
+        result = simulate_energy_budget(
+            battery=battery,
+            panel=SolarPanel(),
+            profile=clear_day(),
+            power=PowerModel(),
+            duty=DutyCycle(active_s=1.0, period_s=1.0),
+            duration_s=2 * 86_400.0,
+        )
+        assert not result.survived
+
+    def test_duty_cycled_reader_survives_cloudy_weeks(self):
+        battery = Battery(capacity_j=5_000.0, charge_j=2_500.0)
+        result = simulate_energy_budget(
+            battery=battery,
+            panel=SolarPanel(),
+            profile=cloudy_day(0.15),
+            power=PowerModel(),
+            duty=DutyCycle(active_s=10e-3, period_s=1.0),
+            duration_s=14 * 86_400.0,
+        )
+        assert result.survived
+        assert result.harvested_j > result.consumed_j * 0.5
+
+    def test_energy_conservation(self):
+        battery = Battery(capacity_j=1e9, charge_j=5_000.0, charge_efficiency=1.0)
+        result = simulate_energy_budget(
+            battery=battery,
+            panel=SolarPanel(),
+            profile=clear_day(),
+            power=PowerModel(),
+            duty=DutyCycle(active_s=10e-3, period_s=1.0),
+            duration_s=86_400.0,
+        )
+        final = 5_000.0 + result.harvested_j - result.consumed_j
+        assert result.final_charge_j == pytest.approx(final, rel=1e-6)

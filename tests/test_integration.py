@@ -1,0 +1,147 @@
+"""Cross-module integration tests: the full Caraoke pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AoAEstimator,
+    CaraokeReader,
+    CoherentDecoder,
+    CollisionCounter,
+    DecodeSession,
+    ReaderGeometry,
+    SpeedEstimator,
+    SpeedObservation,
+    TwoReaderLocalizer,
+)
+from repro.constants import M_S_PER_MPH
+from repro.hw.adc import ADC
+from repro.phy.waveform import Waveform
+from repro.sim.clock import NtpClock
+from repro.sim.mobility import ConstantSpeedTrajectory
+from repro.sim.scenario import Scene, make_tags, parking_scene, two_pole_speed_scene
+
+
+class TestCountLocalizeDecodePipeline:
+    def test_full_pipeline_one_scene(self):
+        """One parked scene: count, localize and decode the same tags."""
+        scene, street, targets = parking_scene(
+            target_spots=[1, 3, 6], n_background_cars=0, rng=21
+        )
+        sim = scene.simulator(0, rng=22)
+        reader = CaraokeReader(
+            geometry=ReaderGeometry(scene.arrays[0], scene.road),
+            sample_rate_hz=scene.sample_rate_hz,
+        )
+        collision = sim.query(0.0)
+        report = reader.observe(collision)
+        assert report.n_tags == 3
+
+        # AoA agrees with ground truth geometry for every tag.
+        estimator = reader.estimator
+        for aoa in report.aoas:
+            diffs = [
+                abs(t.oscillator.carrier_hz - collision.lo_hz - aoa.cfo_hz)
+                for t in scene.tags
+            ]
+            tag = scene.tags[int(np.argmin(diffs))]
+            truth = np.rad2deg(
+                estimator.best_pair(aoa).true_spatial_angle_rad(tag.position_m)
+            )
+            assert abs(aoa.alpha_deg - truth) < 4.0  # the paper's Fig 13 scale
+
+        # Decode every counted tag from the same query stream.
+        session = reader.decode_session(lambda t: sim.query(t))
+        results = session.decode_all(
+            [float(c) for c in report.count.cfos_hz()], max_queries=64
+        )
+        decoded = {r.packet.tag_id for r in results.values() if r.success}
+        assert decoded == {t.packet.tag_id for t in scene.tags}
+
+    def test_pipeline_through_adc(self):
+        """Counting still works on 12-bit quantized captures (§11)."""
+        scene, _, _ = parking_scene(target_spots=[2, 5], n_background_cars=1, rng=23)
+        sim = scene.simulator(0, rng=24)
+        collision = sim.query(0.0)
+        adc = ADC(n_bits=12)
+        digitized, _ = adc.quantize_waveform(collision.antenna(0))
+        estimate = CollisionCounter().count(digitized)
+        assert estimate.count == 3
+
+
+class TestSpeedPipeline:
+    @pytest.mark.parametrize("speed_mph", [20.0, 40.0])
+    def test_drive_by_speed_estimate(self, speed_mph):
+        """Full §12.3 pipeline: AoA -> two-reader fix at two stations ->
+        NTP-timestamped speed, within the paper's 8 % envelope."""
+        baseline = 61.0  # 200 feet
+        arrays, road = two_pole_speed_scene(baseline_m=baseline)
+        v = speed_mph * M_S_PER_MPH
+        trajectory = ConstantSpeedTrajectory(
+            start_m=np.array([-20.0, -1.8, 1.0]),
+            velocity_m_s=np.array([v, 0.0, 0.0]),
+        )
+        estimators = [AoAEstimator(a) for a in arrays]
+        localizers = [
+            TwoReaderLocalizer(ReaderGeometry(arrays[0], road), ReaderGeometry(arrays[1], road)),
+            TwoReaderLocalizer(ReaderGeometry(arrays[2], road), ReaderGeometry(arrays[3], road)),
+        ]
+        clocks = [NtpClock(rng=np.random.default_rng(31)), NtpClock(rng=np.random.default_rng(32))]
+
+        observations = []
+        # Measure when the car is mid-station (not at closest approach,
+        # where the AoA geometry degenerates).
+        for station, station_x in enumerate((0.0, baseline)):
+            t_measure = trajectory.time_of_closest_approach(
+                np.array([station_x - 8.0, 0.0, 1.0])
+            )
+            position = trajectory.position(t_measure)
+            tags = make_tags(position[None, :], rng=40 + station)
+            scene = Scene(tags=tags, road=road, arrays=arrays)
+            base = 2 * station
+            col_a = scene.simulator(base, rng=50 + station).query(t_measure)
+            col_b = scene.simulator(base + 1, rng=60 + station).query(t_measure)
+            aoa_a = estimators[base].estimate_all(col_a)[0]
+            aoa_b = estimators[base + 1].estimate_all(col_b)[0]
+            fix = localizers[station].locate(
+                aoa_a, aoa_b, estimators[base], estimators[base + 1], hint_xy=position[:2]
+            )
+            observations.append(
+                SpeedObservation(
+                    position_m=fix,
+                    timestamp_s=clocks[station].now(t_measure),
+                    station=f"station-{station}",
+                )
+            )
+
+        estimate = SpeedEstimator().estimate(observations[0], observations[1])
+        assert estimate.speed_mph == pytest.approx(speed_mph, rel=0.08)
+
+
+class TestRobustness:
+    def test_counting_with_adc_saturation(self):
+        """Clipping a strong capture must not crash the counter."""
+        scene, _, _ = parking_scene(target_spots=[1], n_background_cars=0, rng=25)
+        collision = scene.simulator(0, rng=26).query(0.0)
+        wave = collision.antenna(0)
+        hot = Waveform(wave.samples / wave.rms() * 0.8, wave.sample_rate_hz, wave.t0_s)
+        clipped, _ = ADC(n_bits=12, full_scale=1.0).quantize_waveform(hot, agc=False)
+        estimate = CollisionCounter().count(clipped)
+        assert estimate.count >= 1
+
+    def test_decoder_with_noise_only_capture(self):
+        rng = np.random.default_rng(27)
+        noise = Waveform(
+            (rng.normal(size=2048) + 1j * rng.normal(size=2048)) * 1e-6, 4e6, 0.0
+        )
+        decoder = CoherentDecoder(4e6)
+        result = decoder.decode([noise], target_cfo_hz=400e3)
+        assert not result.success
+
+    def test_counter_on_pure_noise_counts_zero_or_few(self):
+        rng = np.random.default_rng(28)
+        noise = Waveform(
+            (rng.normal(size=2048) + 1j * rng.normal(size=2048)) * 1e-7, 4e6, 0.0
+        )
+        estimate = CollisionCounter().count(noise)
+        assert estimate.count <= 1

@@ -1,0 +1,144 @@
+"""Unit tests for repro.core.localization (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.antenna import TriangleArray
+from repro.channel.geometry import RoadSegment
+from repro.constants import WAVELENGTH_M
+from repro.core.localization import (
+    AoAEstimator,
+    ReaderGeometry,
+    TwoReaderLocalizer,
+    aoa_from_phase,
+    phase_from_aoa,
+)
+from repro.errors import GeometryError, LocalizationError
+from repro.sim.scenario import Scene, make_tags, parking_scene, two_pole_speed_scene
+
+
+class TestPhaseAoA:
+    def test_broadside_is_zero_phase(self):
+        d = WAVELENGTH_M / 2.0
+        assert phase_from_aoa(np.pi / 2, d) == pytest.approx(0.0, abs=1e-12)
+
+    def test_roundtrip(self):
+        d = WAVELENGTH_M / 2.0
+        for alpha_deg in (30.0, 60.0, 90.0, 120.0, 150.0):
+            alpha = np.deg2rad(alpha_deg)
+            assert aoa_from_phase(phase_from_aoa(alpha, d), d) == pytest.approx(alpha)
+
+    def test_eq10_formula(self):
+        """cos(alpha) = delta_phi * lambda / (2 pi d)."""
+        d = 0.1
+        alpha = aoa_from_phase(1.0, d)
+        assert np.cos(alpha) == pytest.approx(1.0 * WAVELENGTH_M / (2 * np.pi * d))
+
+    def test_clamps_noisy_cosine(self):
+        d = WAVELENGTH_M / 2.0
+        alpha = aoa_from_phase(np.pi * 1.1, d)  # implies cos > 1
+        assert alpha == pytest.approx(0.0)
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(LocalizationError):
+            aoa_from_phase(np.pi * 1.1, WAVELENGTH_M / 2.0, strict=True)
+
+    def test_bad_spacing(self):
+        with pytest.raises(LocalizationError):
+            aoa_from_phase(0.0, 0.0)
+
+
+class TestAoAEstimator:
+    def test_accuracy_on_parked_tags(self):
+        """AoA errors on clean LoS collisions are well under the paper's
+        4-degree average."""
+        scene, _, _ = parking_scene(target_spots=[2, 5], n_background_cars=1, rng=3)
+        sim = scene.simulator(0, rng=4)
+        collision = sim.query(0.0)
+        estimator = AoAEstimator(scene.arrays[0])
+        estimates = estimator.estimate_all(collision)
+        assert len(estimates) >= 2
+        for estimate in estimates:
+            diffs = [
+                abs(t.oscillator.carrier_hz - collision.lo_hz - estimate.cfo_hz)
+                for t in scene.tags
+            ]
+            tag = scene.tags[int(np.argmin(diffs))]
+            pair = estimator.best_pair(estimate)
+            truth = np.rad2deg(pair.true_spatial_angle_rad(tag.position_m))
+            assert abs(estimate.alpha_deg - truth) < 3.0
+
+    def test_best_pair_near_broadside(self):
+        """§6: for any position one of the three pairs lands in 60-120."""
+        scene, _, _ = parking_scene(target_spots=[1], n_background_cars=0, rng=5)
+        sim = scene.simulator(0, rng=6)
+        estimator = AoAEstimator(scene.arrays[0])
+        estimates = estimator.estimate_all(sim.query(0.0))
+        assert estimates[0].in_usable_band()
+
+    def test_needs_three_antennas(self):
+        scene, _, _ = parking_scene(target_spots=[1], n_background_cars=0, rng=7)
+        sim = scene.simulator(0, rng=8)
+        collision = sim.query(0.0)
+        collision.antennas = collision.antennas[:2]
+        estimator = AoAEstimator(scene.arrays[0])
+        with pytest.raises(LocalizationError):
+            estimator.estimate_for_cfo(collision, 500e3)
+
+    def test_all_three_pairs_reported(self):
+        scene, _, _ = parking_scene(target_spots=[3], n_background_cars=0, rng=9)
+        sim = scene.simulator(0, rng=10)
+        estimator = AoAEstimator(scene.arrays[0])
+        estimates = estimator.estimate_all(sim.query(0.0))
+        assert len(estimates[0].alphas_rad) == 3
+
+
+class TestTwoReaderLocalizer:
+    def _locate(self, tag_xy, rng_seed=1):
+        arrays, road = two_pole_speed_scene(baseline_m=60.0)
+        tags = make_tags(np.array([[tag_xy[0], tag_xy[1], 1.0]]), rng=rng_seed)
+        scene = Scene(tags=tags, road=road, arrays=arrays)
+        col_a = scene.simulator(0, rng=rng_seed + 1).query(0.0)
+        col_b = scene.simulator(1, rng=rng_seed + 2).query(0.0)
+        est_a = AoAEstimator(arrays[0])
+        est_b = AoAEstimator(arrays[1])
+        a = est_a.estimate_all(col_a)[0]
+        b = est_b.estimate_all(col_b)[0]
+        localizer = TwoReaderLocalizer(
+            ReaderGeometry(arrays[0], road), ReaderGeometry(arrays[1], road)
+        )
+        return localizer.locate(a, b, est_a, est_b, hint_xy=np.asarray(tag_xy) + 3.0)
+
+    def test_localizes_within_a_meter(self):
+        position = self._locate((20.0, -2.0))
+        assert np.linalg.norm(position - [20.0, -2.0]) < 1.0
+
+    def test_other_lane(self):
+        position = self._locate((15.0, 2.5), rng_seed=11)
+        assert np.linalg.norm(position - [15.0, 2.5]) < 1.5
+
+    def test_impossible_geometry_raises(self):
+        arrays, road = two_pole_speed_scene(baseline_m=60.0)
+        est_a = AoAEstimator(arrays[0])
+        est_b = AoAEstimator(arrays[1])
+        localizer = TwoReaderLocalizer(
+            ReaderGeometry(arrays[0], road), ReaderGeometry(arrays[1], road)
+        )
+        from repro.core.localization import AoAEstimate
+
+        # Both readers claim the tag is essentially along their baselines
+        # in opposite directions - no on-road intersection exists.
+        fake_a = AoAEstimate(cfo_hz=1e5, alphas_rad=(0.1, 0.1, 0.1), best_pair_index=0)
+        fake_b = AoAEstimate(
+            cfo_hz=1e5, alphas_rad=(np.pi - 0.1,) * 3, best_pair_index=0
+        )
+        with pytest.raises(GeometryError):
+            localizer.locate(fake_a, fake_b, est_a, est_b)
+
+
+class TestReaderGeometry:
+    def test_pole_height(self):
+        arrays, road = two_pole_speed_scene()
+        geometry = ReaderGeometry(arrays[0], road)
+        assert geometry.pole_height_m == pytest.approx(arrays[0].center_m[2])
+        assert np.allclose(geometry.pole_position_m, arrays[0].center_m)

@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.mac and repro.sim.medium (§9)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CSMA_LISTEN_S, QUERY_DURATION_S, TURNAROUND_S
+from repro.core.mac import CsmaState, ReaderMac
+from repro.errors import ConfigurationError
+from repro.sim.medium import Medium, ReaderNode, Transmission, TxKind
+
+
+class TestCsmaState:
+    def test_idle_forever_when_silent(self):
+        assert CsmaState().idle_since(5.0) == float("inf")
+
+    def test_busy_interval_blocks(self):
+        state = CsmaState()
+        state.add_busy(1.0, 2.0)
+        assert state.idle_since(1.5) == 0.0
+
+    def test_idle_after_interval(self):
+        state = CsmaState()
+        state.add_busy(1.0, 2.0)
+        assert state.idle_since(2.5) == pytest.approx(0.5)
+
+    def test_intervals_merge(self):
+        state = CsmaState()
+        state.add_busy(1.0, 2.0)
+        state.add_busy(1.5, 3.0)
+        assert state.busy_intervals == [(1.0, 3.0)]
+
+    def test_disjoint_intervals_kept(self):
+        state = CsmaState()
+        state.add_busy(1.0, 2.0)
+        state.add_busy(5.0, 6.0)
+        assert len(state.busy_intervals) == 2
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CsmaState().add_busy(2.0, 2.0)
+
+
+class TestReaderMac:
+    def test_listen_window_is_120us(self):
+        assert CSMA_LISTEN_S == pytest.approx(120e-6)
+        assert ReaderMac().listen_s == pytest.approx(QUERY_DURATION_S + TURNAROUND_S)
+
+    def test_transmit_allowed_on_silent_medium(self):
+        assert ReaderMac().can_transmit(0.0, CsmaState())
+
+    def test_blocked_right_after_activity(self):
+        state = CsmaState()
+        state.add_busy(0.0, 1e-3)
+        mac = ReaderMac()
+        assert not mac.can_transmit(1e-3 + 50e-6, state)
+
+    def test_allowed_after_full_listen(self):
+        state = CsmaState()
+        state.add_busy(0.0, 1e-3)
+        mac = ReaderMac()
+        assert mac.can_transmit(1e-3 + 121e-6, state)
+
+    def test_next_opportunity(self):
+        state = CsmaState()
+        state.add_busy(0.0, 1e-3)
+        mac = ReaderMac()
+        t = mac.next_opportunity(1e-3, state)
+        assert t == pytest.approx(1e-3 + CSMA_LISTEN_S)
+        assert mac.can_transmit(t, state)
+
+    def test_guaranteed_safe_predicate(self):
+        mac = ReaderMac()
+        assert mac.guaranteed_safe(130e-6)
+        assert not mac.guaranteed_safe(100e-6)
+
+
+class TestMedium:
+    def test_csma_avoids_query_response_corruption(self):
+        """§9's claim: with the 120 us listen rule, no reader query ever
+        lands on top of a tag response."""
+        medium = Medium(n_tags=3, rng=1)
+        for name in ("A", "B", "C"):
+            medium.add_reader(ReaderNode(name=name, use_csma=True))
+        stats = medium.run(duration_s=0.5)
+        assert stats["responses"] > 100
+        assert stats["corrupted_responses"] == 0
+
+    def test_blind_readers_corrupt_responses(self):
+        """Without carrier sense, queries land inside response windows."""
+        medium = Medium(n_tags=3, rng=2)
+        for name in ("A", "B", "C"):
+            medium.add_reader(ReaderNode(name=name, use_csma=False))
+        stats = medium.run(duration_s=0.5)
+        assert stats["corrupted_responses"] > 0
+
+    def test_csma_defers_sometimes(self):
+        medium = Medium(n_tags=2, rng=3)
+        medium.add_reader(ReaderNode(name="A", use_csma=True, query_interval_s=0.7e-3))
+        medium.add_reader(ReaderNode(name="B", use_csma=True, query_interval_s=0.7e-3))
+        stats = medium.run(duration_s=0.5)
+        assert stats["queries_deferred"] > 0
+        assert stats["corrupted_responses"] == 0
+
+    def test_queries_trigger_responses(self):
+        medium = Medium(n_tags=4, rng=4)
+        medium.add_reader(ReaderNode(name="A"))
+        stats = medium.run(duration_s=0.1)
+        assert stats["responses"] == 4 * stats["queries_sent"]
+
+    def test_single_reader_never_defers(self):
+        medium = Medium(n_tags=1, rng=5)
+        medium.add_reader(ReaderNode(name="solo", query_interval_s=2e-3))
+        stats = medium.run(duration_s=0.2)
+        assert stats["queries_deferred"] == 0
+        assert stats["corrupted_responses"] == 0
+
+    def test_transmission_overlap_logic(self):
+        a = Transmission(TxKind.QUERY, "A", 0.0, 1.0)
+        b = Transmission(TxKind.RESPONSE, "t", 0.5, 1.5)
+        c = Transmission(TxKind.RESPONSE, "t", 1.0, 2.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.phy.manchester."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModulationError
+from repro.phy.manchester import (
+    manchester_decode,
+    manchester_encode,
+    manchester_soft_decode,
+)
+
+
+class TestEncode:
+    def test_one_becomes_10(self):
+        assert list(manchester_encode(np.array([1]))) == [1, 0]
+
+    def test_zero_becomes_01(self):
+        assert list(manchester_encode(np.array([0]))) == [0, 1]
+
+    def test_length_doubles(self):
+        assert manchester_encode(np.zeros(100, dtype=np.uint8)).size == 200
+
+    def test_dc_balance(self):
+        """The Manchester guarantee behind Eq 5: exactly half the chips
+        are on for ANY bit pattern."""
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=256)
+        chips = manchester_encode(bits)
+        assert chips.mean() == pytest.approx(0.5)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ModulationError):
+            manchester_encode(np.array([0, 2]))
+
+
+class TestDecode:
+    def test_roundtrip(self):
+        bits = np.array([1, 0, 1, 1, 0], dtype=np.uint8)
+        assert np.array_equal(manchester_decode(manchester_encode(bits)), bits)
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ModulationError):
+            manchester_decode(np.array([1, 0, 1]))
+
+    def test_rejects_invalid_pair(self):
+        with pytest.raises(ModulationError):
+            manchester_decode(np.array([1, 1]))
+
+    def test_rejects_00_pair(self):
+        with pytest.raises(ModulationError):
+            manchester_decode(np.array([1, 0, 0, 0]))
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=256))
+    def test_roundtrip_property(self, bits):
+        bits = np.array(bits, dtype=np.uint8)
+        assert np.array_equal(manchester_decode(manchester_encode(bits)), bits)
+
+
+class TestSoftDecode:
+    def test_clean_soft_values(self):
+        bits = np.array([1, 0, 0, 1], dtype=np.uint8)
+        soft = manchester_encode(bits).astype(float)
+        assert np.array_equal(manchester_soft_decode(soft), bits)
+
+    def test_dc_offset_invariance(self):
+        """The decoder's DC immunity is what lets §8 ignore the OOK 0.5
+        pedestal after averaging."""
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        soft = manchester_encode(bits).astype(float) + 42.0
+        assert np.array_equal(manchester_soft_decode(soft), bits)
+
+    def test_scale_invariance(self):
+        bits = np.array([0, 1, 1, 0], dtype=np.uint8)
+        soft = manchester_encode(bits).astype(float) * 1e-6
+        assert np.array_equal(manchester_soft_decode(soft), bits)
+
+    def test_survives_mild_noise(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=256).astype(np.uint8)
+        soft = manchester_encode(bits).astype(float) + rng.normal(0, 0.2, 512)
+        assert np.array_equal(manchester_soft_decode(soft), bits)
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ModulationError):
+            manchester_soft_decode(np.array([0.3, 0.5, 0.1]))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=64),
+        st.floats(min_value=-5.0, max_value=5.0),
+        st.floats(min_value=0.01, max_value=10.0),
+    )
+    def test_affine_invariance_property(self, bits, offset, scale):
+        bits = np.array(bits, dtype=np.uint8)
+        soft = manchester_encode(bits).astype(float) * scale + offset
+        assert np.array_equal(manchester_soft_decode(soft), bits)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.phy.modulation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ, PACKET_BITS, RESPONSE_DURATION_S
+from repro.errors import ConfigurationError, ModulationError
+from repro.phy.modulation import OokModulator
+
+
+@pytest.fixture
+def modulator():
+    return OokModulator()
+
+
+class TestConfiguration:
+    def test_default_samples_per_chip(self, modulator):
+        assert modulator.samples_per_chip == 4  # 4 MHz x 1 us
+
+    def test_8mhz_rate(self):
+        assert OokModulator(sample_rate_hz=8e6).samples_per_chip == 8
+
+    def test_non_integer_chip_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OokModulator(sample_rate_hz=2.5e6)
+
+
+class TestModulate:
+    def test_chip_expansion(self, modulator):
+        samples = modulator.modulate_chips(np.array([1, 0]))
+        assert np.array_equal(samples, [1, 1, 1, 1, 0, 0, 0, 0])
+
+    def test_full_packet_duration(self, modulator):
+        bits = np.random.default_rng(0).integers(0, 2, size=PACKET_BITS)
+        samples = modulator.modulate_bits(bits)
+        assert samples.size == int(RESPONSE_DURATION_S * DEFAULT_SAMPLE_RATE_HZ)
+
+    def test_mean_is_half(self, modulator):
+        """Manchester DC level: the tone the FFT peak reads off (Eq 5)."""
+        bits = np.random.default_rng(1).integers(0, 2, size=256)
+        assert modulator.modulate_bits(bits).mean() == pytest.approx(0.5)
+
+    def test_rejects_non_binary_chips(self, modulator):
+        with pytest.raises(ModulationError):
+            modulator.modulate_chips(np.array([0.5, 2.0]))
+
+
+class TestDemodulate:
+    def test_matched_filter_values(self, modulator):
+        samples = modulator.modulate_chips(np.array([1, 0, 1]))
+        soft = modulator.chip_matched_filter(samples)
+        assert np.allclose(soft, [1.0, 0.0, 1.0])
+
+    def test_matched_filter_complex_input_uses_real(self, modulator):
+        samples = modulator.modulate_chips(np.array([1, 0])).astype(complex) + 5j
+        soft = modulator.chip_matched_filter(samples)
+        assert np.allclose(soft, [1.0, 0.0])
+
+    def test_matched_filter_too_short(self, modulator):
+        with pytest.raises(ModulationError):
+            modulator.chip_matched_filter(np.zeros(3))
+
+    def test_roundtrip(self, modulator):
+        bits = np.random.default_rng(2).integers(0, 2, size=PACKET_BITS).astype(np.uint8)
+        samples = modulator.modulate_bits(bits)
+        assert np.array_equal(modulator.demodulate_soft(samples, n_bits=PACKET_BITS), bits)
+
+    def test_roundtrip_with_noise(self, modulator):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=PACKET_BITS).astype(np.uint8)
+        samples = modulator.modulate_bits(bits) + rng.normal(0, 0.15, 2048)
+        assert np.array_equal(modulator.demodulate_soft(samples, n_bits=PACKET_BITS), bits)
+
+    def test_roundtrip_with_dc_and_gain(self, modulator):
+        bits = np.random.default_rng(4).integers(0, 2, size=64).astype(np.uint8)
+        samples = 3.5 * modulator.modulate_bits(bits) + 7.0
+        assert np.array_equal(modulator.demodulate_soft(samples, n_bits=64), bits)
+
+    def test_n_bits_too_many(self, modulator):
+        samples = modulator.modulate_bits(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ModulationError):
+            modulator.demodulate_soft(samples, n_bits=16)

@@ -1,0 +1,123 @@
+"""Unit tests for repro.phy.oscillator and repro.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    CARRIER_MAX_HZ,
+    CARRIER_MIN_HZ,
+    CFO_SPAN_HZ,
+    EMPIRICAL_CARRIER_MEAN_HZ,
+    EMPIRICAL_CARRIER_STD_HZ,
+    READER_LO_HZ,
+)
+from repro.datasets import empirical_carriers_hz, empirical_cfo_dataset, empirical_cfos_hz
+from repro.errors import ConfigurationError
+from repro.phy.oscillator import (
+    EmpiricalCfoModel,
+    Oscillator,
+    TruncatedGaussianCfoModel,
+    UniformCfoModel,
+)
+
+
+class TestOscillator:
+    def test_cfo_relative_to_lo(self):
+        osc = Oscillator(READER_LO_HZ + 300e3)
+        assert osc.cfo_hz() == pytest.approx(300e3)
+
+    def test_drift(self):
+        osc = Oscillator(915e6, drift_hz_per_s=100.0)
+        assert osc.carrier_at(2.0) == pytest.approx(915e6 + 200.0)
+
+    def test_negative_carrier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Oscillator(-1.0)
+
+
+class TestUniformModel:
+    def test_within_band(self):
+        carriers = UniformCfoModel().sample_carriers(1000, rng=1)
+        assert carriers.min() >= CARRIER_MIN_HZ
+        assert carriers.max() <= CARRIER_MAX_HZ
+
+    def test_spans_band(self):
+        carriers = UniformCfoModel().sample_carriers(5000, rng=2)
+        assert carriers.max() - carriers.min() > 0.9 * CFO_SPAN_HZ
+
+    def test_deterministic(self):
+        a = UniformCfoModel().sample_carriers(10, rng=3)
+        b = UniformCfoModel().sample_carriers(10, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_invalid_band(self):
+        with pytest.raises(ConfigurationError):
+            UniformCfoModel(low_hz=915e6, high_hz=914e6)
+
+    def test_sample_oscillators(self):
+        oscillators = UniformCfoModel().sample_oscillators(5, rng=4)
+        assert len(oscillators) == 5
+        assert all(isinstance(o, Oscillator) for o in oscillators)
+
+
+class TestTruncatedGaussianModel:
+    def test_within_band(self):
+        carriers = TruncatedGaussianCfoModel().sample_carriers(5000, rng=5)
+        assert carriers.min() >= CARRIER_MIN_HZ
+        assert carriers.max() <= CARRIER_MAX_HZ
+
+    def test_matches_paper_statistics(self):
+        """Footnote 7: mean 914.84 MHz, std 0.21 MHz (truncation shifts
+        both slightly; tolerances account for that)."""
+        carriers = TruncatedGaussianCfoModel().sample_carriers(50_000, rng=6)
+        assert carriers.mean() == pytest.approx(EMPIRICAL_CARRIER_MEAN_HZ, abs=0.03e6)
+        assert carriers.std() == pytest.approx(EMPIRICAL_CARRIER_STD_HZ, abs=0.04e6)
+
+    def test_mean_outside_band_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedGaussianCfoModel(mean_hz=916e6)
+
+    def test_zero_std_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedGaussianCfoModel(std_hz=0.0)
+
+
+class TestEmpiricalModel:
+    def test_draws_from_population(self):
+        model = EmpiricalCfoModel(carriers_hz=(914.5e6, 914.9e6, 915.2e6))
+        draws = model.sample_carriers(100, rng=7)
+        assert set(np.unique(draws)) <= {914.5e6, 914.9e6, 915.2e6}
+
+    def test_without_replacement_when_possible(self):
+        model = EmpiricalCfoModel(carriers_hz=tuple(914.3e6 + 1e3 * i for i in range(50)))
+        draws = model.sample_carriers(50, rng=8)
+        assert np.unique(draws).size == 50
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalCfoModel(carriers_hz=())
+
+
+class TestDataset:
+    def test_size_is_155(self):
+        assert empirical_carriers_hz().size == 155
+
+    def test_deterministic(self):
+        assert np.array_equal(empirical_carriers_hz(), empirical_carriers_hz())
+
+    def test_within_band(self):
+        carriers = empirical_carriers_hz()
+        assert carriers.min() >= CARRIER_MIN_HZ and carriers.max() <= CARRIER_MAX_HZ
+
+    def test_cfos_relative_to_lo(self):
+        cfos = empirical_cfos_hz()
+        assert cfos.min() >= 0.0 and cfos.max() <= CFO_SPAN_HZ
+
+    def test_statistics_near_paper(self):
+        carriers = empirical_carriers_hz()
+        assert carriers.mean() == pytest.approx(EMPIRICAL_CARRIER_MEAN_HZ, abs=0.06e6)
+        assert carriers.std() == pytest.approx(EMPIRICAL_CARRIER_STD_HZ, abs=0.06e6)
+
+    def test_model_wrapper(self):
+        model = empirical_cfo_dataset()
+        assert model.population_size == 155

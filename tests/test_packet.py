@@ -1,0 +1,115 @@
+"""Unit tests for repro.phy.packet."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import PACKET_BITS
+from repro.errors import CrcError, PacketError
+from repro.phy.packet import PacketFields, TransponderPacket
+
+
+class TestFields:
+    def test_valid_fields(self):
+        fields = PacketFields(agency_id=5, serial_number=123456, tag_type=2, programmable=99)
+        assert fields.agency_id == 5
+
+    def test_agency_overflow(self):
+        with pytest.raises(PacketError):
+            PacketFields(agency_id=128, serial_number=0, tag_type=0, programmable=0)
+
+    def test_serial_overflow(self):
+        with pytest.raises(PacketError):
+            PacketFields(agency_id=0, serial_number=1 << 32, tag_type=0, programmable=0)
+
+    def test_programmable_is_47_bits(self):
+        PacketFields(0, 0, 0, (1 << 47) - 1)  # max fits
+        with pytest.raises(PacketError):
+            PacketFields(0, 0, 0, 1 << 47)
+
+    def test_negative_rejected(self):
+        with pytest.raises(PacketError):
+            PacketFields(-1, 0, 0, 0)
+
+
+class TestSerialization:
+    def test_length_is_256(self):
+        packet = TransponderPacket.create(1, 2, 3, 4)
+        assert packet.to_bits().size == PACKET_BITS
+
+    def test_roundtrip(self):
+        packet = TransponderPacket.create(17, 0xDEADBEEF, 9, 12345)
+        restored = TransponderPacket.from_bits(packet.to_bits())
+        assert restored == packet
+
+    def test_random_roundtrip(self):
+        packet = TransponderPacket.random(rng=5)
+        assert TransponderPacket.from_bits(packet.to_bits()) == packet
+
+    def test_random_deterministic(self):
+        assert TransponderPacket.random(rng=7) == TransponderPacket.random(rng=7)
+
+    def test_tag_id_combines_agency_and_serial(self):
+        packet = TransponderPacket.create(agency_id=1, serial_number=2)
+        assert packet.tag_id == (1 << 32) | 2
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(PacketError):
+            TransponderPacket.from_bits(np.zeros(255, dtype=np.uint8))
+
+    def test_bad_sync_rejected(self):
+        bits = TransponderPacket.create(1, 2).to_bits()
+        bits[0] ^= 1
+        with pytest.raises(PacketError):
+            TransponderPacket.from_bits(bits)
+
+    def test_sync_check_can_be_skipped(self):
+        bits = TransponderPacket.create(1, 2).to_bits()
+        # Flipping a sync bit only - payload CRC still valid.
+        bits[0] ^= 1
+        packet = TransponderPacket.from_bits(bits, check_sync=False)
+        assert packet.fields.agency_id == 1
+
+    def test_payload_corruption_raises_crc(self):
+        bits = TransponderPacket.create(1, 2).to_bits()
+        bits[40] ^= 1  # inside the serial number
+        with pytest.raises(CrcError):
+            TransponderPacket.from_bits(bits)
+
+    def test_crc_corruption_raises(self):
+        bits = TransponderPacket.create(1, 2).to_bits()
+        bits[-1] ^= 1
+        with pytest.raises(CrcError):
+            TransponderPacket.from_bits(bits)
+
+    def test_factory_field_tied_to_serial(self):
+        """Two packets with different serials must differ in the factory
+        field (it is a PRBS of the serial)."""
+        a = TransponderPacket.create(1, 100).to_bits()
+        b = TransponderPacket.create(1, 101).to_bits()
+        factory_a = a[110:240]
+        factory_b = b[110:240]
+        assert not np.array_equal(factory_a, factory_b)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 7) - 1),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 8) - 1),
+        st.integers(min_value=0, max_value=(1 << 47) - 1),
+    )
+    def test_roundtrip_property(self, agency, serial, tag_type, programmable):
+        packet = TransponderPacket.create(agency, serial, tag_type, programmable)
+        assert TransponderPacket.from_bits(packet.to_bits()) == packet
+
+
+class TestEquality:
+    def test_equal_packets_hash_equal(self):
+        a = TransponderPacket.create(1, 2, 3, 4)
+        b = TransponderPacket.create(1, 2, 3, 4)
+        assert a == b and hash(a) == hash(b)
+
+    def test_unequal_packets(self):
+        assert TransponderPacket.create(1, 2) != TransponderPacket.create(1, 3)
+
+    def test_repr_mentions_fields(self):
+        assert "serial=2" in repr(TransponderPacket.create(1, 2))

@@ -1,0 +1,82 @@
+"""Unit tests for repro.dsp.sfft."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.sfft import sparse_fft_peaks
+from repro.errors import ConfigurationError, SpectrumError
+
+
+def make_sparse_signal(n, tones, rng=None):
+    """tones: list of (bin, amplitude)."""
+    t = np.arange(n)
+    x = np.zeros(n, dtype=complex)
+    for k, a in tones:
+        x += a * np.exp(2j * np.pi * k * t / n)
+    if rng is not None:
+        x += rng.normal(0, 1e-3, n) + 1j * rng.normal(0, 1e-3, n)
+    return x
+
+
+class TestExactlySparse:
+    def test_single_tone_on_grid(self):
+        x = make_sparse_signal(2048, [(300, 1.0)])
+        tones = sparse_fft_peaks(x, max_tones=1, rng=0)
+        assert len(tones) == 1
+        assert tones[0].freq_bin == pytest.approx(300.0, abs=0.01)
+        assert abs(tones[0].amplitude) == pytest.approx(1.0, rel=0.05)
+
+    def test_single_tone_off_grid(self):
+        """Phase-based location recovers *fractional* bins directly."""
+        x = make_sparse_signal(2048, [(300.4, 1.0)])
+        tones = sparse_fft_peaks(x, max_tones=1, rng=0)
+        assert tones[0].freq_bin == pytest.approx(300.4, abs=0.2)
+
+    def test_five_separated_tones(self):
+        rng = np.random.default_rng(1)
+        bins = [100, 400, 700, 1200, 1800]
+        x = make_sparse_signal(2048, [(b, 1.0) for b in bins], rng)
+        tones = sparse_fft_peaks(x, max_tones=5, rng=2)
+        found = sorted(t.freq_bin for t in tones)
+        assert len(found) == 5
+        for f, b in zip(found, bins):
+            assert f == pytest.approx(b, abs=0.5)
+
+    def test_amplitude_ordering(self):
+        x = make_sparse_signal(2048, [(100, 0.3), (900, 1.0)])
+        tones = sparse_fft_peaks(x, max_tones=2, rng=0)
+        assert abs(tones[0].amplitude) > abs(tones[1].amplitude)
+        assert tones[0].freq_bin == pytest.approx(900, abs=0.5)
+
+    def test_matches_full_fft(self):
+        rng = np.random.default_rng(3)
+        bins = [250, 800, 1500]
+        x = make_sparse_signal(4096, [(b, rng.uniform(0.5, 2.0)) for b in bins], rng)
+        tones = sparse_fft_peaks(x, max_tones=3, rng=4)
+        full = np.fft.fft(x) / x.size
+        for tone in tones:
+            k = int(round(tone.freq_bin))
+            assert abs(tone.amplitude) == pytest.approx(abs(full[k]), rel=0.05)
+
+    def test_freq_hz_conversion(self):
+        x = make_sparse_signal(2048, [(512, 1.0)])
+        tone = sparse_fft_peaks(x, max_tones=1, rng=0)[0]
+        assert tone.freq_hz(4e6, 2048) == pytest.approx(512 * 4e6 / 2048)
+
+
+class TestValidation:
+    def test_indivisible_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparse_fft_peaks(np.zeros(1000, dtype=complex), max_tones=2, n_buckets=64)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SpectrumError):
+            sparse_fft_peaks(np.zeros(0, dtype=complex), max_tones=1)
+
+    def test_noise_only_returns_few_or_none(self):
+        rng = np.random.default_rng(5)
+        x = (rng.normal(0, 1e-6, 2048) + 1j * rng.normal(0, 1e-6, 2048))
+        tones = sparse_fft_peaks(x, max_tones=3, rng=6)
+        # Nothing coherent to find; whatever comes back must be tiny.
+        for tone in tones:
+            assert abs(tone.amplitude) < 1e-6

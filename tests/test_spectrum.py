@@ -1,0 +1,187 @@
+"""Unit tests for repro.dsp.spectrum and repro.dsp.peaks."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CFO_BIN_COUNT, FFT_RESOLUTION_HZ, READER_LO_HZ
+from repro.dsp.peaks import (
+    estimate_noise_floor,
+    find_peaks_in_magnitudes,
+    find_spectral_peaks,
+    local_noise_floor,
+    parabolic_offset,
+)
+from repro.dsp.spectrum import fft_spectrum, single_bin_dft
+from repro.errors import SpectrumError
+from repro.phy.waveform import Waveform
+from tests.conftest import make_tag
+
+FS = 4e6
+
+
+class TestSpectrum:
+    def test_resolution_is_1_over_T(self):
+        """Eq 6: the full 512 us window gives 1.953 kHz bins."""
+        wave = Waveform.silence(512e-6, FS)
+        spectrum = fft_spectrum(wave)
+        assert spectrum.resolution_hz == pytest.approx(FFT_RESOLUTION_HZ)
+        assert spectrum.resolution_hz == pytest.approx(1953.125)
+
+    def test_bin_count_615(self):
+        """§5: the 1.2 MHz CFO span covers N = 615 bins."""
+        assert CFO_BIN_COUNT == 615
+
+    def test_tone_lands_in_right_bin(self):
+        wave = Waveform.tone(400e3, 512e-6, FS)
+        spectrum = fft_spectrum(wave)
+        assert np.argmax(spectrum.magnitude()) == spectrum.bin_of(400e3)
+
+    def test_bin_freq_roundtrip(self):
+        spectrum = fft_spectrum(Waveform.silence(512e-6, FS))
+        assert spectrum.freq_of(spectrum.bin_of(250e3)) == pytest.approx(250e3, abs=spectrum.bin_hz)
+
+    def test_zero_padding_keeps_resolution(self):
+        wave = Waveform.tone(100e3, 512e-6, FS)
+        spectrum = fft_spectrum(wave, n_fft=4096)
+        assert spectrum.n_bins == 4096
+        assert spectrum.resolution_hz == pytest.approx(FFT_RESOLUTION_HZ)
+
+    def test_window_offset_shifts_start(self):
+        wave = Waveform.tone(100e3, 512e-6, FS)
+        spectrum = fft_spectrum(wave, offset_samples=256, length_samples=1024)
+        assert spectrum.window_start_s == pytest.approx(256 / FS)
+        assert spectrum.n_input == 1024
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(SpectrumError):
+            fft_spectrum(Waveform.silence(1e-4, FS), window="kaiser")
+
+    def test_bin_of_out_of_range(self):
+        spectrum = fft_spectrum(Waveform.silence(1e-4, FS))
+        with pytest.raises(SpectrumError):
+            spectrum.bin_of(5e6)
+
+
+class TestSingleBinDft:
+    def test_tone_amplitude_recovered(self):
+        wave = Waveform.tone(313e3, 512e-6, FS, amplitude=2.5)
+        assert abs(single_bin_dft(wave, 313e3)) == pytest.approx(2.5, rel=1e-3)
+
+    def test_off_grid_tone_exact(self):
+        """Works at arbitrary (non-bin-centered) frequencies."""
+        freq = 313_777.7
+        wave = Waveform.tone(freq, 512e-6, FS, amplitude=1.0)
+        assert abs(single_bin_dft(wave, freq)) == pytest.approx(1.0, rel=1e-9)
+
+    def test_absolute_time_reference(self):
+        """Two windows of the same tone yield the same complex value when
+        referenced to absolute time — the §5/§6 cross-window invariant."""
+        wave = Waveform.tone(400e3, 512e-6, FS)
+        a = single_bin_dft(wave, 400e3, offset_samples=0, length_samples=1024)
+        b = single_bin_dft(wave, 400e3, offset_samples=512, length_samples=1024)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_eq5_channel_readout(self):
+        """On a real OOK response: 2 * R(cfo) == h (Eq 5)."""
+        tag = make_tag(500e3, seed=2)
+        h = 0.003 * np.exp(1j * 1.1)
+        wave = tag.respond(0.0).baseband_at_lo(READER_LO_HZ).scaled(h)
+        estimate = 2.0 * single_bin_dft(wave, 500e3)
+        # Tag applies its own random phase0; compare magnitudes and the
+        # phase difference against that known phase.
+        assert abs(estimate) == pytest.approx(abs(h), rel=0.02)
+
+
+class TestFloorEstimation:
+    def test_rayleigh_floor_scale(self):
+        rng = np.random.default_rng(0)
+        mags = np.abs(rng.normal(0, 1, 100_000) + 1j * rng.normal(0, 1, 100_000))
+        # Rayleigh scale parameter (per-quadrature sigma) is 1 here; the
+        # median/sqrt(ln 4) estimator must recover it.
+        assert estimate_noise_floor(mags) == pytest.approx(1.0, rel=0.02)
+
+    def test_local_floor_tracks_color(self):
+        """A stepped floor must be tracked locally, not globally."""
+        rng = np.random.default_rng(1)
+        low = np.abs(rng.normal(0, 1, 300) + 1j * rng.normal(0, 1, 300))
+        high = 10 * np.abs(rng.normal(0, 1, 300) + 1j * rng.normal(0, 1, 300))
+        floors = local_noise_floor(np.concatenate([low, high]), window_bins=65)
+        assert floors[:200].mean() < 3.0
+        assert floors[-200:].mean() > 8.0
+
+    def test_local_floor_excludes_guard(self):
+        mags = np.ones(101)
+        mags[50] = 100.0  # a spike must not raise its own floor
+        floors = local_noise_floor(mags, window_bins=41, guard_bins=3)
+        assert floors[50] == pytest.approx(1.0 / np.sqrt(np.log(4.0)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpectrumError):
+            estimate_noise_floor(np.zeros(0))
+
+
+class TestParabolicOffset:
+    def test_exact_for_parabola(self):
+        # Parabola with vertex at +0.3: y = 1 - (x - 0.3)^2.
+        y = lambda x: 1 - (x - 0.3) ** 2
+        assert parabolic_offset(y(-1), y(0), y(1)) == pytest.approx(0.3)
+
+    def test_symmetric_peak_centered(self):
+        assert parabolic_offset(0.5, 1.0, 0.5) == 0.0
+
+    def test_clipped_to_half_bin(self):
+        assert abs(parabolic_offset(0.0, 0.1, 0.2)) <= 0.5
+
+    def test_flat_input(self):
+        assert parabolic_offset(1.0, 1.0, 1.0) == 0.0
+
+
+class TestFindPeaks:
+    def test_five_tones_detected(self):
+        wave = Waveform.silence(512e-6, FS)
+        freqs = [100e3, 320e3, 540e3, 800e3, 1100e3]
+        for f in freqs:
+            wave = wave + Waveform.tone(f, 512e-6, FS, amplitude=1.0)
+        rng = np.random.default_rng(0)
+        noisy = Waveform(wave.samples + rng.normal(0, 0.05, wave.n_samples), FS)
+        peaks = find_spectral_peaks(fft_spectrum(noisy), 10e3, 1.25e6, min_snr_db=15)
+        assert len(peaks) == 5
+        for peak, f in zip(peaks, freqs):
+            assert peak.freq_hz == pytest.approx(f, abs=FFT_RESOLUTION_HZ)
+
+    def test_sub_bin_refinement(self):
+        freq = 400e3 + 700.0  # deliberately off-grid
+        wave = Waveform.tone(freq, 512e-6, FS)
+        rng = np.random.default_rng(1)
+        noisy = Waveform(wave.samples + rng.normal(0, 0.01, wave.n_samples), FS)
+        peaks = find_spectral_peaks(fft_spectrum(noisy), 10e3, 1.25e6)
+        assert len(peaks) == 1
+        assert peaks[0].freq_hz == pytest.approx(freq, abs=FFT_RESOLUTION_HZ / 3)
+
+    def test_max_peaks_keeps_strongest(self):
+        wave = Waveform.tone(200e3, 512e-6, FS, amplitude=1.0) + Waveform.tone(
+            800e3, 512e-6, FS, amplitude=0.2
+        )
+        rng = np.random.default_rng(2)
+        noisy = Waveform(wave.samples + rng.normal(0, 0.005, wave.n_samples), FS)
+        peaks = find_spectral_peaks(fft_spectrum(noisy), 10e3, 1.25e6, max_peaks=1)
+        assert len(peaks) == 1
+        assert peaks[0].freq_hz == pytest.approx(200e3, abs=FFT_RESOLUTION_HZ)
+
+    def test_min_separation_suppresses_shoulder(self):
+        mags = np.full(300, 1.0)
+        mags[100] = 50.0
+        mags[101] = 40.0  # shoulder of the same peak
+        peaks = find_peaks_in_magnitudes(mags, 1e3, 0.0, 299e3, min_snr_db=10)
+        assert len(peaks) == 1
+
+    def test_empty_band_rejected(self):
+        with pytest.raises(SpectrumError):
+            find_peaks_in_magnitudes(np.ones(100), 1e3, 50e3, 50e3)
+
+    def test_snr_reported(self):
+        wave = Waveform.tone(400e3, 512e-6, FS, amplitude=1.0)
+        rng = np.random.default_rng(3)
+        noisy = Waveform(wave.samples + rng.normal(0, 0.02, wave.n_samples), FS)
+        peaks = find_spectral_peaks(fft_spectrum(noisy), 10e3, 1.25e6)
+        assert peaks[0].snr > 10.0

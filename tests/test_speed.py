@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.speed (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    ANALYSIS_POLE_HEIGHT_M,
+    FEET_PER_METER,
+    M_S_PER_MPH,
+    METERS_PER_FOOT,
+    SPEED_BASELINE_M,
+)
+from repro.core.speed import (
+    SpeedEstimate,
+    SpeedEstimator,
+    SpeedObservation,
+    max_position_error_m,
+    max_speed_error_fraction,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPositionErrorBound:
+    def test_paper_worked_example(self):
+        """Footnote 11: 13 ft pole, two 12 ft lanes -> ~8.5 feet."""
+        error = max_position_error_m(
+            pole_height_m=ANALYSIS_POLE_HEIGHT_M, n_lanes_same_direction=2
+        )
+        assert error * FEET_PER_METER == pytest.approx(8.5, abs=0.35)
+
+    def test_taller_pole_smaller_error(self):
+        short = max_position_error_m(3.0, 2)
+        tall = max_position_error_m(6.0, 2)
+        assert tall < short
+
+    def test_more_lanes_larger_error(self):
+        assert max_position_error_m(4.0, 3) > max_position_error_m(4.0, 1)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_position_error_m(0.0, 2)
+        with pytest.raises(ConfigurationError):
+            max_position_error_m(4.0, 0)
+
+
+class TestSpeedErrorBound:
+    def test_paper_magnitudes(self):
+        """§7: <= 5.5 % at 20 mph and <= 6.8 % at 50 mph over 360 feet.
+
+        Using the paper's own position bound and 'tens of ms' sync: the
+        budget lands in the same few-percent band and grows with speed.
+        """
+        position_error = max_position_error_m(ANALYSIS_POLE_HEIGHT_M, 2)
+        e20 = max_speed_error_fraction(
+            20 * M_S_PER_MPH, SPEED_BASELINE_M, position_error, 0.05
+        )
+        e50 = max_speed_error_fraction(
+            50 * M_S_PER_MPH, SPEED_BASELINE_M, position_error, 0.05
+        )
+        assert 0.03 < e20 < 0.07
+        assert 0.03 < e50 < 0.08
+        assert e50 > e20  # the sync term grows with speed
+
+    def test_longer_baseline_helps(self):
+        short = max_speed_error_fraction(10.0, 60.0, 2.0, 0.02)
+        long = max_speed_error_fraction(10.0, 110.0, 2.0, 0.02)
+        assert long < short
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            max_speed_error_fraction(0.0, 100.0, 1.0, 0.01)
+
+
+class TestSpeedEstimator:
+    def test_basic_arithmetic(self):
+        estimator = SpeedEstimator()
+        a = SpeedObservation(np.array([0.0, 0.0]), timestamp_s=0.0)
+        b = SpeedObservation(np.array([30.0, 0.5]), timestamp_s=2.0)
+        estimate = estimator.estimate(a, b)
+        assert estimate.speed_m_s == pytest.approx(15.0)
+        assert estimate.distance_m == pytest.approx(30.0)
+
+    def test_along_road_only_ignores_lateral(self):
+        estimator = SpeedEstimator(along_road_only=True)
+        a = SpeedObservation(np.array([0.0, 0.0]), 0.0)
+        b = SpeedObservation(np.array([30.0, 3.0]), 2.0)
+        assert estimator.estimate(a, b).distance_m == pytest.approx(30.0)
+
+    def test_euclidean_mode(self):
+        estimator = SpeedEstimator(along_road_only=False)
+        a = SpeedObservation(np.array([0.0, 0.0]), 0.0)
+        b = SpeedObservation(np.array([3.0, 4.0]), 1.0)
+        assert estimator.estimate(a, b).speed_m_s == pytest.approx(5.0)
+
+    def test_reversed_order_still_positive(self):
+        estimator = SpeedEstimator()
+        a = SpeedObservation(np.array([30.0, 0.0]), 2.0)
+        b = SpeedObservation(np.array([0.0, 0.0]), 0.0)
+        assert estimator.estimate(a, b).speed_m_s == pytest.approx(15.0)
+
+    def test_too_close_in_time_rejected(self):
+        estimator = SpeedEstimator(min_elapsed_s=0.5)
+        a = SpeedObservation(np.array([0.0, 0.0]), 0.0)
+        b = SpeedObservation(np.array([1.0, 0.0]), 0.1)
+        with pytest.raises(ConfigurationError):
+            estimator.estimate(a, b)
+
+    def test_mph_conversion(self):
+        estimate = SpeedEstimate(speed_m_s=20 * M_S_PER_MPH, distance_m=1, elapsed_s=1)
+        assert estimate.speed_mph == pytest.approx(20.0)
+
+    def test_expected_error_wrapper(self):
+        value = SpeedEstimator.expected_error_fraction(
+            15.0, 110.0, 2.0, sync_sigma_s=0.01
+        )
+        assert value == pytest.approx((2 * 2.0 + 15.0 * 0.01) / 110.0)
+
+
+class TestEndToEndGeometry:
+    def test_speed_error_with_paper_parameters_under_8pct(self):
+        """Simulated §7 budget: position errors up to the bound plus NTP
+        noise keep speed errors within the paper's 8% envelope."""
+        rng = np.random.default_rng(0)
+        baseline = SPEED_BASELINE_M
+        pos_error = max_position_error_m(ANALYSIS_POLE_HEIGHT_M, 2)
+        estimator = SpeedEstimator()
+        for speed_mph in (10, 20, 30, 40, 50):
+            v = speed_mph * M_S_PER_MPH
+            worst = 0.0
+            for _ in range(200):
+                x1 = rng.uniform(-pos_error, pos_error)
+                x2 = baseline + rng.uniform(-pos_error, pos_error)
+                dt = baseline / v + rng.normal(0.0, 0.02)
+                a = SpeedObservation(np.array([x1, 0.0]), 0.0)
+                b = SpeedObservation(np.array([x2, 0.0]), dt)
+                est = estimator.estimate(a, b)
+                worst = max(worst, abs(est.speed_m_s - v) / v)
+            assert worst < 0.08, f"{speed_mph} mph worst error {worst:.3f}"

@@ -1,0 +1,135 @@
+"""Unit tests for repro.core.theory (§5 closed forms)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CFO_BIN_COUNT
+from repro.core.theory import (
+    expected_count_naive,
+    fft_resolution_hz,
+    n_cfo_bins,
+    p_no_miss_exact,
+    p_no_miss_naive,
+    p_no_miss_paper_bound,
+    simulate_counting_accuracy,
+    simulate_no_miss_probability,
+)
+from repro.errors import ConfigurationError
+from repro.phy.oscillator import TruncatedGaussianCfoModel, UniformCfoModel
+
+
+class TestConstants:
+    def test_resolution(self):
+        assert fft_resolution_hz(512e-6) == pytest.approx(1953.125)
+
+    def test_bin_count(self):
+        assert n_cfo_bins() == 615
+        assert CFO_BIN_COUNT == 615
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fft_resolution_hz(0.0)
+
+
+class TestNaiveProbability:
+    """Eq 7 with N = 615: the paper quotes 98 %, 93 %, 73 %."""
+
+    def test_paper_m5(self):
+        assert p_no_miss_naive(5) == pytest.approx(0.98, abs=0.005)
+
+    def test_paper_m10(self):
+        assert p_no_miss_naive(10) == pytest.approx(0.93, abs=0.005)
+
+    def test_paper_m20(self):
+        assert p_no_miss_naive(20) == pytest.approx(0.73, abs=0.005)
+
+    def test_trivial_cases(self):
+        assert p_no_miss_naive(0) == 1.0
+        assert p_no_miss_naive(1) == 1.0
+
+    def test_more_than_bins_impossible(self):
+        assert p_no_miss_naive(616) == 0.0
+
+    def test_monotone_decreasing(self):
+        values = [p_no_miss_naive(m) for m in range(1, 60)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestUpgradedProbability:
+    """Eq 9 with N = 615: at least 99.9 %, 99.9 %, 99.7 %."""
+
+    def test_paper_m5(self):
+        assert p_no_miss_paper_bound(5) >= 0.999
+
+    def test_paper_m10(self):
+        assert p_no_miss_paper_bound(10) >= 0.999
+
+    def test_paper_m20(self):
+        assert p_no_miss_paper_bound(20) == pytest.approx(0.997, abs=0.0005)
+
+    def test_below_three_is_certain(self):
+        assert p_no_miss_paper_bound(2) == 1.0
+
+    def test_exact_at_least_bound(self):
+        """The union bound must lower-bound the exact probability."""
+        for m in (5, 10, 20, 30, 50):
+            assert p_no_miss_exact(m) >= p_no_miss_paper_bound(m) - 1e-12
+
+    def test_exact_below_one_for_large_m(self):
+        assert p_no_miss_exact(50) < 1.0
+
+    def test_upgraded_beats_naive(self):
+        for m in (5, 10, 20, 40):
+            assert p_no_miss_exact(m) > p_no_miss_naive(m)
+
+
+class TestExpectedCount:
+    def test_small_m_nearly_m(self):
+        assert expected_count_naive(5) == pytest.approx(5.0, abs=0.05)
+
+    def test_large_m_undercounts(self):
+        assert expected_count_naive(100) < 95.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_count_naive(-1)
+
+
+class TestMonteCarlo:
+    def test_uniform_matches_closed_form_naive(self):
+        mc = simulate_no_miss_probability(
+            UniformCfoModel(), m=10, estimator="naive", runs=4000, rng=1
+        )
+        assert mc == pytest.approx(p_no_miss_naive(10), abs=0.02)
+
+    def test_uniform_matches_closed_form_upgraded(self):
+        mc = simulate_no_miss_probability(
+            UniformCfoModel(), m=20, estimator="upgraded", runs=4000, rng=2
+        )
+        assert mc == pytest.approx(p_no_miss_exact(20), abs=0.01)
+
+    def test_empirical_distribution_worse_than_uniform(self):
+        """§5: the measured (Gaussian-ish) CFO population packs more tags
+        per bin than uniform — 95.3 % vs 99.7 % at m = 20."""
+        gaussian = simulate_no_miss_probability(
+            TruncatedGaussianCfoModel(), m=20, estimator="upgraded", runs=4000, rng=3
+        )
+        uniform = simulate_no_miss_probability(
+            UniformCfoModel(), m=20, estimator="upgraded", runs=4000, rng=4
+        )
+        assert gaussian < uniform
+
+    def test_empirical_m20_ballpark(self):
+        """The paper reports 95.3 % for m = 20 on its 155-tag population."""
+        value = simulate_no_miss_probability(
+            TruncatedGaussianCfoModel(), m=20, estimator="upgraded", runs=4000, rng=5
+        )
+        assert 0.90 <= value <= 0.998
+
+    def test_counting_accuracy_near_100(self):
+        accuracy = simulate_counting_accuracy(UniformCfoModel(), m=10, runs=2000, rng=6)
+        assert accuracy == pytest.approx(100.0, abs=0.5)
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_no_miss_probability(UniformCfoModel(), m=5, estimator="magic")

@@ -1,0 +1,186 @@
+"""Unit tests for repro.sim.traffic, mobility, parking (Fig 12, §12.3, §12.2)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import READER_RANGE_M
+from repro.errors import ConfigurationError
+from repro.sim.mobility import ConstantSpeedTrajectory, DriveBy
+from repro.sim.parking import ParkingStreet
+from repro.sim.traffic import IntersectionSimulator, PoissonArrivals, TrafficLight
+
+
+class TestTrafficLight:
+    def test_phases(self):
+        light = TrafficLight(green_s=30, yellow_s=5, red_s=25)
+        assert light.phase(10.0) == "green"
+        assert light.phase(32.0) == "yellow"
+        assert light.phase(40.0) == "red"
+
+    def test_cycle_wraps(self):
+        light = TrafficLight(green_s=30, yellow_s=5, red_s=25)
+        assert light.phase(70.0) == light.phase(10.0)
+
+    def test_offset(self):
+        light = TrafficLight(green_s=30, yellow_s=5, red_s=25, offset_s=10.0)
+        assert light.phase(10.0) == "green"
+        assert light.phase(5.0) == "red"  # 5 - 10 mod 60 = 55 -> red
+
+    def test_is_go(self):
+        light = TrafficLight(green_s=10, yellow_s=2, red_s=10)
+        assert light.is_go(5.0)
+        assert light.is_go(11.0)  # yellow still flows
+        assert not light.is_go(15.0)
+
+    def test_invalid_timing(self):
+        with pytest.raises(ConfigurationError):
+            TrafficLight(green_s=-1, yellow_s=0, red_s=10)
+
+
+class TestPoissonArrivals:
+    def test_rate_matches(self):
+        arrivals = PoissonArrivals(rate_per_s=0.5, rng=np.random.default_rng(0))
+        times = arrivals.arrivals_until(0.0, 4000.0)
+        assert times.size == pytest.approx(2000, rel=0.1)
+
+    def test_sorted(self):
+        arrivals = PoissonArrivals(rate_per_s=1.0, rng=np.random.default_rng(1))
+        times = arrivals.arrivals_until(0.0, 100.0)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_zero_rate(self):
+        assert PoissonArrivals(0.0).arrivals_until(0.0, 100.0).size == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(-1.0)
+
+
+class TestIntersectionSimulator:
+    def _simulator(self, rate, seed=0, **kwargs):
+        light = TrafficLight(green_s=20, yellow_s=3, red_s=37)
+        return IntersectionSimulator(
+            light=light,
+            arrivals=PoissonArrivals(rate, rng=np.random.default_rng(seed)),
+            rng=np.random.default_rng(seed + 1),
+            **kwargs,
+        )
+
+    def test_queue_grows_during_red_drains_during_green(self):
+        sim = self._simulator(rate=0.3, seed=2)
+        samples = sim.simulate(duration_s=240.0, sample_period_s=1.0)
+        red = [s.queued for s in samples if s.phase == "red"]
+        green = [s.queued for s in samples if s.phase == "green"]
+        assert np.mean(red) > np.mean(green)
+
+    def test_busier_street_sees_more_cars(self):
+        """Fig 12: street C carries ~10x street A's traffic."""
+        quiet = self._simulator(rate=0.03, seed=3).simulate(600.0)
+        busy = self._simulator(rate=0.3, seed=4).simulate(600.0)
+        assert np.mean([s.in_range for s in busy]) > 4 * np.mean(
+            [s.in_range for s in quiet]
+        )
+
+    def test_penetration_scales_observed_count(self):
+        full = self._simulator(rate=0.3, seed=5, transponder_penetration=1.0)
+        partial = self._simulator(rate=0.3, seed=5, transponder_penetration=0.5)
+        n_full = np.mean([s.in_range for s in full.simulate(600.0)])
+        n_partial = np.mean([s.in_range for s in partial.simulate(600.0)])
+        assert n_partial < 0.75 * n_full
+
+    def test_sample_cadence(self):
+        sim = self._simulator(rate=0.1, seed=6)
+        samples = sim.simulate(duration_s=10.0, sample_period_s=1.0)
+        assert len(samples) == 11  # t = 0..10 inclusive
+        assert samples[1].t_s - samples[0].t_s == pytest.approx(1.0)
+
+    def test_invalid_duration(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            self._simulator(rate=0.1).simulate(duration_s=0.0)
+
+    def test_bad_penetration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._simulator(rate=0.1, transponder_penetration=1.5)
+
+
+class TestMobility:
+    def test_position_linear(self):
+        trajectory = ConstantSpeedTrajectory(
+            start_m=np.zeros(3), velocity_m_s=np.array([10.0, 0.0, 0.0])
+        )
+        assert np.allclose(trajectory.position(2.0), [20.0, 0.0, 0.0])
+
+    def test_speed(self):
+        trajectory = ConstantSpeedTrajectory(
+            start_m=np.zeros(3), velocity_m_s=np.array([3.0, 4.0, 0.0])
+        )
+        assert trajectory.speed_m_s == pytest.approx(5.0)
+
+    def test_closest_approach(self):
+        trajectory = ConstantSpeedTrajectory(
+            start_m=np.array([-50.0, 2.0, 0.0]), velocity_m_s=np.array([10.0, 0.0, 0.0])
+        )
+        t = trajectory.time_of_closest_approach(np.array([0.0, 0.0, 4.0]))
+        assert t == pytest.approx(5.0)
+
+    def test_stationary_rejected(self):
+        trajectory = ConstantSpeedTrajectory(start_m=np.zeros(3), velocity_m_s=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            trajectory.time_of_closest_approach(np.ones(3))
+
+    def test_drive_by_interval(self):
+        trajectory = ConstantSpeedTrajectory(
+            start_m=np.array([-100.0, 0.0, 1.0]), velocity_m_s=np.array([10.0, 0.0, 0.0])
+        )
+        drive = DriveBy(trajectory)
+        interval = drive.in_range_interval(np.array([0.0, 0.0, 4.0]))
+        assert interval is not None
+        enter, leave = interval
+        assert enter < 10.0 < leave
+        # Chord length: ~2 * sqrt(range^2 - closest^2) / speed.
+        assert leave - enter == pytest.approx(2 * READER_RANGE_M / 10.0, rel=0.05)
+
+    def test_drive_by_out_of_range(self):
+        trajectory = ConstantSpeedTrajectory(
+            start_m=np.array([-100.0, 500.0, 1.0]), velocity_m_s=np.array([10.0, 0.0, 0.0])
+        )
+        assert DriveBy(trajectory).in_range_interval(np.zeros(3)) is None
+
+
+class TestParking:
+    def test_spot_layout(self):
+        street = ParkingStreet(origin_m=np.array([2.0, -9.0, 0.0]), n_spots=6)
+        first = street.spot(1)
+        assert first.center_m[0] == pytest.approx(2.0 + 0.5 * street.spot_length_m)
+        sixth = street.spot(6)
+        assert sixth.center_m[0] > first.center_m[0]
+
+    def test_transponder_height(self):
+        street = ParkingStreet(origin_m=np.zeros(3))
+        assert street.spot(1).transponder_position()[2] == pytest.approx(1.0)
+
+    def test_occupancy_lifecycle(self):
+        street = ParkingStreet(origin_m=np.zeros(3), n_spots=3)
+        street.park(2)
+        assert street.is_occupied(2)
+        assert street.free_spots() == [1, 3]
+        street.leave(2)
+        assert not street.is_occupied(2)
+
+    def test_double_park_rejected(self):
+        street = ParkingStreet(origin_m=np.zeros(3))
+        street.park(1)
+        with pytest.raises(ConfigurationError):
+            street.park(1)
+
+    def test_leave_empty_rejected(self):
+        street = ParkingStreet(origin_m=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            street.leave(1)
+
+    def test_bad_spot_index(self):
+        street = ParkingStreet(origin_m=np.zeros(3), n_spots=6)
+        with pytest.raises(ConfigurationError):
+            street.spot(7)

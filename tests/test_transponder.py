@@ -1,0 +1,109 @@
+"""Unit tests for repro.phy.transponder."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    DEFAULT_SAMPLE_RATE_HZ,
+    QUERY_DURATION_S,
+    READER_LO_HZ,
+    RESPONSE_DURATION_S,
+    TURNAROUND_S,
+)
+from repro.errors import ConfigurationError
+from repro.phy.oscillator import Oscillator
+from repro.phy.packet import TransponderPacket
+from repro.phy.transponder import Transponder
+
+
+@pytest.fixture
+def tag():
+    return Transponder(
+        packet=TransponderPacket.create(3, 777),
+        oscillator=Oscillator(READER_LO_HZ + 400e3),
+        position_m=np.array([5.0, -3.0, 1.0]),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestTiming:
+    def test_response_starts_100us_after_query_end(self, tag):
+        response = tag.respond(query_end_s=1.0)
+        assert response.t0_s == pytest.approx(1.0 + TURNAROUND_S)
+
+    def test_response_duration_512us(self, tag):
+        response = tag.respond(0.0)
+        assert response.duration_s == pytest.approx(RESPONSE_DURATION_S)
+
+    def test_sample_count(self, tag):
+        response = tag.respond(0.0)
+        assert response.baseband.size == int(RESPONSE_DURATION_S * DEFAULT_SAMPLE_RATE_HZ)
+
+
+class TestResponseContent:
+    def test_bits_are_packet_bits(self, tag):
+        response = tag.respond(0.0)
+        assert np.array_equal(response.bits, tag.packet.to_bits())
+
+    def test_cfo_matches_oscillator(self, tag):
+        response = tag.respond(0.0)
+        assert response.cfo_hz(READER_LO_HZ) == pytest.approx(400e3)
+
+    def test_fresh_random_phase_per_response(self, tag):
+        phases = {tag.respond(0.0).phase0_rad for _ in range(8)}
+        assert len(phases) == 8  # §8: random initial phase every response
+
+    def test_same_baseband_every_response(self, tag):
+        """Tags have fixed ids: the chip stream never changes."""
+        a = tag.respond(0.0)
+        b = tag.respond(1.0)
+        assert np.array_equal(a.baseband, b.baseband)
+
+    def test_baseband_at_lo_has_peak_at_cfo(self, tag):
+        wave = tag.respond(0.0).baseband_at_lo(READER_LO_HZ)
+        spectrum = np.abs(np.fft.fft(wave.samples))
+        peak_bin = int(np.argmax(spectrum))
+        expected = round(400e3 / (DEFAULT_SAMPLE_RATE_HZ / wave.n_samples))
+        assert peak_bin == expected
+
+    def test_8mhz_sampling(self, tag):
+        response = tag.respond(0.0, sample_rate_hz=8e6)
+        assert response.baseband.size == int(RESPONSE_DURATION_S * 8e6)
+
+
+class TestTrigger:
+    def test_triggered_by_strong_query(self, tag):
+        assert tag.is_triggered(rx_power_w=1e-6)  # -30 dBm
+
+    def test_not_triggered_below_sensitivity(self, tag):
+        assert not tag.is_triggered(rx_power_w=1e-12)  # -90 dBm
+
+    def test_not_triggered_by_short_query(self, tag):
+        assert not tag.is_triggered(rx_power_w=1e-6, query_duration_s=1e-6)
+
+    def test_default_query_duration_triggers(self, tag):
+        assert tag.is_triggered(1e-6, QUERY_DURATION_S)
+
+
+class TestConstruction:
+    def test_position_must_be_3d(self):
+        with pytest.raises(ConfigurationError):
+            Transponder(
+                packet=TransponderPacket.create(1, 1),
+                oscillator=Oscillator(915e6),
+                position_m=np.array([1.0, 2.0]),
+            )
+
+    def test_position_optional(self):
+        tag = Transponder(
+            packet=TransponderPacket.create(1, 1), oscillator=Oscillator(915e6)
+        )
+        assert tag.position_m is None
+
+    def test_random_factory(self):
+        tag = Transponder.random(carrier_hz=914.9e6, rng=3)
+        assert tag.carrier_hz == pytest.approx(914.9e6)
+
+    def test_tx_amplitude_matches_power(self):
+        tag = Transponder.random(carrier_hz=915e6, tx_power_dbm=0.0, rng=1)
+        assert tag.tx_amplitude**2 == pytest.approx(1e-3)  # 0 dBm in watts

@@ -1,0 +1,118 @@
+"""Unit tests for repro.phy.waveform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SpectrumError
+from repro.phy.waveform import Waveform
+
+FS = 4e6
+
+
+class TestConstruction:
+    def test_silence_length(self):
+        wave = Waveform.silence(512e-6, FS)
+        assert wave.n_samples == 2048
+        assert wave.power() == 0.0
+
+    def test_tone_amplitude_and_power(self):
+        wave = Waveform.tone(100e3, 512e-6, FS, amplitude=2.0)
+        assert wave.power() == pytest.approx(4.0)
+
+    def test_tone_absolute_phase_coherence(self):
+        """Two tones created at different t0 must be mutually coherent."""
+        a = Waveform.tone(250e3, 100e-6, FS, t0_s=0.0)
+        b = Waveform.tone(250e3, 100e-6, FS, t0_s=17e-6)
+        # b's first sample should equal a evaluated at 17us... but 17us at
+        # 4 MHz is 68 samples exactly.
+        assert b.samples[0] == pytest.approx(a.samples[68], abs=1e-12)
+
+    def test_rejects_2d_samples(self):
+        with pytest.raises(ConfigurationError):
+            Waveform(np.zeros((2, 2)), FS)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            Waveform(np.zeros(4), -1.0)
+
+
+class TestTimeAxis:
+    def test_times_and_end(self):
+        wave = Waveform.silence(1e-3, FS, t0_s=0.5)
+        assert wave.times()[0] == pytest.approx(0.5)
+        assert wave.end_s == pytest.approx(0.5 + 1e-3)
+
+    def test_delayed_shifts_t0_only(self):
+        wave = Waveform.tone(1e3, 1e-4, FS)
+        shifted = wave.delayed(1e-3)
+        assert shifted.t0_s == pytest.approx(1e-3)
+        assert np.array_equal(shifted.samples, wave.samples)
+
+
+class TestAlgebra:
+    def test_scaled(self):
+        wave = Waveform.tone(1e3, 1e-4, FS)
+        assert wave.scaled(2j).samples[0] == pytest.approx(2j * wave.samples[0])
+
+    def test_mixed_shifts_tone_frequency(self):
+        wave = Waveform.tone(100e3, 512e-6, FS)
+        mixed = wave.mixed(50e3)
+        spectrum = np.fft.fft(mixed.samples)
+        peak_bin = np.argmax(np.abs(spectrum))
+        expected_bin = round(150e3 / (FS / wave.n_samples))
+        assert peak_bin == expected_bin
+
+    def test_mix_down_gives_dc(self):
+        wave = Waveform.tone(100e3, 512e-6, FS)
+        baseband = wave.mixed(-100e3)
+        assert np.allclose(baseband.samples, baseband.samples[0])
+
+    def test_add_aligned(self):
+        a = Waveform.tone(1e3, 1e-4, FS)
+        total = a + a
+        assert np.allclose(total.samples, 2 * a.samples)
+
+    def test_add_offset_spans_union(self):
+        a = Waveform.silence(1e-4, FS, t0_s=0.0)
+        b = Waveform.silence(1e-4, FS, t0_s=1e-4)
+        total = a + b
+        assert total.t0_s == 0.0
+        assert total.duration_s == pytest.approx(2e-4)
+
+    def test_add_offset_places_samples(self):
+        a = Waveform(np.ones(4), FS, t0_s=0.0)
+        b = Waveform(np.ones(4), FS, t0_s=2 / FS)
+        total = a + b
+        assert np.allclose(total.samples, [1, 1, 2, 2, 1, 1])
+
+    def test_add_rate_mismatch_rejected(self):
+        a = Waveform.silence(1e-4, FS)
+        b = Waveform.silence(1e-4, 2 * FS)
+        with pytest.raises(ConfigurationError):
+            a + b
+
+
+class TestWindows:
+    def test_window_extracts_offset(self):
+        wave = Waveform(np.arange(16, dtype=complex), FS)
+        win = wave.window(4, 8)
+        assert np.array_equal(win.samples, np.arange(4, 12))
+        assert win.t0_s == pytest.approx(4 / FS)
+
+    def test_window_out_of_range(self):
+        wave = Waveform.silence(1e-5, FS)
+        with pytest.raises(SpectrumError):
+            wave.window(0, wave.n_samples + 1)
+
+    def test_sliced_by_time(self):
+        wave = Waveform(np.arange(16, dtype=complex), FS, t0_s=1.0)
+        part = wave.sliced(1.0 + 4 / FS, 1.0 + 8 / FS)
+        assert np.array_equal(part.samples, np.arange(4, 8))
+
+    def test_sliced_disjoint_raises(self):
+        wave = Waveform.silence(1e-5, FS)
+        with pytest.raises(SpectrumError):
+            wave.sliced(1.0, 2.0)
+
+    def test_rms_of_unit_tone(self):
+        assert Waveform.tone(1e3, 1e-4, FS).rms() == pytest.approx(1.0)
