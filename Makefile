@@ -1,0 +1,21 @@
+# Developer entrypoints. `make check` is the gate a change must pass:
+# lint (unused imports fail fast) + the tier-1 test suite.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check lint test bench
+
+check: lint test
+
+lint:
+	$(PYTHON) tools/lint.py
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Paper-figure regeneration (slow). REPRO_BENCH_SCALE scales MC runs.
+bench:
+	$(PYTHON) -m pytest benchmarks -q \
+		-o python_files='bench_*.py' -o python_functions='bench_*' \
+		-p no:cacheprovider

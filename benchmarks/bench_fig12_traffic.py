@@ -9,7 +9,6 @@ pipeline at a subsampled cadence, and print the Fig 12 time series.
 
 import numpy as np
 
-from conftest import scaled
 from repro.core.counting import CollisionCounter
 from repro.sim.scenario import intersection_scene
 from repro.sim.traffic import IntersectionSimulator, PoissonArrivals, TrafficLight

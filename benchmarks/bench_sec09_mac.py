@@ -10,7 +10,6 @@ Claims reproduced on the event-driven shared medium:
    at a rate that grows with reader density.
 """
 
-import numpy as np
 
 from conftest import scaled
 from repro.sim.medium import Medium, ReaderNode

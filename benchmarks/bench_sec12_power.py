@@ -6,8 +6,6 @@ Measured numbers reproduced by the models: 900 mW active, 69 µW sleep,
 run the reader for most of a week in the dark.
 """
 
-import numpy as np
-
 from repro.constants import SOLAR_PEAK_W
 from repro.hw.battery import Battery, simulate_energy_budget
 from repro.hw.power import DutyCycle, PowerModel

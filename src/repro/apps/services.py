@@ -65,7 +65,14 @@ class RedLightDetector:
     Tracks each tag's last observation; when consecutive fixes straddle
     the stop line, the crossing time is interpolated and checked against
     the signal phase. Cars legally discharging a queue (crossing during
-    green/yellow) produce nothing.
+    green/yellow) produce nothing. A fix sitting *exactly on* the stop
+    line counts as not-yet-crossed, so a car observed at the line and
+    then past it is still caught (and one stopping dead on the line is
+    not).
+
+    Tracks are pruned once they have not been sighted for ``horizon_s``:
+    a city-scale stream sees every passing car once, and an unbounded
+    last-fix table would otherwise grow forever.
 
     Attributes:
         light: the signal for this approach.
@@ -73,27 +80,38 @@ class RedLightDetector:
         approach_direction: +1 if violators travel toward +x.
         min_speed_m_s: crossings slower than this are queue creep, not
             running the light.
+        horizon_s: forget tags unseen for this long. Two fixes further
+            apart than the horizon never interpolate into a crossing
+            (the car plainly did not dwell mid-intersection that long).
     """
 
     light: TrafficLight
     stop_line_x_m: float
     approach_direction: float = 1.0
     min_speed_m_s: float = 1.5
+    horizon_s: float = 300.0
     _last: dict[int, TagObservation] = field(default_factory=dict)
+    _prune_countdown: int = field(default=0, repr=False)
     violations: list[RedLightViolation] = field(default_factory=list)
 
     def observe(self, observation: TagObservation) -> RedLightViolation | None:
         """Feed one sighting; returns a violation if one just occurred."""
         previous = self._last.get(observation.tag_id)
         self._last[observation.tag_id] = observation
+        # Amortized: a full scan every ~len/2 sightings keeps the table
+        # bounded at O(active tags) without O(n) work per observation.
+        self._prune_countdown -= 1
+        if self._prune_countdown <= 0:
+            self.prune(observation.timestamp_s)
+            self._prune_countdown = max(32, len(self._last) // 2)
         if previous is None:
             return None
         dt = observation.timestamp_s - previous.timestamp_s
-        if dt <= 0:
+        if dt <= 0 or dt > self.horizon_s:
             return None
         before = (previous.position_m[0] - self.stop_line_x_m) * self.approach_direction
         after = (observation.position_m[0] - self.stop_line_x_m) * self.approach_direction
-        if not (before < 0 <= after):
+        if not (before <= 0 < after):
             return None
         # Interpolate the crossing instant along the segment.
         fraction = -before / (after - before)
@@ -104,6 +122,14 @@ class RedLightDetector:
         phase = self.light.phase(crossed_at)
         if phase != "red":
             return None
+        if before == 0.0 and not self.light.is_red_throughout(
+            previous.timestamp_s, observation.timestamp_s
+        ):
+            # A fix exactly on the line pins the crossing only to somewhere
+            # inside [previous, current]; if the light showed anything but
+            # red within that window the car may have departed legally —
+            # benefit of the doubt.
+            return None
         violation = RedLightViolation(
             tag_id=observation.tag_id,
             crossed_at_s=crossed_at,
@@ -112,6 +138,22 @@ class RedLightDetector:
         )
         self.violations.append(violation)
         return violation
+
+    def prune(self, now_s: float) -> int:
+        """Drop tracks unseen since ``now_s - horizon_s``; returns count."""
+        stale = [
+            tag_id
+            for tag_id, obs in self._last.items()
+            if now_s - obs.timestamp_s > self.horizon_s
+        ]
+        for tag_id in stale:
+            del self._last[tag_id]
+        return len(stale)
+
+    @property
+    def n_tracked(self) -> int:
+        """Tags currently tracked (bounded by pruning)."""
+        return len(self._last)
 
 
 @dataclass(frozen=True)

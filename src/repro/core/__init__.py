@@ -7,6 +7,7 @@
 * :mod:`repro.core.speed` — speed estimation and §7 error bounds.
 * :mod:`repro.core.decoding` — coherent-combining ID decoder (§8).
 * :mod:`repro.core.reader` — the CaraokeReader facade.
+* :mod:`repro.core.network` — multi-reader batch processing (§12.5).
 * :mod:`repro.core.mac` — reader-side CSMA rules (§9).
 """
 
@@ -22,6 +23,7 @@ from .theory import (
 from .localization import (
     AoAEstimate,
     AoAEstimator,
+    LaneProjectionLocalizer,
     ReaderGeometry,
     TwoReaderLocalizer,
     aoa_from_phase,
@@ -34,8 +36,9 @@ from .speed import (
     max_position_error_m,
     max_speed_error_fraction,
 )
-from .decoding import CoherentDecoder, DecodeResult, DecodeSession
+from .decoding import CoherentDecoder, DecodeResult, DecodeSession, MultiTargetCombiner
 from .reader import CaraokeReader, ReaderReport
+from .network import IdentityCache, ReaderNetwork, ReaderStation, StationReport
 from .mac import CsmaState, ReaderMac
 
 __all__ = [
@@ -54,6 +57,7 @@ __all__ = [
     "simulate_no_miss_probability",
     "AoAEstimate",
     "AoAEstimator",
+    "LaneProjectionLocalizer",
     "ReaderGeometry",
     "TwoReaderLocalizer",
     "aoa_from_phase",
@@ -66,8 +70,13 @@ __all__ = [
     "CoherentDecoder",
     "DecodeResult",
     "DecodeSession",
+    "MultiTargetCombiner",
     "CaraokeReader",
     "ReaderReport",
+    "IdentityCache",
+    "ReaderNetwork",
+    "ReaderStation",
+    "StationReport",
     "CsmaState",
     "ReaderMac",
 ]

@@ -16,6 +16,27 @@ the target's SNR grows ~N and eventually its 256 bits demodulate and pass
 the CRC — the stopping rule of §12.4. Expected cost: interferer power
 relative to the target sets N, hence decode time grows with the number of
 colliding tags (Fig 16: ~4 ms at 2 tags, ~16 ms at 5, tens of ms at 10).
+
+Two execution paths implement the same math:
+
+* :meth:`CoherentDecoder.decode` — the direct, per-capture reference
+  algorithm, kept deliberately simple (it *is* §8 as written).
+* :class:`MultiTargetCombiner` — the production path used by
+  :class:`DecodeSession` and the :mod:`repro.core.network` batch layer.
+  It is **incremental** (per-target accumulators advance one capture at a
+  time and never re-sum their prefix), attempts demodulation only at
+  *new* capture counts, and is **batched** across targets: each capture's
+  channel estimates for every target come from one matrix-vector product
+  and every target's CFO phasor is built in one broadcast pass.
+
+A key algebraic identity makes the batched path cheap.  The compensated
+capture is ``r_j(t) exp(-j 2 pi f t) / h_j`` with absolute time
+``t = t0_j + tau``.  The channel estimate is read off the capture itself,
+``h_j = 2 mean(r_j(t) exp(-j 2 pi f t))`` (Eq 5), so the absolute-time
+rotation ``exp(-j 2 pi f t0_j)`` cancels between numerator and channel:
+the accumulator factors as ``phasor(tau) * sum_j r_j(tau) / (2 q_j)``
+where ``q_j = mean(r_j(tau) phasor(tau))`` is a single dot product per
+(capture, target) and ``phasor`` is computed once per target.
 """
 
 from __future__ import annotations
@@ -31,7 +52,7 @@ from ..phy.packet import TransponderPacket
 from ..phy.waveform import Waveform
 from .cfo import estimate_channel, refine_frequency
 
-__all__ = ["DecodeResult", "CoherentDecoder", "DecodeSession"]
+__all__ = ["DecodeResult", "CoherentDecoder", "MultiTargetCombiner", "DecodeSession"]
 
 
 @dataclass
@@ -80,6 +101,12 @@ class CoherentDecoder:
     ) -> DecodeResult:
         """Decode by accumulating captures until the packet checks out.
 
+        This is the reference single-target algorithm; it recomputes the
+        compensation of every capture from scratch. Repeated-query
+        pipelines should use :class:`DecodeSession` (or
+        :class:`MultiTargetCombiner` directly), which share work across
+        targets and retries.
+
         Args:
             captures: single-antenna captures, one per query, all aligned
                 to their response start.
@@ -95,9 +122,7 @@ class CoherentDecoder:
             raise DecodingError("no captures supplied")
         cfo = target_cfo_hz
         if refine:
-            cfo = refine_frequency(
-                captures[0], cfo, span_hz=captures[0].sample_rate_hz / captures[0].n_samples / 2.0
-            )
+            cfo = self.refine_cfo(captures[0], cfo)
         accumulator = np.zeros(captures[0].n_samples, dtype=np.complex128)
         for j, capture in enumerate(captures, start=1):
             accumulator += self._compensated(capture, cfo)
@@ -112,6 +137,43 @@ class CoherentDecoder:
             packet=None, n_queries=len(captures), cfo_hz=cfo, query_period_s=self.query_period_s
         )
 
+    def decode_many(
+        self,
+        captures: list[Waveform],
+        target_cfos_hz: list[float],
+        refine: bool = True,
+        min_queries: int = 1,
+    ) -> dict[float, DecodeResult]:
+        """Decode many targets from one shared capture list, batched.
+
+        The vectorized counterpart of calling :meth:`decode` once per
+        target: one :class:`MultiTargetCombiner` recombines the same
+        captures for every target, so each capture is read once and each
+        target's compensation is a broadcast, not a Python loop.
+
+        Returns:
+            ``{requested cfo: DecodeResult}`` — same per-target outcomes
+            (packets and query counts) as the reference path.
+        """
+        if not captures:
+            raise DecodingError("no captures supplied")
+        combiner = MultiTargetCombiner(self, captures[0].n_samples)
+        refined = [
+            self.refine_cfo(captures[0], cfo) if refine else float(cfo)
+            for cfo in target_cfos_hz
+        ]
+        keys = combiner.add_targets(refined)
+        combiner.advance(keys, captures, len(captures), min_queries=min_queries)
+        return {
+            cfo: combiner.result(key) for cfo, key in zip(target_cfos_hz, keys)
+        }
+
+    def refine_cfo(self, capture: Waveform, cfo_hz: float) -> float:
+        """Sub-bin refine a spike frequency on one capture (§3)."""
+        return refine_frequency(
+            capture, cfo_hz, span_hz=capture.sample_rate_hz / capture.n_samples / 2.0
+        )
+
     # -- internals ---------------------------------------------------------------
 
     def _compensated(self, capture: Waveform, cfo_hz: float) -> np.ndarray:
@@ -122,13 +184,213 @@ class CoherentDecoder:
         t = capture.times()
         return capture.samples * np.exp(-2j * np.pi * cfo_hz * t) / h
 
-    def _try_demodulate(self, accumulator: np.ndarray) -> TransponderPacket | None:
-        """Matched-filter, Manchester-decode and CRC-check the average."""
+    def _try_demodulate(
+        self, accumulator: np.ndarray | None = None, bits: np.ndarray | None = None
+    ) -> TransponderPacket | None:
+        """Matched-filter, Manchester-decode and CRC-check the average.
+
+        One call is one demodulation attempt. Batched callers that have
+        already matched-filtered and sliced a whole cohort pass ``bits``
+        directly; the outcome is identical to passing the accumulator.
+        """
         try:
-            bits = self._modulator.demodulate_soft(accumulator, n_bits=PACKET_BITS)
+            if bits is None:
+                bits = self._modulator.demodulate_soft(accumulator, n_bits=PACKET_BITS)
             return TransponderPacket.from_bits(bits)
         except (CrcError, PacketError, ModulationError):
             return None
+
+
+class MultiTargetCombiner:
+    """Incremental, batched coherent recombination of shared captures.
+
+    Holds one accumulator row per target over a single stream of captures
+    (§12.4: the *same* collisions are recombined per target). Advancing a
+    target by one capture costs one dot product (its channel estimate) and
+    one vector add; nothing is ever re-summed, and demodulation is only
+    attempted at capture counts not tried before — so a session that
+    doubles its budget past a failure never repeats work.
+
+    Targets are identified by integer keys from :meth:`add_target` /
+    :meth:`add_targets`. All per-target state lives in ``(T, N)`` matrices
+    so a cohort of targets advances through a capture with one
+    matrix-vector product and one broadcast add.
+    """
+
+    def __init__(self, decoder: CoherentDecoder, n_samples: int):
+        if n_samples <= 0:
+            raise DecodingError("combiner needs a positive capture length")
+        self.decoder = decoder
+        self.n_samples = int(n_samples)
+        self._tau = np.arange(self.n_samples) / decoder.sample_rate_hz
+        self.cfos_hz = np.zeros(0, dtype=np.float64)
+        self._phasors = np.zeros((0, self.n_samples), dtype=np.complex128)
+        self._acc = np.zeros((0, self.n_samples), dtype=np.complex128)
+        self.n_combined = np.zeros(0, dtype=np.int64)
+        self.n_attempted = np.zeros(0, dtype=np.int64)
+        self._results: list[DecodeResult | None] = []
+
+    @property
+    def n_targets(self) -> int:
+        return len(self._results)
+
+    def add_targets(self, cfos_hz: list[float]) -> list[int]:
+        """Register targets; their CFO phasors are built in one broadcast."""
+        if not len(cfos_hz):
+            return []
+        cfos = np.asarray(cfos_hz, dtype=np.float64)
+        first = self.n_targets
+        phasors = np.exp(-2j * np.pi * cfos[:, None] * self._tau[None, :])
+        self.cfos_hz = np.concatenate([self.cfos_hz, cfos])
+        self._phasors = np.vstack([self._phasors, phasors])
+        self._acc = np.vstack(
+            [self._acc, np.zeros((cfos.size, self.n_samples), dtype=np.complex128)]
+        )
+        self.n_combined = np.concatenate(
+            [self.n_combined, np.zeros(cfos.size, dtype=np.int64)]
+        )
+        self.n_attempted = np.concatenate(
+            [self.n_attempted, np.zeros(cfos.size, dtype=np.int64)]
+        )
+        self._results.extend([None] * cfos.size)
+        return list(range(first, self.n_targets))
+
+    def add_target(self, cfo_hz: float) -> int:
+        """Register one target (already-refined CFO); returns its key."""
+        return self.add_targets([float(cfo_hz)])[0]
+
+    def decoded(self, key: int) -> bool:
+        """Whether the target's packet has passed its CRC."""
+        return self._results[key] is not None
+
+    def result(self, key: int, max_queries: int | None = None) -> DecodeResult:
+        """The target's outcome so far.
+
+        A success is returned as recorded; otherwise a failure result is
+        minted reporting how many captures were combined (capped at
+        ``max_queries`` when given, mirroring a budget-limited run).
+        """
+        recorded = self._results[key]
+        if recorded is not None:
+            return recorded
+        n = int(self.n_combined[key])
+        if max_queries is not None:
+            n = min(n, int(max_queries))
+        return DecodeResult(
+            packet=None,
+            n_queries=n,
+            cfo_hz=float(self.cfos_hz[key]),
+            query_period_s=self.decoder.query_period_s,
+        )
+
+    def advance(
+        self,
+        keys: list[int],
+        captures: list[Waveform],
+        upto: int,
+        min_queries: int = 1,
+    ) -> None:
+        """Advance targets through ``captures[:upto]``, incrementally.
+
+        Each target combines only captures beyond its own prefix and
+        attempts demodulation only at capture counts above its previous
+        attempt — the §12.4 stopping rule without quadratic re-work.
+        """
+        upto = min(int(upto), len(captures))
+        keys = list(dict.fromkeys(keys))  # duplicates would double-combine
+        pending = [
+            k for k in keys if self._results[k] is None and self.n_combined[k] < upto
+        ]
+        if not pending:
+            return
+        # Decoded targets ride along in the combine cohorts: their rows
+        # keep accumulating (harmless — their result is recorded) so that
+        # lockstep batches stay on the full-matrix fast path instead of
+        # falling back to gather/scatter indexing as targets finish.
+        cohorts = list(keys)
+        start = int(min(self.n_combined[k] for k in pending))
+        for j in range(start, upto):
+            cohort = np.array(
+                [k for k in cohorts if self.n_combined[k] == j], dtype=np.intp
+            )
+            if cohort.size:
+                self._combine(cohort, captures[j])
+                count = j + 1
+                if count >= min_queries:
+                    self._attempt(cohort, count)
+                    pending = [k for k in pending if self._results[k] is None]
+                    if not pending:
+                        return
+
+    # -- internals ---------------------------------------------------------------
+
+    def _combine(self, cohort: np.ndarray, capture: Waveform) -> None:
+        """Fold one capture into every cohort accumulator (batched)."""
+        x = capture.samples
+        if x.size != self.n_samples:
+            raise DecodingError(
+                f"capture length {x.size} does not match combiner ({self.n_samples})"
+            )
+        # One matvec gives every target's channel readout q = mean(x * phasor);
+        # the absolute-time rotation cancels against Eq 5's channel estimate,
+        # so the compensated capture is x / (2 q) (see module docstring).
+        whole = cohort.size == self.n_targets
+        phasors = self._phasors if whole else self._phasors[cohort]
+        q = phasors @ x / self.n_samples
+        if np.any(q == 0):
+            raise DecodingError("zero channel estimate for target")
+        contribution = x[None, :] / (2.0 * q[:, None])
+        if whole:
+            self._acc += contribution
+        else:
+            self._acc[cohort] += contribution
+        self.n_combined[cohort] += 1
+
+    def _attempt(self, cohort: np.ndarray, count: int) -> None:
+        """Try demodulation for cohort members that haven't tried ``count``.
+
+        The matched filter and Manchester comparison run once for the
+        whole cohort (matrix ops); packet parsing — one demodulation
+        attempt per target — still goes through the decoder's
+        ``_try_demodulate`` funnel.
+        """
+        pending = [
+            int(k)
+            for k in cohort
+            if self._results[int(k)] is None and self.n_attempted[int(k)] < count
+        ]
+        if not pending:
+            return
+        idx = np.asarray(pending, dtype=np.intp)
+        modulator = self.decoder._modulator
+        spc = modulator.samples_per_chip
+        n_chips = 2 * PACKET_BITS
+        if self.n_samples < n_chips * spc:
+            # Captures too short for a packet: the per-target reference
+            # path raises (and swallows) the same ModulationError.
+            bit_rows = None
+        else:
+            rows = (self._phasors[idx] * self._acc[idx]).real
+            soft = (
+                np.add.reduce(
+                    rows[:, : n_chips * spc].reshape(idx.size, n_chips, spc), axis=2
+                )
+                / spc
+            )
+            bit_rows = (soft[:, 0::2] > soft[:, 1::2]).astype(np.uint8)
+        for i, k in enumerate(pending):
+            self.n_attempted[k] = count
+            if bit_rows is None:
+                packet = self.decoder._try_demodulate(self._phasors[k] * self._acc[k])
+            else:
+                packet = self.decoder._try_demodulate(bits=bit_rows[i])
+            if packet is not None:
+                self._results[k] = DecodeResult(
+                    packet=packet,
+                    n_queries=count,
+                    cfo_hz=float(self.cfos_hz[k]),
+                    query_period_s=self.decoder.query_period_s,
+                )
 
 
 @dataclass
@@ -139,12 +401,23 @@ class DecodeSession:
     time than decoding one: the same collisions are recombined per target
     with different CFO/channel compensation. The session issues queries
     through a callable (e.g. ``StaticCollisionSimulator.query``) and feeds
-    one shared capture list to a per-target decoder.
+    one shared capture list to a :class:`MultiTargetCombiner`, so:
+
+    * captures are issued lazily and reused across targets *and* budget
+      doublings (a failed target retried with a larger ``max_queries``
+      resumes where it stopped);
+    * demodulation is attempted exactly once per (target, capture count);
+    * targets decoded together advance through each capture as one batch.
+
+    The session is a cache of decoding evidence: once a target's packet
+    has passed its CRC, later calls return that result even if asked with
+    a smaller ``max_queries``.
 
     Attributes:
         query_fn: ``query_fn(t_s) -> ReceivedCollision``.
         decoder: the coherent decoder to use.
         antenna_index: which antenna's capture stream to decode from.
+        refine: sub-bin refine each target's CFO on the first capture.
     """
 
     query_fn: object
@@ -152,6 +425,9 @@ class DecodeSession:
     antenna_index: int = 0
     captures: list[Waveform] = field(default_factory=list)
     _next_query_s: float = 0.0
+    refine: bool = True
+    _combiner: MultiTargetCombiner | None = field(default=None, repr=False)
+    _target_keys: dict[float, int] = field(default_factory=dict, repr=False)
 
     def _ensure_captures(self, n: int) -> None:
         while len(self.captures) < n:
@@ -159,25 +435,73 @@ class DecodeSession:
             self._next_query_s += self.decoder.query_period_s
             self.captures.append(collision.antenna(self.antenna_index))
 
+    def _keys_for(self, target_cfos_hz: list[float]) -> list[int]:
+        """Target keys for the requested CFOs, registering new ones."""
+        fresh = list(
+            dict.fromkeys(
+                cfo for cfo in target_cfos_hz if cfo not in self._target_keys
+            )
+        )
+        if fresh:
+            self._ensure_captures(1)
+            if self._combiner is None:
+                self._combiner = MultiTargetCombiner(
+                    self.decoder, self.captures[0].n_samples
+                )
+            refined = [
+                self.decoder.refine_cfo(self.captures[0], cfo) if self.refine else cfo
+                for cfo in fresh
+            ]
+            for cfo, key in zip(fresh, self._combiner.add_targets(refined)):
+                self._target_keys[cfo] = key
+        return [self._target_keys[cfo] for cfo in target_cfos_hz]
+
     def decode_target(self, target_cfo_hz: float, max_queries: int = 64) -> DecodeResult:
         """Decode one tag, issuing further queries only as needed.
 
         The capture budget grows geometrically; captures already issued
-        (e.g. for a previous target) are reused for free.
+        (e.g. for a previous target) are reused for free, and so is all
+        combining already done for this target.
         """
-        n = 1
-        while True:
-            self._ensure_captures(n)
-            result = self.decoder.decode(self.captures[:n], target_cfo_hz)
-            if result.success or n >= max_queries:
-                return result
-            n = min(2 * n, max_queries)
+        return self._run(self._keys_for([target_cfo_hz]), max_queries)[0]
 
     def decode_all(
         self, target_cfos_hz: list[float], max_queries: int = 64
     ) -> dict[float, DecodeResult]:
-        """Decode every listed tag from the shared capture stream."""
-        return {cfo: self.decode_target(cfo, max_queries) for cfo in target_cfos_hz}
+        """Decode every listed tag from the shared capture stream.
+
+        All targets advance through each capture together, so the whole
+        batch costs one pass over the stream regardless of how many tags
+        are being identified.
+        """
+        keys = self._keys_for(list(target_cfos_hz))
+        results = self._run(keys, max_queries)
+        return dict(zip(target_cfos_hz, results))
+
+    def seed_capture(self, capture: Waveform) -> None:
+        """Feed an already-received capture into the shared stream.
+
+        Lets a caller that has queried for other reasons (e.g. a
+        counting/AoA measurement round) donate that capture to the
+        decode stream, so identification reuses its air time (§12.4).
+        """
+        self.captures.append(capture)
+        self._next_query_s += self.decoder.query_period_s
+
+    def _run(self, keys: list[int], max_queries: int) -> list[DecodeResult]:
+        if not keys:
+            return []
+        combiner = self._combiner
+        # A decode attempt always consumes at least one query on the air;
+        # budgets below that would misreport the air time actually spent.
+        max_queries = max(1, int(max_queries))
+        n = 1
+        while True:
+            self._ensure_captures(n)
+            combiner.advance(keys, self.captures, n)
+            if all(combiner.decoded(k) for k in keys) or n >= max_queries:
+                return [combiner.result(k, max_queries=max_queries) for k in keys]
+            n = min(2 * n, max_queries)
 
     @property
     def total_air_time_s(self) -> float:

@@ -21,6 +21,7 @@ from ..channel.collision import ReceivedCollision
 from ..channel.geometry import RoadSegment, aoa_cone_conic, intersect_conics
 from ..constants import PAIR_USABLE_MAX_DEG, PAIR_USABLE_MIN_DEG, WAVELENGTH_M
 from ..errors import GeometryError, LocalizationError
+from ..utils import wrap_angle
 from .cfo import estimate_channel, extract_cfo_peaks
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "AoAEstimator",
     "ReaderGeometry",
     "TwoReaderLocalizer",
+    "LaneProjectionLocalizer",
 ]
 
 
@@ -230,3 +232,145 @@ class TwoReaderLocalizer:
         else:
             best = min(on_road, key=lambda p: abs(p[1] - road.y_center_m))
         return np.asarray(best, dtype=np.float64)
+
+
+@dataclass
+class LaneProjectionLocalizer:
+    """Single-reader road fix: intersect the AoA cone with known lanes.
+
+    One reader's AoA confines a tag to a cone around the measured antenna
+    baseline; a full 2-D fix normally takes a second reader's conic
+    (:class:`TwoReaderLocalizer`, Fig 7). On an instrumented road the
+    unknown is effectively one-dimensional, though: cars sit in known
+    lanes (or marked parking spots), so intersecting the cone with each
+    lane line ``y = lane, z = tag height`` reduces localization to a
+    quadratic in the along-road coordinate x. At most two candidates
+    survive per lane; road limits, the cone's half-space, and an optional
+    hint (e.g. the car's previous fix) disambiguate.
+
+    This is what lets a :class:`~repro.core.network.ReaderNetwork` station
+    mint positioned observations from a *single* pole per approach.
+
+    Attributes:
+        road: the road segment the lanes belong to.
+        lane_ys_m: cross-road coordinates of the lane centers to try.
+        tag_height_m: windshield transponder height above the road.
+        road_margin_m: tolerance outside the road edge (footnote 10).
+        max_phase_error_deg: per-baseline tolerance between the phase a
+            candidate would produce and the measured one. Phase noise is
+            roughly uniform across pairs (unlike angle noise, which blows
+            up toward end-fire), so the gate is applied in phase space: a
+            candidate exceeding it on any baseline is a ghost (e.g. a tag
+            that is really outside this reader's road segment) and is
+            rejected rather than reported.
+    """
+
+    road: RoadSegment
+    lane_ys_m: tuple[float, ...]
+    tag_height_m: float = 1.0
+    road_margin_m: float = 1.5
+    max_phase_error_deg: float = 15.0
+
+    def locate(
+        self,
+        estimate: AoAEstimate,
+        estimator: AoAEstimator,
+        hint_xy: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Locate one tag from its AoA at this reader alone.
+
+        Args:
+            estimate: the tag's AoA measurement.
+            estimator: the estimator that produced it (provides the
+                physical pair geometry behind ``best_pair_index``).
+            hint_xy: optional prior (x, y); the candidate nearest the
+                hint wins. Without a hint, candidates are scored by
+                consistency with *all three* measured baselines (the
+                selected pair fixes a cone; the other two pairs vote
+                between its lane intersections).
+
+        Returns:
+            (x, y) world coordinates on the road plane.
+
+        Raises:
+            GeometryError: if the cone misses every lane on the road.
+        """
+        pair = estimator.best_pair(estimate)
+        apex = pair.midpoint_m
+        axis = pair.axis
+        cos_a = float(np.cos(estimate.alpha_rad))
+        z = self.road.z_m + self.tag_height_m
+        candidates: list[np.ndarray] = []
+        for lane_y in self.lane_ys_m:
+            dy = lane_y - apex[1]
+            dz = z - apex[2]
+            # |(p - apex) . axis| = |p - apex| cos(alpha) with p = (x, y, z)
+            # becomes a quadratic in X = x - apex_x.
+            c1 = axis[1] * dy + axis[2] * dz
+            c2 = dy * dy + dz * dz
+            a = axis[0] ** 2 - cos_a**2
+            b = 2.0 * axis[0] * c1
+            c = c1 * c1 - c2 * cos_a**2
+            if abs(a) < 1e-12:
+                if abs(b) < 1e-12:
+                    continue
+                roots = [-c / b]
+            else:
+                disc = b * b - 4.0 * a * c
+                if disc < 0:
+                    continue
+                sq = float(np.sqrt(disc))
+                roots = [(-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a)]
+            for x_rel in roots:
+                # The measured alpha fixes which nappe of the double cone.
+                along = axis[0] * x_rel + c1
+                if cos_a * along < -1e-9:
+                    continue
+                point = np.array([apex[0] + x_rel, lane_y])
+                if self.road.contains(point, margin_m=self.road_margin_m):
+                    candidates.append(point)
+        pairs = estimator.array.pairs()
+        self_wl = estimator.wavelength_m
+
+        def phase_errors_rad(point_xy: np.ndarray) -> np.ndarray:
+            p = np.array([point_xy[0], point_xy[1], z])
+            # Wrap each difference into (-pi, pi]: near end-fire the true
+            # phase sits next to +-pi and noise can flip the measured
+            # sign — a tiny physical error that would otherwise read ~2pi.
+            return np.array(
+                [
+                    abs(
+                        float(
+                            wrap_angle(
+                                phase_from_aoa(alpha, pair_k.spacing_m, self_wl)
+                                - phase_from_aoa(
+                                    pair_k.true_spatial_angle_rad(p),
+                                    pair_k.spacing_m,
+                                    self_wl,
+                                )
+                            )
+                        )
+                    )
+                    for alpha, pair_k in zip(estimate.alphas_rad, pairs)
+                ]
+            )
+
+        # A real tag matches all three measured baselines to within phase
+        # noise; a ghost (wrong lane, or a tag outside this road segment
+        # whose cone happens to graze it) only matches the selected one.
+        ceiling = float(np.deg2rad(self.max_phase_error_deg))
+        scored = [(p, phase_errors_rad(p)) for p in candidates]
+        scored = [(p, errors) for p, errors in scored if errors.max() <= ceiling]
+        if not scored:
+            raise GeometryError(
+                f"AoA cone (alpha={estimate.alpha_deg:.1f} deg) intersects "
+                f"no lane of {self.lane_ys_m} on the road consistently "
+                f"with all baselines"
+            )
+        if hint_xy is not None:
+            hint = np.asarray(hint_xy, dtype=np.float64)
+            return min(
+                (p for p, _ in scored),
+                key=lambda p: float(np.linalg.norm(p - hint)),
+            )
+        return min(scored, key=lambda item: float(np.sum(item[1] ** 2)))[0]

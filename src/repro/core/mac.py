@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..constants import CSMA_LISTEN_S
 from ..errors import ConfigurationError

@@ -1,0 +1,354 @@
+"""A network of Caraoke readers feeding the city backend (§12.5).
+
+One reader observes one approach; a *city* deployment is many readers
+streaming measurements into shared services (§1: red-light enforcement,
+parking billing, find-my-car). This module is that batch layer:
+
+* :class:`ReaderStation` — one pole: a :class:`~repro.core.reader.CaraokeReader`,
+  the collision stream it listens to (``query_fn``), a localizer that turns
+  AoA into road positions, and an :class:`IdentityCache` so a tag decoded
+  once is not re-decoded every round (§7: tag CFOs are stable over minutes).
+* :class:`ReaderNetwork` — drives every station through measurement
+  rounds. Each round counts (§5), localizes (§6) and — for CFOs whose
+  account id is not yet known — opens a batched
+  :class:`~repro.core.decoding.DecodeSession` that identifies *all*
+  unknown tags from one shared capture stream (§12.4). The resulting
+  :class:`~repro.apps.services.TagObservation` records are fanned out to
+  every subscribed service.
+
+The network never reads simulation ground truth: stations consume
+collisions through ``query_fn`` exactly like a live radio front-end.
+
+Example::
+
+    network = ReaderNetwork()
+    network.add_station(ReaderStation("pole-1", reader, sim.query,
+                                      localizer=lane_localizer))
+    finder = network.subscribe(CarFinder())
+    network.step(timestamp_s=0.0)
+    finder.locate(account_id)
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CaraokeError
+from .decoding import DecodeResult
+from .reader import ReaderReport
+
+__all__ = ["IdentityCache", "ReaderStation", "StationReport", "ReaderNetwork"]
+
+
+def _tag_observation():
+    # Deferred: repro.apps pulls in repro.sim, whose medium module needs
+    # repro.core (this package) for the MAC — importing apps here at
+    # module scope would close that cycle during package init.
+    from ..apps.services import TagObservation
+
+    return TagObservation
+
+
+@dataclass
+class IdentityCache:
+    """Resolves CFO spikes to account ids decoded earlier (§7).
+
+    A tag's CFO is its short-term fingerprint: stable over minutes, far
+    apart between tags relative to the FFT resolution. Once a spike has
+    been decoded, later sightings within ``tolerance_hz`` reuse the id —
+    and each hit refreshes the stored CFO so slow oscillator drift is
+    tracked instead of aged out.
+
+    Limitation: the fingerprint is not cryptographic. If tag A leaves
+    and an unrelated tag B with a CFO within ``tolerance_hz`` of A's
+    arrives before A's entry ages out, B's first sighting is attributed
+    to A. :meth:`ReaderNetwork.process_station` guards the in-round
+    version of this (two simultaneous spikes can never share one cached
+    id), but billing-grade pipelines should re-decode periodically.
+
+    Attributes:
+        tolerance_hz: maximum spike movement between sightings.
+    """
+
+    tolerance_hz: float = 3000.0
+    _cfos_by_id: dict[int, float] = field(default_factory=dict)
+    _sorted_cfos: list[float] = field(default_factory=list, repr=False)
+    _sorted_ids: list[int] = field(default_factory=list, repr=False)
+    _dirty: bool = field(default=False, repr=False)
+
+    def _reindex(self) -> None:
+        if self._dirty or len(self._sorted_cfos) != len(self._cfos_by_id):
+            pairs = sorted((cfo, tag_id) for tag_id, cfo in self._cfos_by_id.items())
+            self._sorted_cfos = [cfo for cfo, _ in pairs]
+            self._sorted_ids = [tag_id for _, tag_id in pairs]
+            self._dirty = False
+
+    def lookup(self, cfo_hz: float) -> int | None:
+        """The cached account id whose CFO is nearest, or None.
+
+        Binary search over a lazily rebuilt sorted index: O(log n) per
+        spike instead of a scan of every account the station ever decoded
+        (the table itself is unbounded until the ROADMAP eviction item
+        lands, so per-spike cost must not grow with its size).
+        """
+        if not self._cfos_by_id:
+            return None
+        self._reindex()
+        i = bisect.bisect_left(self._sorted_cfos, cfo_hz)
+        best_id, best_delta = None, self.tolerance_hz
+        for j in (i - 1, i):
+            if 0 <= j < len(self._sorted_cfos):
+                delta = abs(self._sorted_cfos[j] - cfo_hz)
+                if delta <= best_delta:
+                    best_id, best_delta = self._sorted_ids[j], delta
+        return best_id
+
+    def store(self, cfo_hz: float, tag_id: int) -> None:
+        """Record (or refresh) a decoded spike."""
+        self._cfos_by_id[tag_id] = float(cfo_hz)
+        self._dirty = True
+
+    def cached_cfo(self, tag_id: int) -> float | None:
+        """The stored fingerprint for an account, if any."""
+        return self._cfos_by_id.get(tag_id)
+
+    def __len__(self) -> int:
+        return len(self._cfos_by_id)
+
+
+@dataclass
+class ReaderStation:
+    """One pole of the network: reader + collision stream + localizer.
+
+    Attributes:
+        name: stable identifier (used in reports and examples).
+        reader: the processing chain for this pole.
+        query_fn: ``query_fn(t_s) -> ReceivedCollision`` — the pole's
+            radio front-end (e.g. ``StaticCollisionSimulator.query``).
+        antenna_index: antenna whose stream feeds the decoder.
+        localizer: object with ``locate(estimate, estimator, hint_xy=None)
+            -> (x, y)`` — typically a
+            :class:`~repro.core.localization.LaneProjectionLocalizer`;
+            None disables positioning (and therefore observations).
+        identities: per-station CFO -> account-id cache.
+        hint_horizon_s: last-fix hints older than this are neither used
+            (a car returning hours later should be re-localized from its
+            measurement alone, not pulled toward where it parked last
+            time) nor kept (the table stays bounded by the recently
+            active population, like the red-light detector's tracks).
+    """
+
+    name: str
+    reader: object
+    query_fn: object
+    antenna_index: int = 0
+    localizer: object | None = None
+    identities: IdentityCache = field(default_factory=IdentityCache)
+    hint_horizon_s: float = 300.0
+    _last_fixes: dict[int, tuple[np.ndarray, float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def recall_fix(self, tag_id: int, now_s: float) -> np.ndarray | None:
+        """The tag's last fix, if recent enough to serve as a hint."""
+        entry = self._last_fixes.get(tag_id)
+        if entry is None or now_s - entry[1] > self.hint_horizon_s:
+            return None
+        return entry[0]
+
+    def record_fix(self, tag_id: int, fix: np.ndarray, now_s: float) -> None:
+        """Remember a fix for hinting the tag's next localization."""
+        self._last_fixes[tag_id] = (np.asarray(fix, dtype=np.float64), now_s)
+
+    def prune_fixes(self, now_s: float) -> int:
+        """Forget fixes past the hint horizon; returns how many."""
+        stale = [
+            tag_id
+            for tag_id, (_, seen_s) in self._last_fixes.items()
+            if now_s - seen_s > self.hint_horizon_s
+        ]
+        for tag_id in stale:
+            del self._last_fixes[tag_id]
+        return len(stale)
+
+
+@dataclass
+class StationReport:
+    """Everything one station produced in one measurement round.
+
+    Attributes:
+        station: the station's name.
+        timestamp_s: round timestamp.
+        report: the count/AoA upload (§12.5).
+        decode_results: fresh decodes this round, keyed by CFO — empty
+            when every spike's id came from the identity cache.
+        observations: positioned, identified sightings handed to services.
+    """
+
+    station: str
+    timestamp_s: float
+    report: ReaderReport
+    decode_results: dict[float, DecodeResult] = field(default_factory=dict)
+    observations: list = field(default_factory=list)
+
+    @property
+    def n_tags(self) -> int:
+        return self.report.n_tags
+
+
+class ReaderNetwork:
+    """Batch-processes collision streams from many reader stations.
+
+    Attributes:
+        stations: the poles in the network.
+        services: subscribers receiving every
+            :class:`~repro.apps.services.TagObservation` (any object with
+            an ``observe(observation)`` method — the §1 services qualify).
+        max_queries: decode budget per identification burst.
+        decode: disable to run count/localize-only rounds (no air time
+            spent on repeated queries).
+    """
+
+    def __init__(self, max_queries: int = 64, decode: bool = True):
+        self.stations: list[ReaderStation] = []
+        self.services: list[object] = []
+        self.max_queries = int(max_queries)
+        self.decode = bool(decode)
+
+    def add_station(self, station: ReaderStation) -> ReaderStation:
+        """Register a station; returns it for chaining."""
+        self.stations.append(station)
+        return station
+
+    def subscribe(self, service: object) -> object:
+        """Fan observations into ``service.observe``; returns the service."""
+        self.services.append(service)
+        return service
+
+    # -- processing ---------------------------------------------------------------
+
+    def step(self, timestamp_s: float) -> list[StationReport]:
+        """Run one measurement round at every station and dispatch."""
+        reports = [
+            self.process_station(station, timestamp_s) for station in self.stations
+        ]
+        for report in reports:
+            self.dispatch(report.observations)
+        return reports
+
+    def run(self, timestamps_s: list[float]) -> list[StationReport]:
+        """Run a round per timestamp; returns all station reports."""
+        reports: list[StationReport] = []
+        for t in timestamps_s:
+            reports.extend(self.step(float(t)))
+        return reports
+
+    def process_station(
+        self, station: ReaderStation, timestamp_s: float
+    ) -> StationReport:
+        """One station, one round: count, identify, localize.
+
+        The counting capture doubles as the decode session's first
+        capture, so identification adds air time only beyond the
+        measurement query itself (§12.4).
+        """
+        collision = station.query_fn(timestamp_s)
+        station.prune_fixes(timestamp_s)
+        report = station.reader.observe(collision, timestamp_s=timestamp_s)
+        cfos = [float(c) for c in report.count.cfos_hz()]
+
+        # Resolve cached identities one-to-one: each cached account may
+        # claim at most one spike per round (its nearest); a second spike
+        # within tolerance is a *different* tag and must be decoded, not
+        # silently attributed to the cached account.
+        ids: dict[float, int] = {}
+        unknown: list[float] = []
+        claims: dict[int, float] = {}
+        for cfo in cfos:
+            tag_id = station.identities.lookup(cfo)
+            if tag_id is None:
+                unknown.append(cfo)
+                continue
+            rival = claims.get(tag_id)
+            if rival is None:
+                claims[tag_id] = cfo
+                continue
+            cached = station.identities.cached_cfo(tag_id)
+            if abs(cfo - cached) < abs(rival - cached):
+                claims[tag_id] = cfo
+                unknown.append(rival)
+            else:
+                unknown.append(cfo)
+        for tag_id, cfo in claims.items():
+            ids[cfo] = tag_id
+            station.identities.store(cfo, tag_id)
+
+        decode_results: dict[float, DecodeResult] = {}
+        if unknown and self.decode:
+            session = station.reader.decode_session(
+                lambda t: station.query_fn(timestamp_s + t),
+                antenna_index=station.antenna_index,
+            )
+            # Reuse the measurement capture as the first decode capture.
+            session.seed_capture(collision.antenna(station.antenna_index))
+            decode_results = session.decode_all(unknown, max_queries=self.max_queries)
+            for cfo, result in decode_results.items():
+                if result.success:
+                    ids[cfo] = result.packet.tag_id
+                    station.identities.store(cfo, result.packet.tag_id)
+
+        observations = self._positioned(station, report, ids, timestamp_s)
+        return StationReport(
+            station=station.name,
+            timestamp_s=timestamp_s,
+            report=report,
+            decode_results=decode_results,
+            observations=observations,
+        )
+
+    def dispatch(self, observations: list) -> None:
+        """Hand every observation to every subscribed service."""
+        for observation in observations:
+            for service in self.services:
+                service.observe(observation)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _positioned(
+        self,
+        station: ReaderStation,
+        report: ReaderReport,
+        ids: dict[float, int],
+        timestamp_s: float,
+    ) -> list:
+        """Pair identified CFOs with their AoA and project to the road."""
+        if station.localizer is None:
+            return []
+        observation_cls = _tag_observation()
+        estimates = {estimate.cfo_hz: estimate for estimate in report.aoas}
+        observations = []
+        for cfo, tag_id in sorted(ids.items()):
+            estimate = estimates.get(cfo)
+            if estimate is None:
+                continue
+            # End-fire measurements are unusable (§6: d(alpha)/d(phase)
+            # blows up outside the 60-120 degree band); another station
+            # with better geometry will cover the tag instead.
+            if not estimate.in_usable_band():
+                continue
+            try:
+                fix = station.localizer.locate(
+                    estimate,
+                    station.reader.estimator,
+                    hint_xy=station.recall_fix(tag_id, timestamp_s),
+                )
+            except CaraokeError:
+                continue
+            station.record_fix(tag_id, fix, timestamp_s)
+            observations.append(
+                observation_cls(tag_id=tag_id, position_m=fix, timestamp_s=timestamp_s)
+            )
+        return observations

@@ -11,11 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..channel.collision import ReceivedCollision
 from ..constants import QUERY_PERIOD_S
-from ..errors import ConfigurationError
 from .counting import CollisionCounter, CountEstimate
 from .decoding import CoherentDecoder, DecodeResult, DecodeSession
 from .localization import AoAEstimate, AoAEstimator, ReaderGeometry
@@ -109,10 +107,14 @@ class CaraokeReader:
         return DecodeSession(query_fn=query_fn, decoder=decoder, antenna_index=antenna_index)
 
     def decode_all_in_range(
-        self, query_fn, max_queries: int = 64
+        self, query_fn, max_queries: int = 64, antenna_index: int = 0
     ) -> dict[float, DecodeResult]:
-        """Count first, then decode every detected tag (§12.4 workflow)."""
-        session = self.decode_session(query_fn)
+        """Count first, then decode every detected tag (§12.4 workflow).
+
+        All detected tags are decoded as one batch from a single shared
+        capture stream; the counting capture is the batch's first capture.
+        """
+        session = self.decode_session(query_fn, antenna_index=antenna_index)
         session._ensure_captures(1)
         estimate = self.counter.count(session.captures[0])
         cfos = [float(c) for c in estimate.cfos_hz()]

@@ -16,7 +16,7 @@ tags land in N = 615 FFT bins (1.2 MHz span / 1.95 kHz resolution).
 
 from __future__ import annotations
 
-from math import comb, exp, factorial, lgamma, log
+from math import comb, exp, lgamma, log
 
 import numpy as np
 

@@ -61,8 +61,19 @@ def _bucketize(x: np.ndarray, stride: int, n_buckets: int, shift: int) -> np.nda
     different strides see different collision patterns — the off-grid-safe
     stand-in for the full sFFT's random spectral permutations (index
     permutations shatter tones that are not exactly on the N-point grid).
+
+    Raises:
+        SpectrumError: if the capture cannot supply ``n_buckets`` samples
+            at this stride/shift — a short FFT would silently misindex
+            every bucket (bucket k would no longer mean folded bin k).
     """
-    return np.fft.fft(x[shift::stride][:n_buckets]) / n_buckets
+    segment = x[shift::stride][:n_buckets]
+    if segment.size != n_buckets:
+        raise SpectrumError(
+            f"bucketization needs {n_buckets} samples but only {segment.size} "
+            f"fit (N={x.size}, stride={stride}, shift={shift})"
+        )
+    return np.fft.fft(segment) / n_buckets
 
 
 def _probe_indices(n: int, rng, n_sub: int = 4096) -> np.ndarray:

@@ -10,13 +10,36 @@ are proprietary; we use CRC-16-CCITT (poly 0x1021, init 0xFFFF), a standard
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from ..errors import ConfigurationError, CrcError
-from ..utils import int_to_bits
+from ..utils import bits_to_int, int_to_bits
 
 __all__ = ["Crc", "CRC16_CCITT", "CRC8_ATM", "CRC32_IEEE"]
+
+
+@lru_cache(maxsize=None)
+def _byte_table(width: int, poly: int) -> tuple[int, ...]:
+    """The 256-entry table that advances a CRC register by one byte.
+
+    ``table[b]`` equals eight bit-steps of the shift register seeded with
+    ``b`` in its top byte, so byte-at-a-time processing is exactly
+    equivalent to the bit loop (width >= 8 only).
+    """
+    mask = (1 << width) - 1
+    top = 1 << (width - 1)
+    table = []
+    for byte in range(256):
+        register = (byte << (width - 8)) & mask
+        for _ in range(8):
+            if register & top:
+                register = ((register << 1) ^ poly) & mask
+            else:
+                register = (register << 1) & mask
+        table.append(register)
+    return tuple(table)
 
 
 @dataclass(frozen=True)
@@ -55,10 +78,24 @@ class Crc:
         return 1 << (self.width - 1)
 
     def compute(self, bits: np.ndarray) -> int:
-        """Compute the CRC of an MSB-first bit array."""
+        """Compute the CRC of an MSB-first bit array.
+
+        Whole bytes go through the byte table (8 bit-steps per lookup);
+        any trailing partial byte falls back to the bit loop, so arbitrary
+        bit lengths remain supported.
+        """
         bits = np.asarray(bits, dtype=np.uint8)
         register = self.init
         top, mask, poly = self._top_bit, self._mask, self.poly
+        n_bytes = bits.size // 8
+        if n_bytes and self.width >= 8:
+            table = _byte_table(self.width, self.poly)
+            shift = self.width - 8
+            for byte in np.packbits(bits[: n_bytes * 8]):
+                register = ((register << 8) & mask) ^ table[
+                    ((register >> shift) ^ int(byte)) & 0xFF
+                ]
+            bits = bits[n_bytes * 8 :]
         for bit in bits:
             register ^= int(bit) << (self.width - 1)
             if register & top:
@@ -84,8 +121,9 @@ class Crc:
             return False
         payload = bits_with_crc[: -self.width]
         tail = bits_with_crc[-self.width :]
-        expected = int_to_bits(self.compute(payload), self.width)
-        return bool(np.array_equal(tail, expected))
+        if np.any(tail > 1):
+            return False
+        return self.compute(payload) == bits_to_int(tail)
 
     def verify(self, bits_with_crc: np.ndarray) -> np.ndarray:
         """Return the payload bits, raising :class:`CrcError` on mismatch."""

@@ -74,7 +74,7 @@ class OokModulator:
                 f"need at least {spc} samples for one chip, got {samples.size}"
             )
         trimmed = samples[: n_chips * spc]
-        return trimmed.reshape(n_chips, spc).mean(axis=1)
+        return np.add.reduce(trimmed.reshape(n_chips, spc), axis=1) / spc
 
     def demodulate_soft(self, samples: np.ndarray, n_bits: int | None = None) -> np.ndarray:
         """Recover bits from baseband samples via per-bit half comparison."""

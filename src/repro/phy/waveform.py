@@ -9,7 +9,7 @@ algorithm compares FFTs taken over time-shifted windows of one capture
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -6,7 +6,7 @@ from .medium import Medium, ReaderNode, Transmission, TxKind
 from .traffic import IntersectionSimulator, PoissonArrivals, TrafficLight, TrafficSample
 from .mobility import ConstantSpeedTrajectory, DriveBy
 from .parking import ParkingSpot, ParkingStreet
-from .scenario import Scene, intersection_scene, parking_scene, two_pole_speed_scene
+from .scenario import Scene, corridor_scene, intersection_scene, parking_scene, two_pole_speed_scene
 
 __all__ = [
     "Event",
@@ -26,6 +26,7 @@ __all__ = [
     "ParkingSpot",
     "ParkingStreet",
     "Scene",
+    "corridor_scene",
     "intersection_scene",
     "parking_scene",
     "two_pole_speed_scene",

@@ -20,7 +20,6 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..constants import CSMA_LISTEN_S, QUERY_DURATION_S, RESPONSE_DURATION_S, TURNAROUND_S
 from ..core.mac import CsmaState, ReaderMac

@@ -34,7 +34,14 @@ from ..phy.packet import TransponderPacket
 from ..utils import as_rng
 from .parking import ParkingStreet
 
-__all__ = ["Scene", "parking_scene", "two_pole_speed_scene", "intersection_scene", "make_tags"]
+__all__ = [
+    "Scene",
+    "parking_scene",
+    "two_pole_speed_scene",
+    "intersection_scene",
+    "corridor_scene",
+    "make_tags",
+]
 
 
 def make_tags(
@@ -93,6 +100,16 @@ class Scene:
             noise_power_w=self.noise_power_w,
             rng=rng,
         )
+
+    def reader(self, array_index: int = 0):
+        """A :class:`~repro.core.reader.CaraokeReader` for one pole."""
+        from ..core.localization import ReaderGeometry
+        from ..core.reader import CaraokeReader
+
+        if not 0 <= array_index < len(self.arrays):
+            raise ConfigurationError(f"no array {array_index}")
+        geometry = ReaderGeometry(self.arrays[array_index], self.road)
+        return CaraokeReader(geometry=geometry, sample_rate_hz=self.sample_rate_hz)
 
 
 def parking_scene(
@@ -176,6 +193,71 @@ def two_pole_speed_scene(
         ),
     ]
     return arrays, road
+
+
+def corridor_scene(
+    pole_xs_m: list[float],
+    lane_ys_m: list[float],
+    cars: list[tuple[float, int]],
+    pole_height_m: float = EXPERIMENT_POLE_HEIGHT_M,
+    pole_setback_m: float = 1.0,
+    rng=None,
+    cfo_model: CfoModel | None = None,
+) -> Scene:
+    """A multi-lane road corridor watched by several reader poles.
+
+    The multi-reader, multi-lane deployment a
+    :class:`~repro.core.network.ReaderNetwork` drives: poles stand along
+    the +y curb at the given x positions, lanes run along x at the given
+    y offsets (negative = into the road as seen from the poles), and each
+    car is placed at an ``(x, lane index)`` pair.
+
+    Args:
+        pole_xs_m: along-road x of each reader pole.
+        lane_ys_m: cross-road y of each lane center.
+        cars: one ``(x_m, lane_index)`` per car — an along-road position
+            in meters and an integer index into ``lane_ys_m``.
+        pole_height_m / pole_setback_m: pole geometry; poles stand
+            ``setback`` meters behind the curb.
+        rng / cfo_model: tag randomness, as in :func:`make_tags`.
+
+    Returns:
+        A scene with one antenna array per pole and one tag per car.
+    """
+    rng = as_rng(rng)
+    if not lane_ys_m:
+        raise ConfigurationError("need at least one lane")
+    if not pole_xs_m:
+        raise ConfigurationError("need at least one pole")
+    positions = []
+    for x, lane_index in cars:
+        if lane_index != int(lane_index):
+            raise ConfigurationError(
+                f"lane index must be an integer, got {lane_index} "
+                "(lane_ys_m holds the cross-road meters)"
+            )
+        if not 0 <= int(lane_index) < len(lane_ys_m):
+            raise ConfigurationError(f"no lane {lane_index}")
+        positions.append([float(x), float(lane_ys_m[int(lane_index)]), 1.0])
+    tags = (
+        make_tags(np.array(positions), cfo_model=cfo_model, rng=rng)
+        if positions
+        else []
+    )
+    arrays = [
+        TriangleArray.street_pole(np.array([float(x), pole_setback_m, pole_height_m]))
+        for x in pole_xs_m
+    ]
+    y_lo = min(lane_ys_m) - LANE_WIDTH_M / 2.0
+    y_hi = max(lane_ys_m) + LANE_WIDTH_M / 2.0
+    xs = [x for x, _ in cars] + list(pole_xs_m)
+    road = RoadSegment(
+        x_min_m=min(xs) - 20.0,
+        x_max_m=max(xs) + 20.0,
+        y_center_m=(y_lo + y_hi) / 2.0,
+        width_m=y_hi - y_lo,
+    )
+    return Scene(tags=tags, road=road, arrays=arrays)
 
 
 def intersection_scene(

@@ -55,6 +55,19 @@ class TrafficLight:
         """Whether cars may depart (green or yellow)."""
         return self.phase(t_s) != "red"
 
+    def is_red_throughout(self, start_s: float, end_s: float) -> bool:
+        """Whether the signal shows red for the whole ``[start, end]``.
+
+        Red is the last phase of the cycle, so a red stretch that begins
+        at ``start`` lasts exactly until the next cycle boundary.
+        """
+        if end_s < start_s:
+            raise ConfigurationError("interval end precedes start")
+        if self.phase(start_s) != "red":
+            return False
+        into = (start_s - self.offset_s) % self.cycle_s
+        return end_s - start_s < self.cycle_s - into
+
 
 @dataclass
 class PoissonArrivals:

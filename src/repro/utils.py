@@ -74,21 +74,33 @@ def watts_to_dbm(watts: float) -> float:
 
 def bits_to_int(bits: Sequence[int] | np.ndarray) -> int:
     """Interpret a most-significant-bit-first bit sequence as an integer."""
-    value = 0
-    for bit in np.asarray(bits, dtype=np.uint8):
-        if bit not in (0, 1):
-            raise ConfigurationError(f"bit values must be 0 or 1, got {bit}")
-        value = (value << 1) | int(bit)
-    return value
+    array = np.asarray(bits, dtype=np.uint8)
+    if array.size == 0:
+        return 0
+    if array.size <= 64:
+        value = 0
+        for bit in array.tolist():
+            if bit > 1:
+                raise ConfigurationError(f"bit values must be 0 or 1, got {bit}")
+            value = (value << 1) | bit
+        return value
+    if np.any(array > 1):
+        bad = array[array > 1][0]
+        raise ConfigurationError(f"bit values must be 0 or 1, got {bad}")
+    padded = np.concatenate([np.zeros((-array.size) % 8, dtype=np.uint8), array])
+    return int.from_bytes(np.packbits(padded).tobytes(), "big")
 
 
 def int_to_bits(value: int, width: int) -> np.ndarray:
     """Encode ``value`` as ``width`` bits, most significant bit first."""
+    value = int(value)  # numpy integers have no to_bytes
     if value < 0:
         raise ConfigurationError(f"value must be non-negative, got {value}")
     if value >= (1 << width):
         raise ConfigurationError(f"value {value} does not fit in {width} bits")
-    return np.array([(value >> shift) & 1 for shift in range(width - 1, -1, -1)], dtype=np.uint8)
+    n_bytes = (width + 7) // 8
+    unpacked = np.unpackbits(np.frombuffer(value.to_bytes(n_bytes, "big"), dtype=np.uint8))
+    return unpacked[8 * n_bytes - width :]
 
 
 def pack_bits(fields: Iterable[tuple[int, int]]) -> np.ndarray:

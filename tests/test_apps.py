@@ -65,6 +65,53 @@ class TestRedLightDetector:
         detector.observe(obs(6, 10.0, 0.0, 40.0))
         assert detector.observe(obs(6, -10.0, 0.0, 42.0)) is not None
 
+    def test_fix_exactly_on_stop_line_still_caught(self, light):
+        """Regression: a previous fix sitting exactly on the line used to
+        make the subsequent crossing invisible."""
+        detector = RedLightDetector(light=light, stop_line_x_m=0.0)
+        detector.observe(obs(7, -10.0, 0.0, 38.0))
+        assert detector.observe(obs(7, 0.0, 0.0, 40.0)) is None  # at the line
+        violation = detector.observe(obs(7, 10.0, 0.0, 42.0))
+        assert violation is not None
+        assert violation.crossed_at_s == pytest.approx(40.0)
+        assert len(detector.violations) == 1  # and exactly once
+
+    def test_on_line_during_red_departing_on_green_is_legal(self, light):
+        """A car waiting ON the line through the red that departs once
+        the light turns green must not be ticketed: the crossing instant
+        is only pinned to a window that includes the green phase."""
+        detector = RedLightDetector(light=light, stop_line_x_m=0.0)
+        detector.observe(obs(12, -10.0, 0.0, 50.0))  # red
+        assert detector.observe(obs(12, 0.0, 0.0, 58.0)) is None  # still red
+        # Next cycle's green starts at t=60; car leaves, seen at t=63.
+        assert detector.observe(obs(12, 12.0, 0.0, 63.0)) is None
+        assert detector.violations == []
+
+    def test_stopping_dead_on_the_line_is_legal(self, light):
+        detector = RedLightDetector(light=light, stop_line_x_m=0.0)
+        detector.observe(obs(8, -10.0, 0.0, 40.0))
+        assert detector.observe(obs(8, 0.0, 0.0, 42.0)) is None
+        assert detector.violations == []
+
+    def test_tracks_are_pruned_at_horizon(self, light):
+        detector = RedLightDetector(light=light, stop_line_x_m=0.0, horizon_s=50.0)
+        for tag_id in range(200):
+            detector.observe(obs(tag_id, -10.0, 0.0, float(tag_id)))
+        # Cars from more than a horizon ago have been forgotten; the
+        # table is bounded by the active population, not history length.
+        assert detector.n_tracked < 150
+        detector.prune(now_s=1000.0)
+        assert detector.n_tracked == 0
+
+    def test_gap_beyond_horizon_never_interpolates(self, light):
+        """Two sightings a horizon apart are different visits, not one
+        slow crossing."""
+        detector = RedLightDetector(light=light, stop_line_x_m=0.0, horizon_s=50.0)
+        detector.observe(obs(9, -1.0, 0.0, 40.0))
+        # 36 minutes later (also a red phase): same car back at the light.
+        assert detector.observe(obs(9, 100.0, 0.0, 2196.0)) is None
+        assert detector.violations == []
+
 
 class TestParkingBilling:
     @pytest.fixture

@@ -7,7 +7,6 @@ from repro.channel.antenna import TriangleArray
 from repro.channel.collision import StaticCollisionSimulator, synthesize_collision
 from repro.channel.propagation import LosChannel
 from repro.constants import (
-    DEFAULT_SAMPLE_RATE_HZ,
     QUERY_DURATION_S,
     READER_LO_HZ,
     RESPONSE_DURATION_S,

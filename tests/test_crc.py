@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import ConfigurationError, CrcError
-from repro.phy.crc import CRC8_ATM, CRC16_CCITT, CRC32_IEEE, Crc
+from repro.phy.crc import CRC8_ATM, CRC16_CCITT, Crc
 
 
 class TestKnownVectors:

@@ -8,8 +8,9 @@ from repro.channel.collision import StaticCollisionSimulator
 from repro.channel.noise import thermal_noise_power_w
 from repro.channel.propagation import LosChannel
 from repro.core.cfo import extract_cfo_peaks
-from repro.core.decoding import CoherentDecoder, DecodeSession
+from repro.core.decoding import CoherentDecoder, DecodeSession, MultiTargetCombiner
 from repro.errors import DecodingError
+from repro.phy.waveform import Waveform
 from tests.conftest import make_tag
 
 FS = 4e6
@@ -91,6 +92,117 @@ class TestCoherentDecoder:
         assert needed[4] >= needed[1]
 
 
+def count_demod_attempts(decoder):
+    """Instrument a decoder to count its ``_try_demodulate`` calls."""
+    counter = {"calls": 0}
+    original = decoder._try_demodulate
+
+    def counting(accumulator=None, bits=None):
+        counter["calls"] += 1
+        return original(accumulator, bits=bits)
+
+    decoder._try_demodulate = counting
+    return counter
+
+
+class TestMultiTargetCombiner:
+    def test_decode_many_matches_reference(self):
+        """The batched path must reproduce the reference decoder exactly:
+        same packets, same query counts, per target."""
+        cfos = [150e3, 400e3, 650e3, 900e3, 1150e3]
+        sim, _ = build_sim(cfos, seed=20)
+        decoder = CoherentDecoder(FS)
+        captures = [sim.query(i * 1e-3).antenna(0) for i in range(48)]
+        batched = decoder.decode_many(captures, cfos)
+        for cfo in cfos:
+            reference = decoder.decode(captures, cfo)
+            assert batched[cfo].packet == reference.packet
+            assert batched[cfo].n_queries == reference.n_queries
+            assert batched[cfo].cfo_hz == pytest.approx(reference.cfo_hz)
+
+    def test_decode_many_min_queries(self):
+        sim, _ = build_sim([500e3], seed=21)
+        decoder = CoherentDecoder(FS)
+        captures = [sim.query(i * 1e-3).antenna(0) for i in range(8)]
+        results = decoder.decode_many(captures, [500e3], min_queries=4)
+        assert results[500e3].success
+        assert results[500e3].n_queries >= 4
+
+    def test_zero_channel_estimate_rejected(self):
+        decoder = CoherentDecoder(FS)
+        combiner = MultiTargetCombiner(decoder, 2048)
+        keys = combiner.add_targets([300e3])
+        silent = Waveform(np.zeros(2048, dtype=np.complex128), FS)
+        with pytest.raises(DecodingError):
+            combiner.advance(keys, [silent], 1)
+
+    def test_capture_length_mismatch_rejected(self):
+        decoder = CoherentDecoder(FS)
+        combiner = MultiTargetCombiner(decoder, 2048)
+        keys = combiner.add_targets([300e3])
+        short = Waveform(np.ones(1024, dtype=np.complex128), FS)
+        with pytest.raises(DecodingError):
+            combiner.advance(keys, [short], 1)
+
+    def test_demod_attempted_once_per_capture_count(self):
+        """Regression for the quadratic seed behavior: geometric budget
+        doubling must not re-attempt demodulation at counts already tried,
+        so a session pays exactly one attempt per (target, capture count)."""
+        sim, _ = build_sim([300e3, 800e3], seed=22)
+        decoder = CoherentDecoder(FS)
+        counter = count_demod_attempts(decoder)
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=decoder)
+        # An empty-spectrum target can never decode: every capture count up
+        # to the budget is attempted exactly once (the seed path would pay
+        # 1 + 2 + 4 + 8 = 15 attempts for the same outcome).
+        result = session.decode_target(1_000_000.0, max_queries=8)
+        assert not result.success
+        assert counter["calls"] == 8
+        # Re-asking with the same budget repeats nothing.
+        session.decode_target(1_000_000.0, max_queries=8)
+        assert counter["calls"] == 8
+
+    def test_budget_doubling_resumes_incrementally(self):
+        sim, _ = build_sim([300e3, 800e3], seed=23)
+        decoder = CoherentDecoder(FS)
+        counter = count_demod_attempts(decoder)
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=decoder)
+        first = session.decode_target(1_000_000.0, max_queries=4)
+        assert not first.success and counter["calls"] == 4
+        # A larger budget resumes at capture 5, not from scratch.
+        second = session.decode_target(1_000_000.0, max_queries=16)
+        assert not second.success
+        assert counter["calls"] == 16
+
+    def test_zero_budget_still_accounts_the_mandatory_query(self):
+        """A decode attempt always puts one query on the air; the result
+        must say so even for a degenerate budget."""
+        sim, _ = build_sim([300e3], seed=27)
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=CoherentDecoder(FS))
+        result = session.decode_target(1_000_000.0, max_queries=0)
+        assert not result.success
+        assert result.n_queries == 1
+        assert session.total_air_time_s == pytest.approx(1e-3)
+
+    def test_seed_capture_reuses_air_time(self):
+        sim, _ = build_sim([300e3], seed=28)
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=CoherentDecoder(FS))
+        donated = sim.query(0.0).antenna(0)
+        session.seed_capture(donated)
+        result = session.decode_target(300e3, max_queries=8)
+        assert result.success
+        assert session.captures[0] is donated
+
+    def test_successful_target_attempts_every_count_once(self):
+        sim, tags = build_sim([300e3, 800e3], seed=24)
+        decoder = CoherentDecoder(FS)
+        counter = count_demod_attempts(decoder)
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=decoder)
+        result = session.decode_target(300e3, max_queries=32)
+        assert result.success
+        assert counter["calls"] == result.n_queries
+
+
 class TestDecodeSession:
     def test_decode_all_from_shared_stream(self):
         cfos = [200e3, 500e3, 800e3]
@@ -115,6 +227,56 @@ class TestDecodeSession:
         # Second target may extend, but must start from the shared pool.
         assert len(session.captures) >= captures_after_first
         assert session.total_air_time_s == pytest.approx(len(session.captures) * 1e-3)
+
+    def test_decode_all_matches_reference_decoder(self):
+        """The session's batched pipeline and the reference single-target
+        decoder must agree on every packet and query count (§12.4)."""
+        cfos = [200e3, 500e3, 800e3]
+        sim, _ = build_sim(cfos, seed=25)
+        decoder = CoherentDecoder(FS)
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=decoder)
+        results = session.decode_all(cfos, max_queries=64)
+        for cfo in cfos:
+            reference = decoder.decode(session.captures, cfo)
+            assert results[cfo].packet == reference.packet
+            assert results[cfo].n_queries == reference.n_queries
+
+    def test_decode_all_empty_is_a_no_op(self):
+        queries = []
+
+        def query_fn(t):
+            queries.append(t)
+            raise AssertionError("no query should be issued")
+
+        session = DecodeSession(query_fn=query_fn, decoder=CoherentDecoder(FS))
+        assert session.decode_all([]) == {}
+        assert queries == []
+        assert session.total_air_time_s == 0.0
+
+    def test_duplicate_targets_do_not_corrupt_others(self):
+        """Regression: duplicated CFOs in one batch must not double-combine
+        captures into other targets' accumulators."""
+        cfos = [250e3, 750e3]
+        sim, _ = build_sim(cfos, seed=29)
+        decoder = CoherentDecoder(FS)
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=decoder)
+        results = session.decode_all([cfos[0], cfos[0], cfos[1]], max_queries=32)
+        assert all(r.success for r in results.values())
+        # Every result must still match the reference decoder exactly.
+        for cfo in cfos:
+            reference = decoder.decode(session.captures, cfo)
+            assert results[cfo].packet == reference.packet
+            assert results[cfo].n_queries == reference.n_queries
+
+    def test_session_result_cached_after_success(self):
+        cfos = [250e3, 750e3]
+        sim, _ = build_sim(cfos, seed=26)
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=CoherentDecoder(FS))
+        first = session.decode_target(cfos[0], max_queries=32)
+        assert first.success
+        again = session.decode_target(cfos[0], max_queries=32)
+        assert again.packet == first.packet
+        assert again.n_queries == first.n_queries
 
     def test_uses_detected_peaks(self):
         cfos = [350e3, 950e3]

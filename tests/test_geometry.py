@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.channel.geometry import (
-    Conic,
     RoadSegment,
     aoa_cone_conic,
     hyperbola_y,

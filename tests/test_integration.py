@@ -8,7 +8,6 @@ from repro.core import (
     CaraokeReader,
     CoherentDecoder,
     CollisionCounter,
-    DecodeSession,
     ReaderGeometry,
     SpeedEstimator,
     SpeedObservation,

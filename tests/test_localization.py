@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.channel.antenna import TriangleArray
-from repro.channel.geometry import RoadSegment
 from repro.constants import WAVELENGTH_M
 from repro.core.localization import (
     AoAEstimator,

@@ -1,6 +1,5 @@
 """Unit tests for repro.core.mac and repro.sim.medium (§9)."""
 
-import numpy as np
 import pytest
 
 from repro.constants import CSMA_LISTEN_S, QUERY_DURATION_S, TURNAROUND_S

@@ -127,6 +127,62 @@ class TestTheoryProperties:
         assert p_no_miss_naive(m, n_bins) <= p_no_miss_naive(m, n_bins * 2) + 1e-12
 
 
+class TestDecodeSessionProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=32), min_size=1, max_size=5
+        ),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_air_time_monotone_and_consistent(self, budgets, seed):
+        """Air time only ever grows with further decode work, always
+        equals queries-issued x period, and the reader's per-measurement
+        report stays within its §12.5 payload budget."""
+        from repro.channel.antenna import TriangleArray
+        from repro.channel.collision import StaticCollisionSimulator
+        from repro.channel.noise import thermal_noise_power_w
+        from repro.channel.propagation import LosChannel
+        from repro.core.decoding import CoherentDecoder, DecodeSession
+        from repro.core.counting import CollisionCounter
+        from repro.core.reader import ReaderReport
+        from tests.conftest import make_tag
+
+        rng = np.random.default_rng(seed)
+        cfos = rng.uniform(100e3, 1.1e6, size=2)
+        tags = [
+            make_tag(cfo, position_m=(rng.uniform(-6, 6), -8.0, 1.0), seed=seed + i)
+            for i, cfo in enumerate(cfos)
+        ]
+        array = TriangleArray.street_pole(np.array([0.0, 0.0, 3.8]))
+        sim = StaticCollisionSimulator(
+            tags,
+            array.positions_m,
+            LosChannel(),
+            noise_power_w=thermal_noise_power_w(FS),
+            rng=seed,
+        )
+        decoder = CoherentDecoder(FS)
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=decoder)
+        previous_air = 0.0
+        for budget in budgets:
+            target = float(cfos[budget % len(cfos)])
+            session.decode_target(target, max_queries=budget)
+            air = session.total_air_time_s
+            assert air >= previous_air  # monotone: captures are never dropped
+            assert air == pytest.approx(
+                len(session.captures) * decoder.query_period_s
+            )
+            previous_air = air
+        # The queries the session spent decoding do not inflate the
+        # measurement upload: a report over the same capture is still the
+        # "few kbits" of §12.5 (64 header + 96 bits per accepted spike).
+        estimate = CollisionCounter().count(session.captures[0])
+        report = ReaderReport(timestamp_s=0.0, count=estimate)
+        assert report.payload_bits() == 64 + 96 * len(estimate.observations)
+        assert report.payload_bits() < 4000
+
+
 class TestHardwareProperties:
     @given(st.lists(finite_floats, min_size=1, max_size=64))
     def test_quantization_idempotent(self, values):

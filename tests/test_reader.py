@@ -7,7 +7,6 @@ from repro.core.reader import CaraokeReader
 from repro.core.localization import ReaderGeometry
 from repro.errors import ConfigurationError
 from repro.sim.scenario import (
-    Scene,
     intersection_scene,
     make_tags,
     parking_scene,
@@ -93,6 +92,34 @@ class TestCaraokeReader:
         truth = {t.packet.tag_id for t in scene.tags}
         assert decoded <= truth
         assert len(decoded) >= 2  # in-bin CFO collisions may hide one
+
+    def test_decode_all_in_range_zero_tags(self):
+        """A noise-only capture counts zero tags and decodes nothing —
+        and issues no further queries doing so."""
+        scene = intersection_scene(queue_length=0, rng=17)
+        reader = build_reader(scene)
+        sim = scene.simulator(0, rng=18)
+        queries = []
+
+        def query_fn(t):
+            queries.append(t)
+            return sim.query(t)
+
+        results = reader.decode_all_in_range(query_fn, max_queries=64)
+        assert results == {}
+        assert len(queries) == 1  # only the counting capture
+
+    def test_decode_all_in_range_nonzero_antenna(self):
+        """Decoding must work from any antenna of the triangle."""
+        scene, _, _ = parking_scene(target_spots=[1, 4], n_background_cars=0, rng=19)
+        truth = {t.packet.tag_id for t in scene.tags}
+        for antenna_index in (1, 2):
+            sim = scene.simulator(0, rng=20 + antenna_index)
+            results = build_reader(scene).decode_all_in_range(
+                lambda t: sim.query(t), max_queries=64, antenna_index=antenna_index
+            )
+            decoded = {r.packet.tag_id for r in results.values() if r.success}
+            assert decoded == truth
 
     def test_count_without_aoa_on_single_antenna(self):
         scene, _, _ = parking_scene(target_spots=[2, 4], n_background_cars=0, rng=15)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dsp.sfft import sparse_fft_peaks
+from repro.dsp.sfft import _bucketize, sparse_fft_peaks
 from repro.errors import ConfigurationError, SpectrumError
 
 
@@ -72,6 +72,32 @@ class TestValidation:
     def test_empty_input_rejected(self):
         with pytest.raises(SpectrumError):
             sparse_fft_peaks(np.zeros(0, dtype=complex), max_tones=1)
+
+    def test_bucketize_short_capture_rejected(self):
+        """Regression: a stride/shift combination that cannot fill every
+        bucket used to return a short FFT whose buckets were misindexed;
+        it must fail loudly instead."""
+        x = np.ones(64, dtype=complex)
+        with pytest.raises(SpectrumError, match="bucketization needs"):
+            _bucketize(x, stride=8, n_buckets=16, shift=0)  # only 8 fit
+        with pytest.raises(SpectrumError, match="bucketization needs"):
+            _bucketize(x, stride=4, n_buckets=16, shift=4)  # shift eats one
+
+    def test_bucketize_exact_fit_ok(self):
+        x = np.exp(2j * np.pi * 5 * np.arange(64) / 64)
+        buckets = _bucketize(x, stride=4, n_buckets=16, shift=0)
+        assert buckets.shape == (16,)
+        # A tone at bin 5 of 64 folds to bucket 5 of 16 under stride 4.
+        assert int(np.argmax(np.abs(buckets))) == 5
+
+    def test_short_captures_still_recover_tones(self):
+        """The public pipeline never hands _bucketize an unfillable
+        window, even for captures barely longer than the bucket count."""
+        for n in (32, 48, 64):
+            x = make_sparse_signal(n, [(7, 1.0)])
+            tones = sparse_fft_peaks(x, max_tones=1, n_buckets=8, rng=0)
+            assert len(tones) == 1
+            assert tones[0].freq_bin == pytest.approx(7.0, abs=0.2)
 
     def test_noise_only_returns_few_or_none(self):
         rng = np.random.default_rng(5)

@@ -7,7 +7,6 @@ from repro.constants import (
     ANALYSIS_POLE_HEIGHT_M,
     FEET_PER_METER,
     M_S_PER_MPH,
-    METERS_PER_FOOT,
     SPEED_BASELINE_M,
 )
 from repro.core.speed import (

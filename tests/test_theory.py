@@ -1,6 +1,5 @@
 """Unit tests for repro.core.theory (§5 closed forms)."""
 
-import numpy as np
 import pytest
 
 from repro.constants import CFO_BIN_COUNT
