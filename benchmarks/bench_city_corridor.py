@@ -1,0 +1,165 @@
+"""City corridor engine: event-driven scheduling vs sequential rounds.
+
+Two experiments on the :class:`repro.sim.city.CityCorridor` engine:
+
+1. **The full corridor** — 8 stations, 100 cars streaming through on
+   :mod:`repro.sim.mobility` trajectories. One event-driven run reports
+   Fig-16-style identification numbers (time from first sighting to
+   identification, decode queries per tag) and the
+   :class:`~repro.sim.city.HandoffLedger` breakdown: the acceptance bar
+   is that more than half of all downstream first-sightings (a tag
+   arriving at a pole another pole already identified) resolve by cache
+   handoff instead of a re-decode.
+
+2. **Scheduling throughput** — the same world driven at a saturating
+   cadence through both schedulers. The sequential-rounds baseline
+   (``ReaderNetwork.step`` semantics on a shared clock: stations take
+   strict turns, each turn serializing its burst) cannot fit every
+   station's turn inside the cadence; the event-driven scheduler can,
+   because simultaneous queries are benign (§9 rule 1) and response
+   slots may overlap — decoding collisions is the whole point. The gate:
+   event-driven >= sequential in queries/sec with no more corrupted
+   responses.
+
+Set ``REPRO_BENCH_SCALE`` < 1 to shorten both simulations.
+"""
+
+from bench_helpers import write_bench_json
+from conftest import bench_scale as _scale
+from repro.sim.city import CityCorridor
+from repro.sim.scenario import city_corridor_scene
+
+LANES = (-1.75, -5.25)
+N_POLES = 8
+N_CARS = 100
+CORRIDOR_SEED = 2025
+THROUGHPUT_SEED = 31
+
+
+def corridor(mode, seed, *, n_cars, entry, entry_window_s=0.0, **kwargs):
+    scene, trajectories = city_corridor_scene(
+        n_poles=N_POLES,
+        pole_spacing_m=40.0,
+        lane_ys_m=LANES,
+        n_cars=n_cars,
+        entry=entry,
+        entry_window_s=entry_window_s,
+        rng=seed,
+    )
+    return CityCorridor.build(
+        scene,
+        trajectories,
+        lane_ys_m=LANES,
+        rng=seed,
+        scheduling=mode,
+        **kwargs,
+    )
+
+
+def bench_city_corridor(benchmark, report):
+    scale = _scale()
+    corridor_duration_s = max(4.0, 12.0 * scale)
+    throughput_duration_s = max(0.4, 1.0 * scale)
+
+    def run_all():
+        # -- 1: the 8-station, 100-car corridor (event-driven) ---------
+        city = corridor(
+            "event",
+            CORRIDOR_SEED,
+            n_cars=N_CARS,
+            entry="stream",
+            entry_window_s=0.75 * corridor_duration_s,
+            max_queries=32,
+        )
+        full = city.run(corridor_duration_s)
+
+        # -- 2: throughput at saturating cadence, both schedulers ------
+        modes = {}
+        for mode in ("event", "rounds"):
+            modes[mode] = corridor(
+                mode,
+                THROUGHPUT_SEED,
+                n_cars=24,
+                entry="spread",
+                query_interval_s=6e-3,
+                jitter_s=0.5e-3,
+                max_queries=16,
+            ).run(throughput_duration_s)
+        return full, modes
+
+    full, modes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    event, rounds = modes["event"], modes["rounds"]
+    handoff = full.ledger.summary()
+
+    report(
+        f"City corridor — {N_POLES} stations, {N_CARS} cars, "
+        f"{full.duration_s:.0f} s event-driven run"
+    )
+    report(
+        f"  rounds {full.rounds} (empty {full.empty_rounds}), queries "
+        f"{full.queries_sent} ({full.queries_per_s:.0f}/s), deferred "
+        f"{full.queries_deferred}, corrupted responses "
+        f"{full.corrupted_responses}/{full.responses}"
+    )
+    report(
+        f"  tags seen {full.tags_seen}, identified {full.identified}; "
+        f"mean identification delay {full.mean_identification_delay_s:.2f} s, "
+        f"mean decode queries {full.mean_identification_queries:.1f}"
+    )
+    delays = sorted(s.delay_s for s in full.identifications)
+    if delays:
+        median = delays[len(delays) // 2]
+        report(
+            f"  identification delay median {median:.2f} s, "
+            f"p90 {delays[int(0.9 * (len(delays) - 1))]:.2f} s"
+        )
+    report(
+        f"  handoff: {handoff['counts']} -> "
+        f"{100 * handoff['handoff_resolution_rate']:.0f}% of "
+        f"{handoff['downstream_sightings']} downstream first-sightings "
+        f"resolved by forwarded cache entries "
+        f"({full.ledger.handoffs} decode bursts avoided)"
+    )
+    report("")
+    report(
+        f"Scheduling throughput — {N_POLES} stations, 24 cars spread, "
+        f"6 ms cadence, {event.duration_s:.1f} s"
+    )
+    report(
+        f"{'scheduler':>10} {'queries':>8} {'q/s':>8} {'deferred':>9} "
+        f"{'corrupted':>10} {'identified':>11}"
+    )
+    for name, result in (("event", event), ("rounds", rounds)):
+        report(
+            f"{name:>10} {result.queries_sent:8d} {result.queries_per_s:8.0f} "
+            f"{result.queries_deferred:9d} {result.corrupted_responses:10d} "
+            f"{result.identified:11d}"
+        )
+    ratio = event.queries_per_s / rounds.queries_per_s
+    report(
+        f"event-driven/sequential queries/sec: {ratio:.2f}x "
+        f"(turn serialization is the baseline's ceiling)"
+    )
+
+    write_bench_json(
+        "city_corridor",
+        {
+            "corridor": full.summary(),
+            "throughput": {
+                "event": event.summary(),
+                "rounds": rounds.summary(),
+                "event_over_rounds_queries_per_s": ratio,
+            },
+        },
+    )
+
+    assert full.corrupted_responses == 0, "CSMA must keep the street clean"
+    assert handoff["handoff_resolution_rate"] > 0.5, (
+        "most downstream sightings must resolve by handoff, got "
+        f"{handoff['handoff_resolution_rate']:.2f}"
+    )
+    assert event.queries_per_s >= rounds.queries_per_s, (
+        f"event-driven {event.queries_per_s:.0f} q/s fell behind "
+        f"sequential rounds {rounds.queries_per_s:.0f} q/s"
+    )
+    assert event.corrupted_responses <= rounds.corrupted_responses

@@ -17,7 +17,7 @@ faster on the 10-tag workload.
 import os
 import time
 
-from bench_helpers import population_simulator
+from bench_helpers import population_simulator, write_bench_json
 from conftest import scaled
 from repro.core.cfo import extract_cfo_peaks
 from repro.core.decoding import CoherentDecoder, DecodeSession
@@ -134,6 +134,22 @@ def bench_decode_pipeline(benchmark, report):
         f"{total_new * 1e3:.1f} ms -> {speedup:.1f}x"
     )
     report("outputs verified identical: packets, per-target n_queries, air time")
+
+    write_bench_json(
+        "decode_pipeline",
+        {
+            "workload": {
+                "n_tags": N_TAGS,
+                "max_queries": MAX_QUERIES,
+                "scenes": scenes,
+                "timing_reps": TIMING_REPS,
+            },
+            "seed_ms_total": total_seed * 1e3,
+            "batched_ms_total": total_new * 1e3,
+            "speedup": speedup,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    )
 
     assert speedup >= SPEEDUP_FLOOR, (
         f"expected >={SPEEDUP_FLOOR}x speedup, measured {speedup:.2f}x"

@@ -10,6 +10,10 @@ ablation study.
 
 from __future__ import annotations
 
+import json
+import math
+from pathlib import Path
+
 import numpy as np
 
 from repro.channel.antenna import TriangleArray
@@ -23,6 +27,35 @@ from repro.phy.packet import TransponderPacket
 from repro.phy.transponder import Transponder
 
 NOISE_W = thermal_noise_power_w(DEFAULT_SAMPLE_RATE_HZ)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist a benchmark's headline numbers machine-readably.
+
+    Writes ``benchmarks/results/BENCH_<name>.json`` so the performance
+    trajectory can be tracked across commits (the human-readable ``.txt``
+    transcripts are free-form; this is the stable contract). Values must
+    be JSON-serializable; numpy scalars are coerced and non-finite
+    floats become null (bare ``NaN`` is not valid JSON).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def coerce(value):
+        if isinstance(value, dict):
+            return {str(k): coerce(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [coerce(v) for v in value]
+        if isinstance(value, (np.integer,)):
+            return int(value)
+        if isinstance(value, (float, np.floating)):
+            return float(value) if math.isfinite(value) else None
+        return value
+
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(coerce(payload), indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def pole_array() -> TriangleArray:

@@ -34,11 +34,17 @@ class TagObservation:
             when the service does not need billing-grade identity.
         position_m: (2,) road-plane fix from localization (§6).
         timestamp_s: reader-clock time of the query.
+        station: name of the reader station that produced the fix, when
+            known — city-scale pipelines audit which pole saw what.
+        cell: name of the coverage cell the fix falls in, when the
+            deployment partitions the road into station cells.
     """
 
     tag_id: int
     position_m: np.ndarray
     timestamp_s: float
+    station: str | None = None
+    cell: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(

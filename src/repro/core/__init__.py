@@ -38,7 +38,13 @@ from .speed import (
 )
 from .decoding import CoherentDecoder, DecodeResult, DecodeSession, MultiTargetCombiner
 from .reader import CaraokeReader, ReaderReport
-from .network import IdentityCache, ReaderNetwork, ReaderStation, StationReport
+from .network import (
+    IdentityCache,
+    ReaderNetwork,
+    ReaderStation,
+    StationReport,
+    resolve_cached_ids,
+)
 from .mac import CsmaState, ReaderMac
 
 __all__ = [
@@ -77,6 +83,7 @@ __all__ = [
     "ReaderNetwork",
     "ReaderStation",
     "StationReport",
+    "resolve_cached_ids",
     "CsmaState",
     "ReaderMac",
 ]

@@ -40,7 +40,13 @@ from ..errors import CaraokeError
 from .decoding import DecodeResult
 from .reader import ReaderReport
 
-__all__ = ["IdentityCache", "ReaderStation", "StationReport", "ReaderNetwork"]
+__all__ = [
+    "IdentityCache",
+    "ReaderStation",
+    "StationReport",
+    "ReaderNetwork",
+    "resolve_cached_ids",
+]
 
 
 def _tag_observation():
@@ -62,6 +68,13 @@ class IdentityCache:
     and each hit refreshes the stored CFO so slow oscillator drift is
     tracked instead of aged out.
 
+    The table is bounded two ways: ``max_entries`` caps its size with
+    least-recently-seen eviction (a city-scale stream sees every passing
+    car once; an unbounded table would grow forever), and ``max_age_s``
+    ages out entries not sighted recently (a stale fingerprint is also a
+    mis-attribution hazard, see below). Both are off by default so small
+    deployments keep the decode-once behavior indefinitely.
+
     Limitation: the fingerprint is not cryptographic. If tag A leaves
     and an unrelated tag B with a CFO within ``tolerance_hz`` of A's
     arrives before A's entry ages out, B's first sighting is attributed
@@ -71,10 +84,18 @@ class IdentityCache:
 
     Attributes:
         tolerance_hz: maximum spike movement between sightings.
+        max_entries: size bound; storing beyond it evicts the entry with
+            the oldest last-seen time. None = unbounded.
+        max_age_s: entries unseen for longer than this are dropped by
+            :meth:`prune` (and by any ``lookup``/``store`` given a
+            ``now_s``). None = no aging.
     """
 
     tolerance_hz: float = 3000.0
+    max_entries: int | None = None
+    max_age_s: float | None = None
     _cfos_by_id: dict[int, float] = field(default_factory=dict)
+    _last_seen_s: dict[int, float] = field(default_factory=dict, repr=False)
     _sorted_cfos: list[float] = field(default_factory=list, repr=False)
     _sorted_ids: list[int] = field(default_factory=list, repr=False)
     _dirty: bool = field(default=False, repr=False)
@@ -86,37 +107,152 @@ class IdentityCache:
             self._sorted_ids = [tag_id for _, tag_id in pairs]
             self._dirty = False
 
-    def lookup(self, cfo_hz: float) -> int | None:
-        """The cached account id whose CFO is nearest, or None.
+    def lookup(
+        self,
+        cfo_hz: float,
+        now_s: float | None = None,
+        exclude=frozenset(),
+    ) -> int | None:
+        """The nearest cached account id not in ``exclude``, or None.
 
-        Binary search over a lazily rebuilt sorted index: O(log n) per
-        spike instead of a scan of every account the station ever decoded
-        (the table itself is unbounded until the ROADMAP eviction item
-        lands, so per-spike cost must not grow with its size).
+        Binary search over a lazily rebuilt sorted index, expanding
+        outward from the insertion point in distance order — O(log n +
+        skipped) per spike instead of a scan of every account the
+        station ever decoded. Passing ``now_s`` first ages out stale
+        entries (no-op unless ``max_age_s`` is set), so an expired
+        fingerprint can never claim a fresh spike. ``exclude`` lets a
+        caller resolving several simultaneous spikes skip accounts a
+        nearer spike already claimed.
         """
+        if now_s is not None:
+            self.prune(now_s)
         if not self._cfos_by_id:
             return None
         self._reindex()
-        i = bisect.bisect_left(self._sorted_cfos, cfo_hz)
-        best_id, best_delta = None, self.tolerance_hz
-        for j in (i - 1, i):
-            if 0 <= j < len(self._sorted_cfos):
-                delta = abs(self._sorted_cfos[j] - cfo_hz)
-                if delta <= best_delta:
-                    best_id, best_delta = self._sorted_ids[j], delta
-        return best_id
+        cfos, ids = self._sorted_cfos, self._sorted_ids
+        left = bisect.bisect_left(cfos, cfo_hz) - 1
+        right = left + 1
+        while left >= 0 or right < len(cfos):
+            left_delta = cfo_hz - cfos[left] if left >= 0 else float("inf")
+            right_delta = cfos[right] - cfo_hz if right < len(cfos) else float("inf")
+            if right_delta <= left_delta:
+                delta, candidate = right_delta, ids[right]
+                right += 1
+            else:
+                delta, candidate = left_delta, ids[left]
+                left -= 1
+            if delta > self.tolerance_hz:
+                return None
+            if candidate not in exclude:
+                return candidate
+        return None
 
-    def store(self, cfo_hz: float, tag_id: int) -> None:
-        """Record (or refresh) a decoded spike."""
+    def store(self, cfo_hz: float, tag_id: int, now_s: float = 0.0) -> None:
+        """Record (or refresh) a decoded spike at time ``now_s``.
+
+        Exceeding ``max_entries`` evicts least-recently-seen entries
+        (ties broken by id, for determinism) until the bound holds.
+        """
         self._cfos_by_id[tag_id] = float(cfo_hz)
+        self._last_seen_s[tag_id] = max(
+            float(now_s), self._last_seen_s.get(tag_id, float("-inf"))
+        )
         self._dirty = True
+        if self.max_entries is not None:
+            while len(self._cfos_by_id) > max(1, int(self.max_entries)):
+                victim = min(
+                    (t for t in self._cfos_by_id if t != tag_id),
+                    key=lambda t: (self._last_seen_s.get(t, float("-inf")), t),
+                )
+                self.evict(victim)
+
+    def evict(self, tag_id: int) -> bool:
+        """Forget one account's fingerprint; returns whether it existed."""
+        if tag_id not in self._cfos_by_id:
+            return False
+        del self._cfos_by_id[tag_id]
+        self._last_seen_s.pop(tag_id, None)
+        self._dirty = True
+        return True
+
+    def prune(self, now_s: float) -> int:
+        """Age out entries unseen since ``now_s - max_age_s``; returns count."""
+        if self.max_age_s is None:
+            return 0
+        stale = [
+            tag_id
+            for tag_id, seen_s in self._last_seen_s.items()
+            if now_s - seen_s > self.max_age_s
+        ]
+        for tag_id in stale:
+            self.evict(tag_id)
+        return len(stale)
 
     def cached_cfo(self, tag_id: int) -> float | None:
         """The stored fingerprint for an account, if any."""
         return self._cfos_by_id.get(tag_id)
 
+    def last_seen_s(self, tag_id: int) -> float | None:
+        """When an account's fingerprint was last refreshed, if cached."""
+        if tag_id not in self._cfos_by_id:
+            return None
+        return self._last_seen_s.get(tag_id)
+
     def __len__(self) -> int:
         return len(self._cfos_by_id)
+
+
+def resolve_cached_ids(
+    cache: IdentityCache, cfos: list[float], now_s: float | None = None
+) -> tuple[dict[float, int], list[float]]:
+    """Resolve spikes against an :class:`IdentityCache`, one-to-one.
+
+    Each cached account may claim at most one spike per round (its
+    nearest); a second spike within tolerance is a *different* tag and
+    must be decoded, not silently attributed to the cached account. A
+    spike that loses an account to a nearer rival is re-matched against
+    the remaining accounts (its true owner may simply be second-nearest)
+    before being declared unknown. Claimed spikes refresh the winning
+    account's fingerprint.
+
+    Returns:
+        ``(ids, unknown)`` — resolved ``{cfo: tag_id}`` plus the spikes
+        no cached account could claim, in first-seen order.
+    """
+    spikes = [float(cfo) for cfo in cfos]
+    owner: dict[int, int] = {}  # tag_id -> index of its winning spike
+    exclusions: dict[int, set[int]] = {}  # spike index -> lost accounts
+    unresolved: set[int] = set()
+    queue = list(range(len(spikes)))
+    while queue:
+        index = queue.pop(0)
+        tag_id = cache.lookup(
+            spikes[index],
+            now_s=now_s,
+            exclude=exclusions.get(index, frozenset()),
+        )
+        if tag_id is None:
+            unresolved.add(index)
+            continue
+        rival = owner.get(tag_id)
+        if rival is None:
+            owner[tag_id] = index
+            continue
+        cached = cache.cached_cfo(tag_id)
+        if abs(spikes[index] - cached) < abs(spikes[rival] - cached):
+            owner[tag_id] = index
+            loser = rival
+        else:
+            loser = index
+        # The loser may still match another account; re-queue it with
+        # this one struck off (the set growth bounds the loop).
+        exclusions.setdefault(loser, set()).add(tag_id)
+        queue.append(loser)
+    ids: dict[float, int] = {}
+    for tag_id, index in owner.items():
+        ids[spikes[index]] = tag_id
+        cache.store(spikes[index], tag_id, now_s=0.0 if now_s is None else now_s)
+    return ids, [spikes[i] for i in sorted(unresolved)]
 
 
 @dataclass
@@ -259,32 +395,7 @@ class ReaderNetwork:
         station.prune_fixes(timestamp_s)
         report = station.reader.observe(collision, timestamp_s=timestamp_s)
         cfos = [float(c) for c in report.count.cfos_hz()]
-
-        # Resolve cached identities one-to-one: each cached account may
-        # claim at most one spike per round (its nearest); a second spike
-        # within tolerance is a *different* tag and must be decoded, not
-        # silently attributed to the cached account.
-        ids: dict[float, int] = {}
-        unknown: list[float] = []
-        claims: dict[int, float] = {}
-        for cfo in cfos:
-            tag_id = station.identities.lookup(cfo)
-            if tag_id is None:
-                unknown.append(cfo)
-                continue
-            rival = claims.get(tag_id)
-            if rival is None:
-                claims[tag_id] = cfo
-                continue
-            cached = station.identities.cached_cfo(tag_id)
-            if abs(cfo - cached) < abs(rival - cached):
-                claims[tag_id] = cfo
-                unknown.append(rival)
-            else:
-                unknown.append(cfo)
-        for tag_id, cfo in claims.items():
-            ids[cfo] = tag_id
-            station.identities.store(cfo, tag_id)
+        ids, unknown = resolve_cached_ids(station.identities, cfos, now_s=timestamp_s)
 
         decode_results: dict[float, DecodeResult] = {}
         if unknown and self.decode:
@@ -298,7 +409,7 @@ class ReaderNetwork:
             for cfo, result in decode_results.items():
                 if result.success:
                     ids[cfo] = result.packet.tag_id
-                    station.identities.store(cfo, result.packet.tag_id)
+                    station.identities.store(cfo, result.packet.tag_id, now_s=timestamp_s)
 
         observations = self._positioned(station, report, ids, timestamp_s)
         return StationReport(
@@ -349,6 +460,11 @@ class ReaderNetwork:
                 continue
             station.record_fix(tag_id, fix, timestamp_s)
             observations.append(
-                observation_cls(tag_id=tag_id, position_m=fix, timestamp_s=timestamp_s)
+                observation_cls(
+                    tag_id=tag_id,
+                    position_m=fix,
+                    timestamp_s=timestamp_s,
+                    station=station.name,
+                )
             )
         return observations

@@ -2,17 +2,25 @@
 
 from .events import Event, EventScheduler
 from .clock import DriftingClock, NtpClock
-from .medium import Medium, ReaderNode, Transmission, TxKind
+from .medium import AirLog, Medium, ReaderNode, Transmission, TxKind
 from .traffic import IntersectionSimulator, PoissonArrivals, TrafficLight, TrafficSample
 from .mobility import ConstantSpeedTrajectory, DriveBy
 from .parking import ParkingSpot, ParkingStreet
-from .scenario import Scene, corridor_scene, intersection_scene, parking_scene, two_pole_speed_scene
+from .scenario import (
+    Scene,
+    city_corridor_scene,
+    corridor_scene,
+    intersection_scene,
+    parking_scene,
+    two_pole_speed_scene,
+)
 
 __all__ = [
     "Event",
     "EventScheduler",
     "DriftingClock",
     "NtpClock",
+    "AirLog",
     "Medium",
     "ReaderNode",
     "Transmission",
@@ -26,6 +34,7 @@ __all__ = [
     "ParkingSpot",
     "ParkingStreet",
     "Scene",
+    "city_corridor_scene",
     "corridor_scene",
     "intersection_scene",
     "parking_scene",

@@ -1,0 +1,39 @@
+"""City-scale corridor engine: many readers, one street, one time axis.
+
+The paper's end goal (§1, §9) is a *network* of cheap readers covering a
+city. This package is the discrete-event layer that turns the isolated
+per-pole machinery into that infrastructure:
+
+* :mod:`repro.sim.city.cells` — first-class :class:`StationCell`
+  coverage segments (promoted from the per-station road-slice pattern of
+  ``examples/reader_network.py``) with neighbor links.
+* :mod:`repro.sim.city.handoff` — the :class:`HandoffLedger` audit of
+  how each downstream sighting was resolved: own cache, neighbor cache
+  handoff, or a full re-decode.
+* :mod:`repro.sim.city.moving` — moving tags: trajectory-driven
+  transponders whose channel geometry is re-sampled per query.
+* :mod:`repro.sim.city.corridor` — :class:`CityCorridor`, the engine:
+  every station runs its own query cadence through the §9
+  :class:`~repro.core.mac.ReaderMac` policy on one shared
+  :class:`~repro.sim.events.EventScheduler` timeline and one
+  :class:`~repro.sim.medium.AirLog`, so stations genuinely back off each
+  other instead of taking synchronized turns.
+"""
+
+from .cells import StationCell, carve_cells
+from .handoff import HandoffLedger, SightingRecord
+from .moving import MovingCollisionSource, MovingTag, TagWaveformBank
+from .corridor import CityCorridor, CorridorResult, CorridorStation
+
+__all__ = [
+    "StationCell",
+    "carve_cells",
+    "HandoffLedger",
+    "SightingRecord",
+    "MovingTag",
+    "MovingCollisionSource",
+    "TagWaveformBank",
+    "CityCorridor",
+    "CorridorResult",
+    "CorridorStation",
+]

@@ -1,0 +1,754 @@
+"""The city corridor engine: async stations, cell handoff, moving tags.
+
+:class:`CityCorridor` runs many :class:`CorridorStation`\\ s on one shared
+:class:`~repro.sim.events.EventScheduler` timeline and one
+:class:`~repro.sim.medium.AirLog`:
+
+* **Async station scheduling** — each station queries on its own cadence
+  and listens before talking via the §9
+  :class:`~repro.core.mac.ReaderMac` policy against what it actually
+  hears on the air (query energy classified and ignored, response
+  windows honored), so stations genuinely back off each other instead of
+  taking synchronized turns. ``scheduling="rounds"`` runs the same world
+  through the lock-step sequential baseline (stations take strict turns,
+  each turn serializing its whole burst) for the ablation benchmark.
+* **Cell handoff** — the corridor is carved into
+  :class:`~repro.sim.city.cells.StationCell`\\ s; when a spike at pole
+  *k+1* misses the local :class:`~repro.core.network.IdentityCache`, the
+  neighbors' caches are consulted by measured CFO fingerprint and a hit
+  is *forwarded* (copied) into the local cache — the downstream pole
+  resolves the tag without spending a single decode query. Every
+  resolution is recorded in the corridor's
+  :class:`~repro.sim.city.handoff.HandoffLedger`.
+* **Moving tags** — tag membership in cells follows
+  :mod:`repro.sim.mobility` trajectories (entry/exit scheduled as
+  events), and every capture re-samples channel geometry at the actual
+  response time through :class:`~repro.sim.city.moving.MovingCollisionSource`.
+
+Causality note: a station's decode burst is executed synchronously at
+its processing event, recording its (future) query transmissions into
+the air log; later events observe and defer to them. Measurement rounds
+are processed at response *end* (so every query that could have stepped
+on the response is already on the log); decode captures check corruption
+against the log as synthesized, which under-counts only the no-CSMA
+ablation where bursts interleave blindly. End-of-run corruption totals
+from :meth:`AirLog.corrupted_responses` are exact either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...constants import (
+    CSMA_LISTEN_S,
+    QUERY_DURATION_S,
+    QUERY_PERIOD_S,
+    READER_RANGE_M,
+    RESPONSE_DURATION_S,
+    TURNAROUND_S,
+)
+from ...core.mac import ReaderMac
+from ...core.network import IdentityCache, resolve_cached_ids
+from ...errors import CaraokeError, ConfigurationError
+from ...utils import as_rng
+from ..events import EventScheduler
+from ..medium import AirLog
+from .cells import StationCell, carve_cells
+from .handoff import HandoffLedger
+from .moving import MovingCollisionSource, MovingTag, TagWaveformBank
+
+__all__ = ["CorridorStation", "CityCorridor", "CorridorResult", "IdentificationStat"]
+
+
+def _tag_observation():
+    # Deferred for the same reason as repro.core.network: repro.apps
+    # imports repro.sim at package init.
+    from ...apps.services import TagObservation
+
+    return TagObservation
+
+
+@dataclass
+class CorridorStation:
+    """One pole of the corridor: reader + front-end + cell + cache.
+
+    Attributes:
+        name: stable identifier.
+        reader: the :class:`~repro.core.reader.CaraokeReader` chain.
+        source: the pole's moving-scene front-end.
+        cell: the coverage slice this pole owns.
+        localizer: single-pole localizer confined to the cell.
+        identities: the pole's CFO -> account-id cache.
+        mac: the §9 listen-before-talk policy.
+        query_interval_s / jitter_s: measurement cadence.
+        antenna_index: antenna whose stream feeds the decoder.
+    """
+
+    name: str
+    reader: object
+    source: MovingCollisionSource
+    cell: StationCell
+    localizer: object | None = None
+    identities: IdentityCache = field(default_factory=IdentityCache)
+    mac: ReaderMac = field(default_factory=ReaderMac)
+    query_interval_s: float = 80e-3
+    jitter_s: float = 5e-3
+    antenna_index: int = 0
+    upstream: "CorridorStation | None" = field(default=None, repr=False)
+    downstream: "CorridorStation | None" = field(default=None, repr=False)
+    # -- per-run statistics --
+    queries_sent: int = 0
+    queries_deferred: int = 0
+    rounds: int = 0
+    empty_rounds: int = 0
+    corrupted_rounds: int = 0
+    _hints: dict[int, tuple[np.ndarray, float]] = field(default_factory=dict, repr=False)
+
+    @property
+    def pole_position_m(self) -> np.ndarray:
+        return self.source.pole_position_m
+
+    def neighbors(self) -> list["CorridorStation"]:
+        """Upstream first: traffic flows +x, so the usual donor is the
+        pole the tag just left."""
+        return [s for s in (self.upstream, self.downstream) if s is not None]
+
+
+@dataclass(frozen=True)
+class IdentificationStat:
+    """When the corridor learned one tag's identity (Fig 16 style)."""
+
+    tag_id: int
+    first_seen_s: float
+    identified_s: float
+    n_queries: int
+
+    @property
+    def delay_s(self) -> float:
+        return self.identified_s - self.first_seen_s
+
+
+@dataclass
+class CorridorResult:
+    """Everything one :meth:`CityCorridor.run` produced."""
+
+    scheduling: str
+    duration_s: float
+    queries_sent: int
+    queries_deferred: int
+    rounds: int
+    empty_rounds: int
+    corrupted_rounds: int
+    responses: int
+    corrupted_responses: int
+    n_observations: int
+    ledger: HandoffLedger
+    identifications: list[IdentificationStat]
+    tags_seen: int
+
+    @property
+    def queries_per_s(self) -> float:
+        return self.queries_sent / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def identified(self) -> int:
+        return len(self.identifications)
+
+    @property
+    def mean_identification_delay_s(self) -> float:
+        if not self.identifications:
+            return float("nan")
+        return float(np.mean([s.delay_s for s in self.identifications]))
+
+    @property
+    def mean_identification_queries(self) -> float:
+        if not self.identifications:
+            return float("nan")
+        return float(np.mean([s.n_queries for s in self.identifications]))
+
+    def summary(self) -> dict:
+        """Headline numbers, JSON-friendly."""
+        return {
+            "scheduling": self.scheduling,
+            "duration_s": self.duration_s,
+            "queries_sent": self.queries_sent,
+            "queries_per_s": self.queries_per_s,
+            "queries_deferred": self.queries_deferred,
+            "rounds": self.rounds,
+            "corrupted_rounds": self.corrupted_rounds,
+            "responses": self.responses,
+            "corrupted_responses": self.corrupted_responses,
+            "observations": self.n_observations,
+            "tags_seen": self.tags_seen,
+            "tags_identified": self.identified,
+            "mean_identification_delay_s": self.mean_identification_delay_s,
+            "mean_identification_queries": self.mean_identification_queries,
+            "handoff": self.ledger.summary(),
+        }
+
+
+class CityCorridor:
+    """A corridor of reader stations sharing one street and one time axis.
+
+    One instance runs one world once: build (or :meth:`build`) a fresh
+    corridor per run. Determinism: all randomness flows from the single
+    ``rng``, and event ordering is the scheduler's (time, priority,
+    insertion) order, so a fixed seed reproduces the run exactly.
+
+    Attributes:
+        road: the corridor road segment.
+        stations: the poles, in along-road order.
+        tags: every car that will traverse the corridor.
+        use_csma: listen-before-talk on (False = blind ALOHA ablation).
+        handoff: consult neighbor caches before re-decoding.
+        decode: run §8 identification at all (False = count-only).
+        max_queries: decode budget per identification burst.
+        decode_snr_db: spikes below this detection SNR are not worth a
+            decode burst yet (the tag is still far; a later, closer
+            round decodes it in fewer queries). None disables the gate.
+        range_m: radio range gating which tags hear a query.
+    """
+
+    def __init__(
+        self,
+        road,
+        stations: list[CorridorStation],
+        tags: list[MovingTag],
+        *,
+        rng=None,
+        scheduling: str = "event",
+        use_csma: bool = True,
+        handoff: bool = True,
+        decode: bool = True,
+        max_queries: int = 32,
+        decode_snr_db: float | None = 17.0,
+        range_m: float = READER_RANGE_M,
+    ):
+        if scheduling not in ("event", "rounds"):
+            raise ConfigurationError(f"unknown scheduling {scheduling!r}")
+        if not stations:
+            raise ConfigurationError("need at least one station")
+        self.road = road
+        self.stations = list(stations)
+        self.tags = list(tags)
+        self.rng = as_rng(rng)
+        self.scheduling = scheduling
+        self.use_csma = bool(use_csma)
+        self.handoff = bool(handoff)
+        self.decode = bool(decode)
+        self.max_queries = int(max_queries)
+        self.decode_snr_db = decode_snr_db
+        self.range_m = float(range_m)
+        # Sensing lookback must cover a whole synchronous decode burst:
+        # burst queries sense up to max_queries periods past the event
+        # clock, and later events still need everything in that window.
+        self.air = AirLog(
+            sense_slack_s=max(
+                0.25, self.max_queries * QUERY_PERIOD_S + RESPONSE_DURATION_S + 0.05
+            )
+        )
+        self.ledger = HandoffLedger()
+        self.services: list[object] = []
+        self.observations: list = []
+        self._cell_index = {s.cell.name: i for i, s in enumerate(self.stations)}
+        self._roster: list[set[int]] = [set() for _ in self.stations]
+        # Which cell rosters can hold a tag audible to each pole: every
+        # cell intersecting the pole's radio reach (range plus slack for
+        # the distance a car covers during one decode burst). Derived
+        # from the geometry rather than assuming "one neighbor suffices"
+        # so narrow cells with a wide radio range still hear everyone.
+        reach = self.range_m + 5.0
+        self._audible_cells: list[list[int]] = []
+        for station in self.stations:
+            x = float(station.pole_position_m[0])
+            self._audible_cells.append(
+                [
+                    j
+                    for j, other in enumerate(self.stations)
+                    if other.cell.x_min_m < x + reach
+                    and other.cell.x_max_m > x - reach
+                ]
+            )
+        self._first_seen: dict[int, float] = {}
+        self._identified: dict[int, tuple[float, int]] = {}
+        self._ran = False
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        scene,
+        trajectories,
+        lane_ys_m: tuple[float, ...],
+        *,
+        rng=None,
+        query_interval_s: float = 80e-3,
+        jitter_s: float = 5e-3,
+        cache_max_entries: int | None = 512,
+        cache_max_age_s: float | None = 600.0,
+        **kwargs,
+    ) -> "CityCorridor":
+        """Assemble a corridor from a scene + one trajectory per tag.
+
+        The scene supplies poles (one antenna array each), road, channel
+        and tag transponders — e.g. from
+        :func:`repro.sim.scenario.city_corridor_scene`. Cells are carved
+        between the poles at the midpoints; stations are wired to their
+        along-road neighbors for handoff.
+        """
+        if len(scene.tags) != len(trajectories):
+            raise ConfigurationError("one trajectory per scene tag required")
+        rng = as_rng(rng)
+        bank = TagWaveformBank(scene.lo_hz, scene.sample_rate_hz, rng=rng)
+        pole_xs = [float(array.center_m[0]) for array in scene.arrays]
+        cells = carve_cells(pole_xs, scene.road, tuple(lane_ys_m))
+        stations: list[CorridorStation] = []
+        for index, (array, cell) in enumerate(zip(scene.arrays, cells)):
+            source = MovingCollisionSource(
+                array.positions_m,
+                scene.channel,
+                bank,
+                noise_power_w=scene.noise_power_w,
+                rng=rng,
+            )
+            stations.append(
+                CorridorStation(
+                    name=f"pole-{index}",
+                    reader=scene.reader(index),
+                    source=source,
+                    cell=cell,
+                    localizer=cell.localizer(),
+                    identities=IdentityCache(
+                        max_entries=cache_max_entries, max_age_s=cache_max_age_s
+                    ),
+                    query_interval_s=query_interval_s,
+                    jitter_s=jitter_s,
+                )
+            )
+        for left, right in zip(stations, stations[1:]):
+            left.downstream = right
+            right.upstream = left
+        tags = [
+            MovingTag(transponder=tag, trajectory=trajectory)
+            for tag, trajectory in zip(scene.tags, trajectories)
+        ]
+        return cls(scene.road, stations, tags, rng=rng, **kwargs)
+
+    def subscribe(self, service: object) -> object:
+        """Fan every observation into ``service.observe``; returns it."""
+        self.services.append(service)
+        return service
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(self, duration_s: float) -> CorridorResult:
+        """Simulate the corridor for ``duration_s`` seconds."""
+        if self._ran:
+            raise ConfigurationError(
+                "a CityCorridor instance runs once; build a fresh one"
+            )
+        self._ran = True
+        self._end_s = float(duration_s)
+        transitions = self._cell_transitions(duration_s)
+        if self.scheduling == "event":
+            self._run_events(duration_s, transitions)
+        else:
+            self._run_rounds(duration_s, transitions)
+        return self._result(duration_s)
+
+    def _run_events(self, duration_s: float, transitions) -> None:
+        scheduler = EventScheduler()
+        for t, kind, tag_index, cell_index in transitions:
+            scheduler.schedule(
+                t,
+                self._make_transition(kind, tag_index, cell_index),
+                priority=-1,
+                label=f"{kind}-tag{tag_index}-cell{cell_index}",
+            )
+        # Every station starts its cadence at t=0: simultaneous queries
+        # are benign (§9 rule 1), so there is nothing to stagger — the
+        # MAC sorts out the response slots from the first tick on.
+        for station in self.stations:
+            scheduler.schedule(
+                0.0,
+                self._make_attempt(station, anchor=0.0),
+                label=f"{station.name}-first",
+            )
+        scheduler.run_until(duration_s)
+
+    def _run_rounds(self, duration_s: float, transitions) -> None:
+        """The lock-step baseline: stations take strict sequential turns.
+
+        Each turn serializes the station's entire burst (measurement
+        plus any decode queries) before the next station may transmit,
+        exactly the ``ReaderNetwork.step`` contract placed on a shared
+        time axis. Rounds start on the common cadence when the previous
+        round finished early, later otherwise.
+        """
+        pending = list(transitions)
+        interval = min(s.query_interval_s for s in self.stations)
+        round_start = 0.0
+        while round_start < duration_s:
+            cursor = round_start
+            for station in self.stations:
+                if cursor >= duration_s:
+                    break
+                while pending and pending[0][0] <= cursor:
+                    t, kind, tag_index, cell_index = pending.pop(0)
+                    self._apply_transition(t, kind, tag_index, cell_index)
+                busy_end = self._transmit(station, cursor, sequential=True)
+                cursor = busy_end + CSMA_LISTEN_S
+            round_start = max(round_start + interval, cursor)
+
+    # -- cell transitions --------------------------------------------------------
+
+    def _cell_transitions(self, duration_s: float):
+        """(t, kind, tag_index, cell_index) list, time-ordered.
+
+        Crossing times come straight from the trajectories: cars enter a
+        cell when they cross its lower edge and leave at its upper edge.
+        Tags already inside the corridor at t=0 are rostered immediately.
+        """
+        events = []
+        for tag_index, tag in enumerate(self.tags):
+            x0 = float(tag.position(0.0)[0])
+            for cell_index, station in enumerate(self.stations):
+                cell = station.cell
+                if cell.contains_x(x0):
+                    self._roster[cell_index].add(tag_index)
+                    self._first_cell_note(0.0, cell, tag)
+                t_in = tag.time_at_x(cell.x_min_m)
+                t_out = tag.time_at_x(cell.x_max_m)
+                if t_in is not None and 0.0 < t_in <= duration_s:
+                    events.append((t_in, "enter", tag_index, cell_index))
+                if t_out is not None and 0.0 < t_out <= duration_s:
+                    events.append((t_out, "exit", tag_index, cell_index))
+        events.sort(key=lambda e: (e[0], e[1] != "exit", e[2], e[3]))
+        return events
+
+    def _first_cell_note(self, t_s: float, cell: StationCell, tag: MovingTag) -> None:
+        self.ledger.record_cell_entry(t_s, cell.name, tag.tag_id)
+
+    def _make_transition(self, kind: str, tag_index: int, cell_index: int):
+        def apply(scheduler: EventScheduler) -> None:
+            self._apply_transition(scheduler.now_s, kind, tag_index, cell_index)
+
+        return apply
+
+    def _apply_transition(
+        self, t_s: float, kind: str, tag_index: int, cell_index: int
+    ) -> None:
+        tag = self.tags[tag_index]
+        cell = self.stations[cell_index].cell
+        if kind == "enter":
+            self._roster[cell_index].add(tag_index)
+            self.ledger.record_cell_entry(t_s, cell.name, tag.tag_id)
+        else:
+            self._roster[cell_index].discard(tag_index)
+            self.ledger.record_cell_exit(t_s, cell.name, tag.tag_id)
+
+    def _tags_near(self, station: CorridorStation, t_s: float) -> list[MovingTag]:
+        """Tags that would hear this station's query at ``t_s``.
+
+        Candidates come from the rosters of every cell within the pole's
+        radio reach (precomputed from the geometry), then range-gated on
+        actual trajectory positions at response time.
+        """
+        index = self._cell_index[station.cell.name]
+        candidates: set[int] = set()
+        for j in self._audible_cells[index]:
+            candidates |= self._roster[j]
+        response_t = t_s + QUERY_DURATION_S + TURNAROUND_S
+        pole = station.pole_position_m
+        return [
+            self.tags[i]
+            for i in sorted(candidates)
+            if self.tags[i].in_range(pole, response_t, self.range_m)
+        ]
+
+    # -- station events ----------------------------------------------------------
+
+    def _make_attempt(self, station: CorridorStation, anchor: float):
+        """One periodic attempt. ``anchor`` is the cadence tick the
+        attempt belongs to: deferral retries keep it, so MAC back-off
+        delays a query without letting the whole cadence drift."""
+
+        def attempt(scheduler: EventScheduler) -> None:
+            now = scheduler.now_s
+            if self.use_csma:
+                state = self.air.heard_state(now)
+                if not station.mac.can_transmit(now, state):
+                    station.queries_deferred += 1
+                    retry = station.mac.next_opportunity(now, state)
+                    retry += float(self.rng.uniform(0.0, 20e-6))
+                    scheduler.schedule(
+                        retry, attempt, label=f"{station.name}-retry"
+                    )
+                    return
+            self._transmit(
+                station, now, sequential=False, scheduler=scheduler, anchor=anchor
+            )
+
+        return attempt
+
+    def _schedule_next(
+        self, station: CorridorStation, anchor: float, busy_end: float, scheduler
+    ) -> None:
+        next_anchor = anchor + station.query_interval_s
+        jitter = float(self.rng.uniform(-station.jitter_s, station.jitter_s))
+        nxt = max(next_anchor + jitter, busy_end + CSMA_LISTEN_S)
+        if nxt <= self._end_s:
+            scheduler.schedule(
+                nxt,
+                self._make_attempt(station, anchor=next_anchor),
+                label=f"{station.name}-next",
+            )
+
+    def _transmit(
+        self,
+        station: CorridorStation,
+        t_query: float,
+        sequential: bool,
+        scheduler: EventScheduler | None = None,
+        anchor: float = 0.0,
+    ) -> float:
+        """Put one measurement query on the air; returns burst end time.
+
+        In event mode processing happens at response end (every query
+        that could corrupt the response is on the log by then) and the
+        burst end is delivered to :meth:`_schedule_next` from there; the
+        returned value is then only the measurement's own extent.
+        """
+        station.rounds += 1
+        station.queries_sent += 1
+        self.air.record_query(station.name, t_query)
+        candidates = self._tags_near(station, t_query)
+        if not candidates:
+            station.empty_rounds += 1
+            end = t_query + QUERY_DURATION_S
+            if not sequential:
+                self._schedule_next(station, anchor, end, scheduler)
+            return end
+        response_start = t_query + QUERY_DURATION_S + TURNAROUND_S
+        response_end = response_start + RESPONSE_DURATION_S
+        for tag in candidates:
+            self.air.record_response(f"tag{tag.tag_id}", response_start)
+        now = t_query
+        for tag in candidates:
+            if tag.tag_id not in self._first_seen:
+                self._first_seen[tag.tag_id] = now
+        if sequential:
+            return self._process(station, t_query, candidates)
+
+        def process(sched: EventScheduler) -> None:
+            busy_end = self._process(station, t_query, candidates)
+            self._schedule_next(station, anchor, busy_end, sched)
+
+        scheduler.schedule(
+            response_end + 1e-9, process, label=f"{station.name}-process"
+        )
+        return response_end
+
+    # -- measurement processing ---------------------------------------------------
+
+    def _process(
+        self, station: CorridorStation, t_query: float, candidates: list[MovingTag]
+    ) -> float:
+        """Count, resolve, hand off, decode, localize; returns burst end."""
+        response_start = t_query + QUERY_DURATION_S + TURNAROUND_S
+        response_end = response_start + RESPONSE_DURATION_S
+        corrupted = self.air.any_query_overlapping(
+            response_start,
+            response_end,
+            exclude_source=station.name,
+            exclude_start_s=t_query,
+        )
+        if corrupted:
+            station.corrupted_rounds += 1
+            return response_end
+        collision = station.source.query(candidates, t_query)
+        report = station.reader.observe(collision, timestamp_s=t_query)
+        cfos = [float(c) for c in report.count.cfos_hz()]
+        snr_by_cfo = {
+            float(o.cfo_hz): float(o.snr) for o in report.count.observations
+        }
+        ids, unknown = resolve_cached_ids(station.identities, cfos, now_s=t_query)
+        for cfo, tag_id in sorted(ids.items()):
+            self.ledger.record_own_hit(station.name, tag_id, t_query, cfo)
+
+        # Neighbor handoff: a fingerprint the local cache misses may be
+        # sitting one pole upstream — forward it instead of re-decoding.
+        still_unknown: list[float] = []
+        if self.handoff:
+            claimed = set(ids.values())
+            for cfo in unknown:
+                donor_id, donor = None, None
+                for neighbor in station.neighbors():
+                    tag_id = neighbor.identities.lookup(cfo, now_s=t_query)
+                    if tag_id is not None and tag_id not in claimed:
+                        donor_id, donor = tag_id, neighbor
+                        break
+                if donor_id is None:
+                    still_unknown.append(cfo)
+                    continue
+                station.identities.store(cfo, donor_id, now_s=t_query)
+                ids[cfo] = donor_id
+                claimed.add(donor_id)
+                self.ledger.record_handoff(
+                    station.name, donor.name, donor_id, t_query, cfo
+                )
+        else:
+            still_unknown = unknown
+
+        busy_end = response_end
+        if still_unknown and self.decode:
+            busy_end = self._decode_burst(
+                station,
+                t_query,
+                response_end,
+                still_unknown,
+                snr_by_cfo,
+                ids,
+                seed=collision.antenna(station.antenna_index),
+            )
+
+        self._emit_observations(station, report, ids, t_query)
+        return busy_end
+
+    def _decode_burst(
+        self,
+        station: CorridorStation,
+        t_query: float,
+        response_end: float,
+        targets: list[float],
+        snr_by_cfo: dict[float, float],
+        ids: dict[float, int],
+        seed=None,
+    ) -> float:
+        """Run one §12.4 batched decode over the shared capture stream."""
+        worth_it = []
+        for cfo in targets:
+            snr = snr_by_cfo.get(cfo, float("inf"))
+            if self.decode_snr_db is not None and snr < self.decode_snr_db:
+                self.ledger.record_decode_deferred(station.name, t_query, cfo)
+            else:
+                worth_it.append(cfo)
+        if not worth_it:
+            return response_end
+
+        state = {"cursor": t_query + QUERY_PERIOD_S, "busy_end": response_end}
+
+        def decode_query(t_rel: float):
+            t_requested = t_query + float(t_rel)
+            t_actual = max(t_requested, state["cursor"])
+            if self.use_csma:
+                heard = self.air.heard_state(t_actual)
+                if not station.mac.can_transmit(t_actual, heard):
+                    station.queries_deferred += 1
+                    t_actual = station.mac.next_opportunity(t_actual, heard)
+            station.queries_sent += 1
+            self.air.record_query(station.name, t_actual)
+            subset = self._tags_near(station, t_actual)
+            start = t_actual + QUERY_DURATION_S + TURNAROUND_S
+            corrupted = False
+            if subset:
+                response = self.air.record_response(
+                    f"{station.name}-burst", start
+                )
+                corrupted = self.air.any_query_overlapping(
+                    response.start_s,
+                    response.end_s,
+                    exclude_source=station.name,
+                    exclude_start_s=t_actual,
+                )
+            state["cursor"] = t_actual + QUERY_PERIOD_S
+            state["busy_end"] = start + RESPONSE_DURATION_S
+            return station.source.query(subset, t_actual, corrupted=corrupted)
+
+        session = station.reader.decode_session(
+            decode_query, antenna_index=station.antenna_index
+        )
+        if seed is not None:
+            # The measurement capture doubles as the burst's first decode
+            # capture, so identification adds air time only beyond the
+            # measurement query itself (§12.4).
+            session.seed_capture(seed)
+        results = session.decode_all(worth_it, max_queries=self.max_queries)
+        for cfo, result in results.items():
+            if result.success:
+                tag_id = result.packet.tag_id
+                ids[cfo] = tag_id
+                station.identities.store(cfo, tag_id, now_s=t_query)
+                self.ledger.record_decode(
+                    station.name, tag_id, t_query, cfo, n_queries=result.n_queries
+                )
+                if tag_id not in self._identified:
+                    self._identified[tag_id] = (state["busy_end"], result.n_queries)
+            else:
+                self.ledger.record_decode_failure(
+                    station.name, t_query, cfo, n_queries=result.n_queries
+                )
+        return state["busy_end"]
+
+    def _emit_observations(
+        self, station: CorridorStation, report, ids: dict[float, int], t_query: float
+    ) -> None:
+        if station.localizer is None or not ids:
+            return
+        observation_cls = _tag_observation()
+        estimates = {estimate.cfo_hz: estimate for estimate in report.aoas}
+        for cfo, tag_id in sorted(ids.items()):
+            estimate = estimates.get(cfo)
+            if estimate is None or not estimate.in_usable_band():
+                continue
+            hint = station._hints.get(tag_id)
+            try:
+                fix = station.localizer.locate(
+                    estimate,
+                    station.reader.estimator,
+                    hint_xy=None if hint is None else hint[0],
+                )
+            except CaraokeError:
+                continue
+            station._hints[tag_id] = (fix, t_query)
+            observation = observation_cls(
+                tag_id=tag_id,
+                position_m=fix,
+                timestamp_s=t_query,
+                station=station.name,
+                cell=station.cell.name,
+            )
+            self.observations.append(observation)
+            for service in self.services:
+                service.observe(observation)
+
+    # -- results -----------------------------------------------------------------
+
+    def _result(self, duration_s: float) -> CorridorResult:
+        identifications = [
+            IdentificationStat(
+                tag_id=tag_id,
+                first_seen_s=self._first_seen.get(tag_id, t_id),
+                identified_s=t_id,
+                n_queries=n_queries,
+            )
+            for tag_id, (t_id, n_queries) in sorted(self._identified.items())
+        ]
+        return CorridorResult(
+            scheduling=self.scheduling,
+            duration_s=duration_s,
+            queries_sent=sum(s.queries_sent for s in self.stations),
+            queries_deferred=sum(s.queries_deferred for s in self.stations),
+            rounds=sum(s.rounds for s in self.stations),
+            empty_rounds=sum(s.empty_rounds for s in self.stations),
+            corrupted_rounds=sum(s.corrupted_rounds for s in self.stations),
+            responses=len(self.air.responses()),
+            corrupted_responses=len(self.air.corrupted_responses()),
+            n_observations=len(self.observations),
+            ledger=self.ledger,
+            identifications=identifications,
+            tags_seen=len(self._first_seen),
+        )

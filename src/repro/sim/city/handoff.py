@@ -1,0 +1,163 @@
+"""The corridor's identity-handoff audit trail.
+
+Every spike a station resolves is a *sighting*, and each sighting is
+resolved one of four ways:
+
+* ``own`` — the station's own :class:`~repro.core.network.IdentityCache`
+  recognized the fingerprint (the tag was decoded or imported here
+  earlier);
+* ``handoff`` — a neighbor station's cache recognized it, and the entry
+  (id + CFO fingerprint) was forwarded into the local cache — the tag
+  crossed a cell boundary without costing any decode air time;
+* ``decode`` — a full §8 decode burst, for a tag no station knew yet;
+* ``redecode`` — a full decode burst for a tag some *other* station had
+  already identified: the handoff machinery failed to cover this
+  sighting, which is exactly the waste the ledger exists to measure.
+
+The :class:`HandoffLedger` classifies decode records into
+``decode``/``redecode`` itself (it knows which ids the corridor has seen
+where), tallies cell entry/exit events, and reports the headline number:
+of the downstream first-sightings (a tag arriving at a pole that some
+other pole already identified), what fraction was resolved by handoff
+instead of burning a re-decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SightingRecord", "HandoffLedger"]
+
+OWN_HIT = "own"
+HANDOFF = "handoff"
+DECODE = "decode"
+REDECODE = "redecode"
+DECODE_FAILED = "decode-failed"
+DECODE_DEFERRED = "decode-deferred"
+
+
+@dataclass(frozen=True)
+class SightingRecord:
+    """One resolved (or unresolved) spike at one station."""
+
+    t_s: float
+    station: str
+    kind: str
+    cfo_hz: float
+    tag_id: int | None = None
+    from_station: str | None = None
+    n_queries: int = 0
+
+
+@dataclass
+class HandoffLedger:
+    """Per-corridor record of how every sighting was resolved."""
+
+    records: list[SightingRecord] = field(default_factory=list)
+    cell_entries: list[tuple[float, str, int]] = field(default_factory=list)
+    cell_exits: list[tuple[float, str, int]] = field(default_factory=list)
+    _stations_knowing: dict[int, set[str]] = field(default_factory=dict, repr=False)
+
+    # -- recording -------------------------------------------------------------
+
+    def record_own_hit(self, station: str, tag_id: int, t_s: float, cfo_hz: float) -> None:
+        self._append(SightingRecord(t_s, station, OWN_HIT, cfo_hz, tag_id))
+
+    def record_handoff(
+        self, station: str, from_station: str, tag_id: int, t_s: float, cfo_hz: float
+    ) -> None:
+        self._append(
+            SightingRecord(t_s, station, HANDOFF, cfo_hz, tag_id, from_station)
+        )
+
+    def record_decode(
+        self, station: str, tag_id: int, t_s: float, cfo_hz: float, n_queries: int = 0
+    ) -> None:
+        """A successful full decode; classified as a re-decode when some
+        other station already knew this id."""
+        known_elsewhere = self._stations_knowing.get(tag_id, set()) - {station}
+        kind = REDECODE if known_elsewhere else DECODE
+        self._append(
+            SightingRecord(t_s, station, kind, cfo_hz, tag_id, n_queries=n_queries)
+        )
+
+    def record_decode_failure(
+        self, station: str, t_s: float, cfo_hz: float, n_queries: int = 0
+    ) -> None:
+        self.records.append(
+            SightingRecord(t_s, station, DECODE_FAILED, cfo_hz, n_queries=n_queries)
+        )
+
+    def record_decode_deferred(self, station: str, t_s: float, cfo_hz: float) -> None:
+        """A spike left unidentified this round (e.g. below the decode
+        SNR gate: the tag is still far, a later round will be cheaper)."""
+        self.records.append(SightingRecord(t_s, station, DECODE_DEFERRED, cfo_hz))
+
+    def record_cell_entry(self, t_s: float, cell: str, tag_id: int) -> None:
+        self.cell_entries.append((t_s, cell, tag_id))
+
+    def record_cell_exit(self, t_s: float, cell: str, tag_id: int) -> None:
+        self.cell_exits.append((t_s, cell, tag_id))
+
+    def _append(self, record: SightingRecord) -> None:
+        self.records.append(record)
+        self._stations_knowing.setdefault(record.tag_id, set()).add(record.station)
+
+    # -- statistics ------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Sightings per resolution kind."""
+        out: dict[str, int] = {}
+        for record in self.records:
+            out[record.kind] = out.get(record.kind, 0) + 1
+        return out
+
+    @property
+    def handoffs(self) -> int:
+        return sum(1 for r in self.records if r.kind == HANDOFF)
+
+    @property
+    def redecodes(self) -> int:
+        return sum(1 for r in self.records if r.kind == REDECODE)
+
+    @property
+    def decodes(self) -> int:
+        return sum(1 for r in self.records if r.kind == DECODE)
+
+    @property
+    def downstream_sightings(self) -> int:
+        """First sightings at a pole of a tag another pole already knew.
+
+        Every such sighting was either covered by handoff (a cache entry
+        arrived before the re-decode would have been needed) or cost a
+        re-decode; later sightings at the same pole are own-cache hits
+        and say nothing about handoff.
+        """
+        return self.handoffs + self.redecodes
+
+    @property
+    def handoff_resolution_rate(self) -> float:
+        """Fraction of downstream first-sightings resolved by handoff."""
+        downstream = self.downstream_sightings
+        return self.handoffs / downstream if downstream else 0.0
+
+    def decode_queries_spent(self) -> int:
+        """Air-time queries consumed by all decode attempts."""
+        return sum(
+            r.n_queries
+            for r in self.records
+            if r.kind in (DECODE, REDECODE, DECODE_FAILED)
+        )
+
+    def summary(self) -> dict:
+        """Headline numbers, JSON-friendly."""
+        return {
+            "sightings": len(self.records),
+            "counts": self.counts(),
+            "downstream_sightings": self.downstream_sightings,
+            "handoff_resolution_rate": self.handoff_resolution_rate,
+            "decode_queries_spent": self.decode_queries_spent(),
+            "cell_entries": len(self.cell_entries),
+            "cell_exits": len(self.cell_exits),
+            "tags_identified": len(self._stations_knowing),
+        }

@@ -39,6 +39,8 @@ class EventScheduler:
         self.now_s = start_s
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live: set[int] = set()
+        self._cancelled: set[int] = set()
         self.processed = 0
 
     def schedule(
@@ -55,6 +57,7 @@ class EventScheduler:
             )
         event = Event(time_s, priority, next(self._counter), callback, label)
         heapq.heappush(self._heap, event)
+        self._live.add(event.sequence)
         return event
 
     def schedule_in(
@@ -67,19 +70,39 @@ class EventScheduler:
         """Relative-time convenience wrapper around :meth:`schedule`."""
         return self.schedule(self.now_s + delay_s, callback, priority, label)
 
+    def cancel(self, event: Event) -> bool:
+        """Cancel a pending event; returns False if already run/cancelled.
+
+        Cancellation is lazy: the event stays in the heap and is skipped
+        (without advancing the clock or counting as processed) when its
+        time comes, which keeps :meth:`cancel` O(1).
+        """
+        if event.sequence not in self._live:
+            return False
+        self._live.discard(event.sequence)
+        self._cancelled.add(event.sequence)
+        return True
+
     @property
     def pending(self) -> int:
-        return len(self._heap)
+        return len(self._live)
 
     def peek_time(self) -> float | None:
-        """Time of the next event, if any."""
+        """Time of the next live event, if any."""
+        self._drop_cancelled()
         return self._heap[0].time_s if self._heap else None
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].sequence in self._cancelled:
+            self._cancelled.discard(heapq.heappop(self._heap).sequence)
 
     def step(self) -> Event | None:
         """Run exactly one event; returns it (or None if idle)."""
+        self._drop_cancelled()
         if not self._heap:
             return None
         event = heapq.heappop(self._heap)
+        self._live.discard(event.sequence)
         self.now_s = event.time_s
         event.callback(self)
         self.processed += 1
@@ -88,20 +111,24 @@ class EventScheduler:
     def run_until(self, end_s: float, max_events: int = 1_000_000) -> int:
         """Run all events with time <= end_s; returns how many ran."""
         ran = 0
+        self._drop_cancelled()
         while self._heap and self._heap[0].time_s <= end_s:
             if ran >= max_events:
                 raise SimulationError(f"exceeded {max_events} events before {end_s}s")
             self.step()
             ran += 1
+            self._drop_cancelled()
         self.now_s = max(self.now_s, end_s)
         return ran
 
     def run(self, max_events: int = 1_000_000) -> int:
         """Run to quiescence; returns how many events ran."""
         ran = 0
+        self._drop_cancelled()
         while self._heap:
             if ran >= max_events:
                 raise SimulationError(f"exceeded {max_events} events")
             self.step()
             ran += 1
+            self._drop_cancelled()
         return ran

@@ -10,6 +10,14 @@ Models the §9 interference taxonomy on an event timeline:
 * tag responses overlapping each other are *not* corruption — decoding
   collisions is the whole point of Caraoke.
 
+The taxonomy itself lives in :class:`AirLog`, a reusable record of
+everything on the air: it answers carrier-sense questions (what has a
+reader heard by time t, classified by kind) and corruption questions
+(which responses were stepped on by queries). :class:`Medium` drives an
+abstract reader population over one ``AirLog`` for the §9 benchmark; the
+city corridor engine (:mod:`repro.sim.city`) drives *real* reader
+stations over another.
+
 Readers run the :class:`~repro.core.mac.ReaderMac` policy against what
 they can hear. The benchmark compares corrupted-response rates with CSMA
 on versus off (ALOHA-style blind querying).
@@ -17,17 +25,18 @@ on versus off (ALOHA-style blind querying).
 
 from __future__ import annotations
 
+import bisect
 import enum
 from dataclasses import dataclass, field
 
 
-from ..constants import CSMA_LISTEN_S, QUERY_DURATION_S, RESPONSE_DURATION_S, TURNAROUND_S
+from ..constants import QUERY_DURATION_S, RESPONSE_DURATION_S, TURNAROUND_S
 from ..core.mac import CsmaState, ReaderMac
 from ..errors import SimulationError
 from ..utils import as_rng
 from .events import EventScheduler
 
-__all__ = ["TxKind", "Transmission", "ReaderNode", "Medium"]
+__all__ = ["TxKind", "Transmission", "AirLog", "ReaderNode", "Medium"]
 
 
 class TxKind(enum.Enum):
@@ -46,6 +55,138 @@ class Transmission:
 
     def overlaps(self, other: "Transmission") -> bool:
         return self.start_s < other.end_s and other.start_s < self.end_s
+
+
+class AirLog:
+    """Everything transmitted on one shared channel, in record order.
+
+    The log is the §9 interference taxonomy made queryable:
+
+    * :meth:`heard_state` — the :class:`~repro.core.mac.CsmaState` a
+      reader carrier-sensing at a given instant has built up, with each
+      interval classified by kind (queries are bare sinewaves and thus
+      recognizable; a reader hearing one also knows, from the protocol
+      timing, when it will end and when its response slot opens).
+    * :meth:`corrupted_responses` — every response some query stepped on.
+    """
+
+    def __init__(self, sense_slack_s: float = 0.25) -> None:
+        #: How far behind the newest sensing time a later call may look.
+        #: Event engines process a decode burst synchronously, so
+        #: sensing times run ahead of the event clock by up to the burst
+        #: span; records must not be skipped until they are safely past
+        #: any such lookback. Callers that issue longer bursts must size
+        #: this to at least the burst span (CityCorridor does).
+        self.sense_slack_s = float(sense_slack_s)
+        self.transmissions: list[Transmission] = []
+        self._queries: list[Transmission] = []
+        self._sense_cursor = 0
+
+    def record(self, tx: Transmission) -> Transmission:
+        """Append one transmission; returns it for chaining."""
+        self.transmissions.append(tx)
+        if tx.kind is TxKind.QUERY:
+            self._queries.append(tx)
+        return tx
+
+    def record_query(self, source: str, start_s: float) -> Transmission:
+        """Record a standard 20 µs query starting at ``start_s``."""
+        return self.record(
+            Transmission(TxKind.QUERY, source, start_s, start_s + QUERY_DURATION_S)
+        )
+
+    def record_response(self, source: str, start_s: float) -> Transmission:
+        """Record a standard 512 µs tag response starting at ``start_s``."""
+        return self.record(
+            Transmission(TxKind.RESPONSE, source, start_s, start_s + RESPONSE_DURATION_S)
+        )
+
+    def queries(self) -> list[Transmission]:
+        return list(self._queries)
+
+    def any_query_overlapping(
+        self,
+        start_s: float,
+        end_s: float,
+        exclude_source: str | None = None,
+        exclude_start_s: float | None = None,
+    ) -> bool:
+        """Whether any recorded query steps on the interval.
+
+        ``exclude_source``/``exclude_start_s`` skip one transmission (a
+        caller's own query). Queries are recorded in near time order, so
+        the scan walks back from the newest record and stops once it is
+        ``sense_slack_s`` past any possible overlap — O(recent traffic),
+        not O(run history).
+        """
+        for query in reversed(self._queries):
+            if query.end_s < start_s - self.sense_slack_s:
+                # Records are appended in near time order (disorder is
+                # bounded by the slack), so nothing earlier in the list
+                # can still reach the interval.
+                break
+            if query.start_s >= end_s or query.end_s <= start_s:
+                continue
+            if (
+                exclude_source is not None
+                and query.source == exclude_source
+                and query.start_s == exclude_start_s
+            ):
+                continue
+            return True
+        return False
+
+    def responses(self) -> list[Transmission]:
+        return [t for t in self.transmissions if t.kind is TxKind.RESPONSE]
+
+    def heard_state(self, now_s: float, horizon_s: float = 10e-3) -> CsmaState:
+        """What a reader carrier-sensing at ``now_s`` knows about the air.
+
+        A started transmission contributes its full interval (the
+        protocol fixes each kind's duration, so a reader hearing energy
+        begin knows when it will end). Recorded transmissions whose
+        start still lies in the future are *announced*: a decode burst's
+        remaining 1 ms-cadence queries (§12.4) are predictable from its
+        first, and the MAC keeps its own response slot clear of them.
+        Transmissions ending more than ``horizon_s`` before ``now_s``
+        are dropped — they cannot affect a 120 µs listen decision — and
+        a cursor skips the long-dead prefix of the log (records are
+        appended in near time order), so sensing cost tracks recent
+        traffic instead of the whole run's history.
+        """
+        floor = now_s - horizon_s
+        prune_floor = floor - self.sense_slack_s
+        cursor = self._sense_cursor
+        transmissions = self.transmissions
+        while (
+            cursor < len(transmissions)
+            and transmissions[cursor].end_s < prune_floor
+        ):
+            cursor += 1
+        self._sense_cursor = cursor
+        return CsmaState.from_heard(
+            [
+                (tx.start_s, tx.end_s, tx.kind.value)
+                for tx in transmissions[cursor:]
+                if tx.end_s >= floor
+            ]
+        )
+
+    def corrupted_responses(self) -> list[Transmission]:
+        """Responses overlapped by some reader's query transmission."""
+        queries = sorted(self.queries(), key=lambda t: t.start_s)
+        starts = [q.start_s for q in queries]
+        corrupted = []
+        for response in self.responses():
+            # Only queries starting before the response ends can overlap.
+            hi = bisect.bisect_left(starts, response.end_s)
+            if any(q.overlaps(response) for q in queries[:hi]):
+                corrupted.append(response)
+        return corrupted
+
+    def response_corrupted(self, response: Transmission) -> bool:
+        """Whether one response interval was stepped on by any query."""
+        return any(q.overlaps(response) for q in self.queries())
 
 
 @dataclass
@@ -84,9 +225,16 @@ class Medium:
         self.n_tags = n_tags
         self.rng = as_rng(rng)
         self.readers: list[ReaderNode] = []
-        self.transmissions: list[Transmission] = []
-        self.responses: list[Transmission] = []
+        self.air = AirLog()
         self.triggered_queries = 0
+
+    @property
+    def transmissions(self) -> list[Transmission]:
+        return self.air.transmissions
+
+    @property
+    def responses(self) -> list[Transmission]:
+        return self.air.responses()
 
     def add_reader(self, reader: ReaderNode) -> None:
         self.readers.append(reader)
@@ -105,9 +253,9 @@ class Medium:
     def _make_attempt(self, reader: ReaderNode):
         def attempt(scheduler: EventScheduler) -> None:
             now = scheduler.now_s
-            if reader.use_csma and not reader.mac.can_transmit(now, self._heard_state(now)):
+            if reader.use_csma and not reader.mac.can_transmit(now, self.air.heard_state(now)):
                 reader.queries_deferred += 1
-                retry = reader.mac.next_opportunity(now, self._heard_state(now))
+                retry = reader.mac.next_opportunity(now, self.air.heard_state(now))
                 # Defer; small jitter avoids lock-step retries of two readers.
                 retry += float(self.rng.uniform(0.0, 20e-6))
                 scheduler.schedule(retry, self._make_attempt(reader), label=f"{reader.name}-retry")
@@ -125,8 +273,7 @@ class Medium:
         return attempt
 
     def _transmit_query(self, scheduler: EventScheduler, reader: ReaderNode, now: float) -> None:
-        query = Transmission(TxKind.QUERY, reader.name, now, now + QUERY_DURATION_S)
-        self.transmissions.append(query)
+        query = self.air.record_query(reader.name, now)
         reader.queries_sent += 1
         self.triggered_queries += 1
         # Every in-range tag responds 100 us after the query ends (§3).
@@ -134,34 +281,13 @@ class Medium:
         # window; coincident triggers merge into the same response slot.
         response_start = query.end_s + TURNAROUND_S
         for tag_index in range(self.n_tags):
-            response = Transmission(
-                TxKind.RESPONSE,
-                f"tag{tag_index}",
-                response_start,
-                response_start + RESPONSE_DURATION_S,
-            )
-            self.responses.append(response)
-            self.transmissions.append(response)
-
-    def _heard_state(self, now: float) -> CsmaState:
-        """What a reader carrier-sensing at ``now`` has heard recently."""
-        state = CsmaState()
-        horizon = now - 10 * CSMA_LISTEN_S
-        for tx in self.transmissions:
-            if tx.end_s >= horizon and tx.start_s <= now:
-                state.add_busy(tx.start_s, min(tx.end_s, now + 1e-12))
-        return state
+            self.air.record_response(f"tag{tag_index}", response_start)
 
     # -- metrics ------------------------------------------------------------------
 
     def corrupted_responses(self) -> list[Transmission]:
         """Responses overlapped by some reader's query transmission."""
-        queries = [t for t in self.transmissions if t.kind is TxKind.QUERY]
-        corrupted = []
-        for response in self.responses:
-            if any(q.overlaps(response) for q in queries):
-                corrupted.append(response)
-        return corrupted
+        return self.air.corrupted_responses()
 
     def stats(self) -> dict:
         """Summary: queries, responses, corruption rate, deferral counts."""

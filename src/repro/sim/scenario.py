@@ -40,6 +40,7 @@ __all__ = [
     "two_pole_speed_scene",
     "intersection_scene",
     "corridor_scene",
+    "city_corridor_scene",
     "make_tags",
 ]
 
@@ -258,6 +259,92 @@ def corridor_scene(
         width_m=y_hi - y_lo,
     )
     return Scene(tags=tags, road=road, arrays=arrays)
+
+
+def city_corridor_scene(
+    n_poles: int = 8,
+    pole_spacing_m: float = 40.0,
+    lane_ys_m: tuple[float, ...] = (-1.75, -5.25),
+    n_cars: int = 100,
+    speed_range_m_s: tuple[float, float] = (8.0, 18.0),
+    entry_window_s: float = 20.0,
+    entry: str = "stream",
+    pole_height_m: float = EXPERIMENT_POLE_HEIGHT_M,
+    pole_setback_m: float = 1.0,
+    rng=None,
+    cfo_model: CfoModel | None = None,
+):
+    """A full city corridor: a row of poles and a stream of moving cars.
+
+    The deployment the :class:`~repro.sim.city.CityCorridor` engine
+    drives: ``n_poles`` reader poles every ``pole_spacing_m`` meters
+    along the +y curb, and ``n_cars`` cars that pick a lane and drive
+    through at a constant speed drawn from ``speed_range_m_s``. With
+    ``entry="stream"`` cars enter at the corridor's upstream end,
+    staggered uniformly over ``entry_window_s``; with ``entry="spread"``
+    they start at t=0 at uniform positions along the corridor, so every
+    pole has traffic from the first query (useful for short saturation
+    runs).
+
+    Returns:
+        ``(scene, trajectories)`` — a :class:`Scene` whose tags sit at
+        their entry positions, plus one
+        :class:`~repro.sim.mobility.ConstantSpeedTrajectory` per tag
+        (``trajectories[i]`` moves ``scene.tags[i]``).
+    """
+    rng = as_rng(rng)
+    if n_poles < 1:
+        raise ConfigurationError("need at least one pole")
+    if n_cars < 0:
+        raise ConfigurationError("car count must be non-negative")
+    from .mobility import ConstantSpeedTrajectory
+
+    pole_xs = [k * pole_spacing_m for k in range(n_poles)]
+    x_min = -pole_spacing_m / 2.0
+    x_max = pole_xs[-1] + pole_spacing_m / 2.0
+    y_lo = min(lane_ys_m) - LANE_WIDTH_M / 2.0
+    y_hi = max(lane_ys_m) + LANE_WIDTH_M / 2.0
+    road = RoadSegment(
+        x_min_m=x_min,
+        x_max_m=x_max,
+        y_center_m=(y_lo + y_hi) / 2.0,
+        width_m=y_hi - y_lo,
+    )
+    if entry not in ("stream", "spread"):
+        raise ConfigurationError(f"unknown entry mode {entry!r}")
+    positions = []
+    trajectories = []
+    for _ in range(n_cars):
+        lane_y = float(lane_ys_m[int(rng.integers(0, len(lane_ys_m)))])
+        speed = float(rng.uniform(*speed_range_m_s))
+        if entry == "stream":
+            entry_s = float(rng.uniform(0.0, entry_window_s))
+            start_x = x_min
+        else:
+            entry_s = 0.0
+            start_x = float(rng.uniform(x_min, x_max))
+        start = np.array([start_x, lane_y, 1.0])
+        positions.append(start)
+        trajectories.append(
+            ConstantSpeedTrajectory(
+                start_m=start,
+                velocity_m_s=np.array([speed, 0.0, 0.0]),
+                t0_s=entry_s,
+            )
+        )
+    tags = (
+        make_tags(np.array(positions), cfo_model=cfo_model, rng=rng)
+        if positions
+        else []
+    )
+    arrays = [
+        TriangleArray.street_pole(
+            np.array([float(x), pole_setback_m, pole_height_m])
+        )
+        for x in pole_xs
+    ]
+    scene = Scene(tags=tags, road=road, arrays=arrays)
+    return scene, trajectories
 
 
 def intersection_scene(

@@ -78,6 +78,46 @@ class TestEventScheduler:
         assert event.label == "tick"
         assert scheduler.step() is None
 
+    def test_cancel_skips_event(self):
+        ran = []
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda s: ran.append("a"))
+        doomed = scheduler.schedule(2.0, lambda s: ran.append("b"))
+        scheduler.schedule(3.0, lambda s: ran.append("c"))
+        assert scheduler.cancel(doomed)
+        assert scheduler.pending == 2
+        scheduler.run()
+        assert ran == ["a", "c"]
+        assert scheduler.processed == 2
+
+    def test_cancel_twice_or_after_run_is_false(self):
+        scheduler = EventScheduler()
+        event = scheduler.schedule(1.0, lambda s: None)
+        assert scheduler.cancel(event)
+        assert not scheduler.cancel(event)
+        other = scheduler.schedule(2.0, lambda s: None)
+        scheduler.run()
+        assert not scheduler.cancel(other)
+
+    def test_cancelled_head_does_not_stall_run_until(self):
+        ran = []
+        scheduler = EventScheduler()
+        head = scheduler.schedule(1.0, lambda s: ran.append("head"))
+        scheduler.schedule(5.0, lambda s: ran.append("late"))
+        scheduler.cancel(head)
+        assert scheduler.run_until(2.0) == 0
+        assert ran == []
+        assert scheduler.now_s == 2.0
+        scheduler.run_until(6.0)
+        assert ran == ["late"]
+
+    def test_peek_time_ignores_cancelled(self):
+        scheduler = EventScheduler()
+        first = scheduler.schedule(1.0, lambda s: None)
+        scheduler.schedule(4.0, lambda s: None)
+        scheduler.cancel(first)
+        assert scheduler.peek_time() == 4.0
+
 
 class TestClocks:
     def test_drifting_clock_offset(self):

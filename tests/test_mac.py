@@ -2,10 +2,15 @@
 
 import pytest
 
-from repro.constants import CSMA_LISTEN_S, QUERY_DURATION_S, TURNAROUND_S
+from repro.constants import (
+    CSMA_LISTEN_S,
+    QUERY_DURATION_S,
+    RESPONSE_DURATION_S,
+    TURNAROUND_S,
+)
 from repro.core.mac import CsmaState, ReaderMac
 from repro.errors import ConfigurationError
-from repro.sim.medium import Medium, ReaderNode, Transmission, TxKind
+from repro.sim.medium import AirLog, Medium, ReaderNode, Transmission, TxKind
 
 
 class TestCsmaState:
@@ -37,6 +42,47 @@ class TestCsmaState:
     def test_empty_interval_rejected(self):
         with pytest.raises(ConfigurationError):
             CsmaState().add_busy(2.0, 2.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CsmaState().add_busy(1.0, 2.0, kind="chirp")
+
+    def test_interval_ending_exactly_at_t_is_zero_idle(self):
+        """A transmission ending exactly at ``t_s`` means the medium has
+        been idle for zero time — the listen window starts over."""
+        state = CsmaState()
+        state.add_busy(1.0, 2.0)
+        assert state.idle_since(2.0) == 0.0
+        assert not ReaderMac().can_transmit(2.0, state)
+        assert not ReaderMac(defer_to_queries=True).can_transmit(2.0, state)
+
+    def test_abutting_intervals_merge(self):
+        """Back-to-back energy is one continuous busy stretch."""
+        state = CsmaState()
+        state.add_busy(1.0, 2.0)
+        state.add_busy(2.0, 3.0)
+        assert state.busy_intervals == [(1.0, 3.0)]
+        assert state.idle_since(3.0) == 0.0
+        assert state.idle_since(3.5) == pytest.approx(0.5)
+
+    def test_response_energy_subtracts_query_spans(self):
+        state = CsmaState()
+        state.add_busy(1.0, 4.0)  # unknown energy
+        state.add_busy(2.0, 3.0, kind="query")
+        assert state.response_energy_intervals() == [(1.0, 2.0), (3.0, 4.0)]
+
+    def test_pure_query_energy_leaves_no_response_energy(self):
+        state = CsmaState()
+        state.add_busy(1.0, 2.0, kind="query")
+        assert state.response_energy_intervals() == []
+        assert state.response_idle_since(5.0) == float("inf")
+
+    def test_response_windows_follow_each_query(self):
+        state = CsmaState()
+        state.add_busy(0.0, 20e-6, kind="query")
+        (window,) = state.response_windows()
+        assert window[0] == pytest.approx(20e-6 + TURNAROUND_S)
+        assert window[1] == pytest.approx(20e-6 + TURNAROUND_S + RESPONSE_DURATION_S)
 
 
 class TestReaderMac:
@@ -71,6 +117,98 @@ class TestReaderMac:
         mac = ReaderMac()
         assert mac.guaranteed_safe(130e-6)
         assert not mac.guaranteed_safe(100e-6)
+
+
+class TestDeferToQueriesPolicies:
+    """The §9 refinement: classified query energy is benign, and the
+    ``defer_to_queries=True`` ablation treats it like any other energy."""
+
+    def query_just_ended(self, end_s=1.0):
+        state = CsmaState()
+        state.add_busy(end_s - QUERY_DURATION_S, end_s, kind="query")
+        return state
+
+    def test_default_policy_ignores_query_energy(self):
+        """Right after another reader's query ends, a §9 reader may
+        transmit — its own 20 µs query finishes before the other
+        query's response slot opens."""
+        state = self.query_just_ended(1.0)
+        assert ReaderMac().can_transmit(1.0 + 10e-6, state)
+
+    def test_ablation_policy_defers_to_query_energy(self):
+        state = self.query_just_ended(1.0)
+        mac = ReaderMac(defer_to_queries=True)
+        assert not mac.can_transmit(1.0 + 10e-6, state)
+        assert mac.can_transmit(1.0 + CSMA_LISTEN_S + 1e-9, state)
+
+    def test_default_policy_honors_response_window(self):
+        """The query may not land inside the response slot a heard query
+        opened (that is the §9 harmful case)."""
+        state = self.query_just_ended(1.0)
+        inside = 1.0 + TURNAROUND_S + 50e-6
+        assert not ReaderMac().can_transmit(inside, state)
+
+    def test_default_policy_keeps_own_slot_clear_of_announced_queries(self):
+        """A reader never invites responses into a query it already
+        knows is coming (an announced burst query)."""
+        state = CsmaState()
+        now = 1.0
+        state.add_busy(now + 300e-6, now + 320e-6, kind="query")  # announced
+        mac = ReaderMac()
+        assert not mac.can_transmit(now, state)  # slot would cover it
+        t = mac.next_opportunity(now, state)
+        assert t > now
+        assert mac.can_transmit(t, state)
+
+    def test_both_policies_defer_to_unclassified_energy(self):
+        state = CsmaState()
+        state.add_busy(1.0 - 50e-6, 1.0)  # unknown kind
+        assert not ReaderMac().can_transmit(1.0 + 50e-6, state)
+        assert not ReaderMac(defer_to_queries=True).can_transmit(1.0 + 50e-6, state)
+
+    def test_next_opportunity_agrees_with_can_transmit(self):
+        for defer in (False, True):
+            state = CsmaState()
+            state.add_busy(0.0, 1e-3)
+            state.add_busy(2e-3, 2.02e-3, kind="query")
+            mac = ReaderMac(defer_to_queries=defer)
+            t = mac.next_opportunity(1e-3, state)
+            assert mac.can_transmit(t, state)
+
+
+class TestAirLog:
+    def test_heard_state_classifies_kinds(self):
+        air = AirLog()
+        air.record_query("A", 0.0)
+        air.record_response("tag0", 120e-6)
+        state = air.heard_state(1e-3)
+        assert state.query_spans() == [(0.0, QUERY_DURATION_S)]
+        assert state.response_energy_intervals() == [
+            (120e-6, 120e-6 + RESPONSE_DURATION_S)
+        ]
+
+    def test_announced_transmissions_visible(self):
+        """Future-start recorded transmissions (a burst's remaining
+        queries) are part of the carrier-sense picture."""
+        air = AirLog()
+        air.record_query("A", 5e-3)
+        state = air.heard_state(1e-3)
+        assert state.query_spans() == [(5e-3, 5e-3 + QUERY_DURATION_S)]
+        # ... but future energy does not reset the idle clock.
+        assert state.idle_since(1e-3) == float("inf")
+
+    def test_corruption_accounting(self):
+        air = AirLog()
+        response = air.record_response("tag0", 0.0)
+        air.record_query("B", 100e-6)  # lands inside the response
+        assert air.corrupted_responses() == [response]
+        assert air.response_corrupted(response)
+
+    def test_horizon_drops_ancient_history(self):
+        air = AirLog()
+        air.record_query("A", 0.0)
+        state = air.heard_state(1.0, horizon_s=10e-3)
+        assert state.busy_intervals == []
 
 
 class TestMedium:

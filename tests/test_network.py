@@ -60,6 +60,75 @@ class TestIdentityCache:
         cache.store(504e3, 2)
         assert cache.lookup(503.5e3) == 2
 
+    def test_max_entries_evicts_least_recently_seen(self):
+        cache = IdentityCache(tolerance_hz=1000.0, max_entries=2)
+        cache.store(100e3, 1, now_s=10.0)
+        cache.store(200e3, 2, now_s=20.0)
+        cache.store(300e3, 3, now_s=30.0)
+        assert len(cache) == 2
+        assert cache.lookup(100e3) is None  # oldest went
+        assert cache.lookup(200e3) == 2
+        assert cache.lookup(300e3) == 3
+
+    def test_refresh_protects_from_eviction(self):
+        cache = IdentityCache(tolerance_hz=1000.0, max_entries=2)
+        cache.store(100e3, 1, now_s=10.0)
+        cache.store(200e3, 2, now_s=20.0)
+        cache.store(100e3, 1, now_s=25.0)  # sighting refreshes last-seen
+        cache.store(300e3, 3, now_s=30.0)
+        assert cache.lookup(100e3) == 1
+        assert cache.lookup(200e3) is None
+
+    def test_aging_prunes_and_lookup_never_returns_stale(self):
+        cache = IdentityCache(tolerance_hz=1000.0, max_age_s=300.0)
+        cache.store(100e3, 1, now_s=0.0)
+        cache.store(200e3, 2, now_s=250.0)
+        assert cache.lookup(100e3, now_s=100.0) == 1
+        assert cache.lookup(100e3, now_s=301.0) is None  # aged out
+        assert len(cache) == 1
+        assert cache.lookup(200e3, now_s=301.0) == 2
+        assert cache.prune(1000.0) == 1
+        assert len(cache) == 0
+
+    def test_bisect_index_consistent_after_eviction(self):
+        """Eviction must rebuild the sorted CFO index, not leave a stale
+        entry for binary search to find."""
+        cache = IdentityCache(tolerance_hz=5000.0)
+        cache.store(500e3, 1)
+        cache.store(504e3, 2)
+        assert cache.lookup(504e3) == 2  # index built
+        assert cache.evict(2)
+        assert not cache.evict(2)
+        assert cache.lookup(504e3) == 1  # nearest survivor, not the ghost
+        assert cache.last_seen_s(2) is None
+
+    def test_lookup_exclusion_falls_back_to_next_nearest(self):
+        cache = IdentityCache(tolerance_hz=5000.0)
+        cache.store(500e3, 1)
+        cache.store(503e3, 2)
+        assert cache.lookup(500.2e3) == 1
+        assert cache.lookup(500.2e3, exclude={1}) == 2
+        assert cache.lookup(500.2e3, exclude={1, 2}) is None
+
+    def test_demoted_spike_rematches_second_nearest_account(self):
+        """A spike that loses the nearest account to a closer rival must
+        try the next account within tolerance, not fall to a re-decode."""
+        from repro.core.network import resolve_cached_ids
+
+        cache = IdentityCache(tolerance_hz=3000.0)
+        cache.store(500.0e3, 1)
+        cache.store(503.0e3, 2)
+        ids, unknown = resolve_cached_ids(cache, [500.1e3, 500.2e3])
+        assert ids == {500.1e3: 1, 500.2e3: 2}
+        assert unknown == []
+
+    def test_store_without_time_still_works(self):
+        cache = IdentityCache(tolerance_hz=1000.0, max_entries=1)
+        cache.store(100e3, 1)
+        cache.store(200e3, 2)
+        assert len(cache) == 1
+        assert cache.lookup(200e3) == 2
+
 
 class TestReaderNetwork:
     def test_step_identifies_and_localizes(self):
