@@ -1,17 +1,23 @@
-"""Decode-pipeline throughput: incremental batched combiner vs seed path.
+"""Decode-pipeline throughput: batched combiner vs seed path, MRC vs single.
 
-The Fig 16 workload (10-tag collisions, ``max_queries=64``) decoded every
-target by re-running ``CoherentDecoder.decode(captures[:n])`` from scratch
-at each geometric doubling — quadratic compute for an answer the §12.4
-air-time argument gets for free. The :class:`DecodeSession` pipeline now
-advances per-target accumulators one capture at a time, shares every
-capture across targets, and attempts demodulation only at new capture
-counts.
+Two gates on the Fig 16 workload (10-tag collisions, ``max_queries=64``):
 
-This benchmark replays identical capture streams through both pipelines,
-asserts the outputs are identical (bit-identical packets, identical query
-counts per target), and requires the batched pipeline to be at least 5x
-faster on the 10-tag workload.
+1. **Batched vs seed compute.** The seed decoded every target by
+   re-running ``CoherentDecoder.decode(captures[:n])`` from scratch at
+   each geometric doubling — quadratic compute for an answer the §12.4
+   air-time argument gets for free. The :class:`DecodeSession` pipeline
+   advances per-target accumulators one capture at a time, shares every
+   capture across targets, and attempts demodulation only at new capture
+   counts. Identical capture streams are replayed through both pipelines
+   (``combining="single"`` — the seed numerics, bit for bit), outputs
+   are asserted identical, and the batched pipeline must be >= 5x faster.
+
+2. **Multi-antenna MRC vs single-antenna air time.** The same collision
+   streams are decoded once with ``combining="single"`` (one antenna)
+   and once with ``combining="mrc"`` (all three, maximum-ratio per the
+   shared Eq 5 readout). Packets must agree; MRC must identify every tag
+   in strictly fewer queries — both the slowest tag (the session's air
+   time) and the per-tag total.
 """
 
 import os
@@ -58,9 +64,15 @@ def seed_decode_all(decoder, capture_pool, cfos, max_queries):
 
 
 def batched_decode_all(decoder, capture_pool, cfos, max_queries):
-    """The refactored pipeline: one DecodeSession over the same stream."""
+    """The refactored pipeline: one DecodeSession over the same stream.
+
+    ``combining="single"`` reproduces the seed numerics bit-for-bit, so
+    the output-equality assertions below stay exact.
+    """
     pool = iter(capture_pool)
-    session = DecodeSession(query_fn=lambda t: None, decoder=decoder)
+    session = DecodeSession(
+        query_fn=lambda t: None, decoder=decoder, combining="single"
+    )
 
     def ensure(n):
         while len(session.captures) < n:
@@ -71,19 +83,28 @@ def batched_decode_all(decoder, capture_pool, cfos, max_queries):
     return results, len(session.captures)
 
 
+def combining_decode_all(decoder, collision_pool, cfos, combining, max_queries):
+    """Decode one shared collision stream under a combining policy."""
+    session = DecodeSession(
+        query_fn=lambda t: None, decoder=decoder, combining=combining
+    )
+    session.captures = list(collision_pool)
+    return session.decode_all(cfos, max_queries=max_queries)
+
+
 def bench_decode_pipeline(benchmark, report):
     scenes = scaled(4)
 
     def run_all():
         rows = []
+        mrc_rows = []
         for run in range(scenes):
             simulator = population_simulator(m=N_TAGS, seed=2700 + 31 * run)
             decoder = CoherentDecoder(simulator.sample_rate_hz)
             peaks = extract_cfo_peaks(simulator.query(0.0).antenna(0), min_snr_db=15)
             cfos = [p.cfo_hz for p in peaks]
-            pool = [
-                simulator.query(i * 1e-3).antenna(0) for i in range(MAX_QUERIES)
-            ]
+            collision_pool = [simulator.query(i * 1e-3) for i in range(MAX_QUERIES)]
+            pool = [collision.antenna(0) for collision in collision_pool]
 
             t_seed = t_new = float("inf")
             for _ in range(TIMING_REPS):
@@ -108,9 +129,32 @@ def bench_decode_pipeline(benchmark, report):
             assert new_air == seed_air, "air-time accounting diverged"
             decoded = sum(1 for r in seed_results.values() if r.success)
             rows.append((run, len(cfos), decoded, t_seed, t_new))
-        return rows
 
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+            # -- MRC vs single over the *same* collisions ----------------
+            variants = {
+                policy: combining_decode_all(
+                    decoder, collision_pool, cfos, policy, MAX_QUERIES
+                )
+                for policy in ("single", "mrc")
+            }
+            for cfo in cfos:
+                single, mrc = variants["single"][cfo], variants["mrc"][cfo]
+                assert single.success and mrc.success, f"decode failed at {cfo}"
+                assert mrc.packet == single.packet, (
+                    f"packet content diverged between policies at {cfo}"
+                )
+            mrc_rows.append(
+                (
+                    run,
+                    max(r.n_queries for r in variants["single"].values()),
+                    max(r.n_queries for r in variants["mrc"].values()),
+                    sum(r.n_queries for r in variants["single"].values()),
+                    sum(r.n_queries for r in variants["mrc"].values()),
+                )
+            )
+        return rows, mrc_rows
+
+    rows, mrc_rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     report(
         f"Decode pipeline — {N_TAGS}-tag Fig 16 workload, "
@@ -135,6 +179,25 @@ def bench_decode_pipeline(benchmark, report):
     )
     report("outputs verified identical: packets, per-target n_queries, air time")
 
+    report("")
+    report("Multi-antenna MRC vs single-antenna (same collisions, same packets)")
+    report(
+        f"{'scene':>5} {'single slowest':>15} {'mrc slowest':>12} "
+        f"{'single total':>13} {'mrc total':>10}"
+    )
+    for run, s_max, m_max, s_sum, m_sum in mrc_rows:
+        report(f"{run:5d} {s_max:15d} {m_max:12d} {s_sum:13d} {m_sum:10d}")
+    single_air = sum(r[1] for r in mrc_rows)
+    mrc_air = sum(r[2] for r in mrc_rows)
+    single_total = sum(r[3] for r in mrc_rows)
+    mrc_total = sum(r[4] for r in mrc_rows)
+    query_ratio = single_total / mrc_total
+    report(
+        f"aggregate queries: single {single_total}, mrc {mrc_total} "
+        f"({query_ratio:.2f}x fewer); session air time (slowest tag) "
+        f"{single_air} vs {mrc_air}"
+    )
+
     write_bench_json(
         "decode_pipeline",
         {
@@ -148,9 +211,29 @@ def bench_decode_pipeline(benchmark, report):
             "batched_ms_total": total_new * 1e3,
             "speedup": speedup,
             "speedup_floor": SPEEDUP_FLOOR,
+            "combining": {
+                "single": {
+                    "antennas": 1,
+                    "queries_total": single_total,
+                    "queries_slowest_tag": single_air,
+                },
+                "mrc": {
+                    "antennas": 3,
+                    "queries_total": mrc_total,
+                    "queries_slowest_tag": mrc_air,
+                },
+                "single_over_mrc_queries": query_ratio,
+            },
         },
     )
 
     assert speedup >= SPEEDUP_FLOOR, (
         f"expected >={SPEEDUP_FLOOR}x speedup, measured {speedup:.2f}x"
+    )
+    assert mrc_total < single_total, (
+        f"MRC must identify in strictly fewer queries: {mrc_total} vs {single_total}"
+    )
+    assert mrc_air < single_air, (
+        "MRC must finish the slowest tag in strictly fewer queries: "
+        f"{mrc_air} vs {single_air}"
     )

@@ -51,20 +51,33 @@ def main() -> None:
     print("  (Fig 8: random -> bits emerge after ~8-16 averages)")
     print()
 
-    # --- the full stopping-rule decoder (§12.4) -----------------------------
+    # --- the full stopping-rule decoder (§12.4), MRC vs one antenna ---------
     decoder = CoherentDecoder(scene.sample_rate_hz)
-    session = DecodeSession(query_fn=lambda t: simulator.query(t), decoder=decoder)
-    results = session.decode_all([p.cfo_hz for p in peaks], max_queries=64)
+    sessions = {
+        policy: DecodeSession(
+            query_fn=lambda t: simulator.query(t), decoder=decoder, combining=policy
+        )
+        for policy in ("mrc", "single")
+    }
+    results = {
+        policy: session.decode_all([p.cfo_hz for p in peaks], max_queries=64)
+        for policy, session in sessions.items()
+    }
     print("per-tag decode cost (1 query = 1 ms of air time):")
-    for cfo_hz, result in sorted(results.items()):
+    for cfo_hz, result in sorted(results["mrc"].items()):
         status = (
             f"serial {result.packet.fields.serial_number:10d} "
             f"in {result.n_queries:2d} queries ({result.identification_time_ms:4.1f} ms)"
             if result.success
             else "FAILED within budget"
         )
-        print(f"  CFO {cfo_hz / 1e3:7.1f} kHz: {status}")
-    print("(Fig 16: ~4 ms at 2 colliding tags, ~16 ms at 5, growing with density)")
+        baseline = results["single"][cfo_hz]
+        print(
+            f"  CFO {cfo_hz / 1e3:7.1f} kHz: {status}"
+            f"  [1 antenna: {baseline.n_queries:2d} queries]"
+        )
+    print("(Fig 16: ~4 ms at 2 colliding tags, ~16 ms at 5, growing with density;")
+    print(" maximum-ratio combining the three antennas cuts the query count)")
     print()
 
     # --- the strawman: band-pass filtering (§8) -----------------------------

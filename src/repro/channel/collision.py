@@ -78,6 +78,26 @@ class ReceivedCollision:
     lo_hz: float
     truth: list[TruthEntry] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # The decode pipeline treats the antennas as rows of one (K, N)
+        # capture matrix; validate that shape here so a malformed
+        # collision fails at construction instead of as a bare
+        # IndexError (empty list) or a shape error deep in a combiner.
+        if not self.antennas:
+            raise ConfigurationError("a collision needs at least one antenna capture")
+        first = self.antennas[0]
+        for wave in self.antennas[1:]:
+            if wave.n_samples != first.n_samples:
+                raise ConfigurationError(
+                    "antenna captures must share one length, got "
+                    f"{wave.n_samples} and {first.n_samples} samples"
+                )
+            if abs(wave.sample_rate_hz - first.sample_rate_hz) > 1e-6:
+                raise ConfigurationError(
+                    "antenna captures must share one sample rate, got "
+                    f"{wave.sample_rate_hz} and {first.sample_rate_hz} Hz"
+                )
+
     @property
     def n_antennas(self) -> int:
         return len(self.antennas)

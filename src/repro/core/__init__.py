@@ -11,7 +11,14 @@
 * :mod:`repro.core.mac` — reader-side CSMA rules (§9).
 """
 
-from .cfo import CfoPeak, estimate_channel, extract_cfo_peaks, refine_frequency
+from .cfo import (
+    CfoPeak,
+    CollisionPeak,
+    estimate_channel,
+    extract_cfo_peaks,
+    extract_collision_peaks,
+    refine_frequency,
+)
 from .counting import BinClass, BinObservation, CollisionCounter, CountEstimate
 from .theory import (
     expected_count_naive,
@@ -49,8 +56,10 @@ from .mac import CsmaState, ReaderMac
 
 __all__ = [
     "CfoPeak",
+    "CollisionPeak",
     "estimate_channel",
     "extract_cfo_peaks",
+    "extract_collision_peaks",
     "refine_frequency",
     "BinClass",
     "BinObservation",

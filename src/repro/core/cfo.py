@@ -19,12 +19,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..constants import CFO_SPAN_HZ
-from ..dsp.peaks import find_spectral_peaks
+from ..dsp.peaks import find_peaks_in_magnitudes, find_spectral_peaks
 from ..dsp.spectrum import fft_spectrum, single_bin_dft
 from ..errors import SpectrumError
 from ..phy.waveform import Waveform
 
-__all__ = ["CfoPeak", "refine_frequency", "estimate_channel", "extract_cfo_peaks"]
+__all__ = [
+    "CfoPeak",
+    "CollisionPeak",
+    "refine_frequency",
+    "estimate_channel",
+    "extract_cfo_peaks",
+    "extract_collision_peaks",
+]
 
 #: Default search band: the 1.2 MHz CFO span plus a small margin.
 DEFAULT_SEARCH_LO_HZ = 2e3
@@ -97,6 +104,98 @@ def estimate_channel(wave: Waveform, cfo_hz: float) -> complex:
     difference of §6.
     """
     return 2.0 * single_bin_dft(wave, cfo_hz)
+
+
+@dataclass(frozen=True)
+class CollisionPeak:
+    """One tag's spike read across *every* antenna of a collision.
+
+    The shared Eq 5 readout: detection happens on the average magnitude
+    spectrum over all antennas (incoherent averaging suppresses the data
+    floor while the spike persists at every element), and the channel is
+    read per antenna at the one refined frequency — the same numbers the
+    decoder compensates with and localization turns into Eq 10 phase
+    differences.
+
+    Attributes:
+        cfo_hz: refined carrier frequency offset.
+        channels: complex channel estimate ``h`` per antenna (Eq 5, 2x
+            the spectral value); includes the response's random phase,
+            which is common across antennas and cancels in ratios.
+        magnitude: average spectral magnitude at the peak bin.
+        snr: peak amplitude over the local floor of the average spectrum.
+    """
+
+    cfo_hz: float
+    channels: np.ndarray
+    magnitude: float
+    snr: float
+
+    @property
+    def n_antennas(self) -> int:
+        return int(self.channels.size)
+
+
+def extract_collision_peaks(
+    collision,
+    search_lo_hz: float = DEFAULT_SEARCH_LO_HZ,
+    search_hi_hz: float = DEFAULT_SEARCH_HI_HZ,
+    min_snr_db: float = 10.0,
+    max_peaks: int | None = None,
+    refine: bool = True,
+) -> list[CollisionPeak]:
+    """Detect spikes across a collision's antennas and read every channel.
+
+    The multi-antenna counterpart of :func:`extract_cfo_peaks`: instead of
+    privileging one element, the detection statistic is the average
+    magnitude spectrum over all antennas, each spike's frequency is
+    refined on the antenna where it is strongest, and the Eq 5 channel is
+    read from *every* antenna at that one frequency.
+
+    Args:
+        collision: a :class:`~repro.channel.collision.ReceivedCollision`.
+        search_lo_hz / search_hi_hz: CFO band to search.
+        min_snr_db: detection threshold over the local (CFAR) floor.
+        max_peaks: optional cap on returned peaks (strongest kept).
+        refine: skip sub-bin refinement when only occupancy matters.
+
+    Returns:
+        Peaks sorted by ascending CFO.
+    """
+    spectra = [fft_spectrum(wave) for wave in collision.antennas]
+    n_bins = min(spectrum.n_bins for spectrum in spectra)
+    magnitudes = np.stack([spectrum.magnitude()[:n_bins] for spectrum in spectra])
+    avg_mag = magnitudes.mean(axis=0)
+    raw = find_peaks_in_magnitudes(
+        avg_mag,
+        spectra[0].bin_hz,
+        search_lo_hz,
+        search_hi_hz,
+        min_snr_db=min_snr_db,
+        max_peaks=max_peaks,
+    )
+    peaks = []
+    for peak in raw:
+        freq = peak.freq_hz
+        if refine:
+            strongest = int(np.argmax(magnitudes[:, peak.bin_index]))
+            freq = refine_frequency(
+                collision.antennas[strongest],
+                freq,
+                span_hz=spectra[strongest].resolution_hz / 2.0,
+            )
+        channels = np.array(
+            [estimate_channel(wave, freq) for wave in collision.antennas]
+        )
+        peaks.append(
+            CollisionPeak(
+                cfo_hz=freq,
+                channels=channels,
+                magnitude=peak.magnitude,
+                snr=peak.snr,
+            )
+        )
+    return sorted(peaks, key=lambda p: p.cfo_hz)
 
 
 def extract_cfo_peaks(

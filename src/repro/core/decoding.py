@@ -17,17 +17,34 @@ the CRC — the stopping rule of §12.4. Expected cost: interferer power
 relative to the target sets N, hence decode time grows with the number of
 colliding tags (Fig 16: ~4 ms at 2 tags, ~16 ms at 5, tens of ms at 10).
 
+The reader captures on *three* antennas (Fig 6), and §8 notes the
+captures can also be combined *across* antennas: each antenna's channel
+comes from the same Eq 5 readout, so the K compensated copies of one
+response are maximum-ratio combined into a single row before it enters
+the accumulator.  With per-antenna channels ``h_a`` the MRC reduction is
+
+    ``y_j(t) = sum_a conj(h_{j,a}) r_{j,a}(t) / sum_a |h_{j,a}|^2``
+
+— unbiased in the target's chips (like ``r/h``) with noise variance cut
+by ``sum_a |h_a|^2 / |h_0|^2`` (~K for comparable antennas), which shows
+up directly as ~K-fold fewer queries on the Fig 16 workload.
+
 Two execution paths implement the same math:
 
 * :meth:`CoherentDecoder.decode` — the direct, per-capture reference
-  algorithm, kept deliberately simple (it *is* §8 as written).
+  algorithm, kept deliberately simple (it *is* §8 as written,
+  single-antenna).
 * :class:`MultiTargetCombiner` — the production path used by
   :class:`DecodeSession` and the :mod:`repro.core.network` batch layer.
-  It is **incremental** (per-target accumulators advance one capture at a
-  time and never re-sum their prefix), attempts demodulation only at
-  *new* capture counts, and is **batched** across targets: each capture's
-  channel estimates for every target come from one matrix-vector product
-  and every target's CFO phasor is built in one broadcast pass.
+  It is **incremental** (per-(target, antenna) accumulator rows advance
+  one capture at a time and never re-sum their prefix), attempts
+  demodulation only at *new* capture counts, and is **batched** across
+  targets: each capture's channel estimates for every (target, antenna)
+  come from one matrix product and every target's CFO phasor is built in
+  one broadcast pass.  Its ``combining`` policy selects ``"mrc"``
+  (default: all antennas, maximum-ratio) or ``"single"`` (one antenna —
+  the pre-multi-antenna numerics, kept bit-for-bit as the ablation
+  baseline).
 
 A key algebraic identity makes the batched path cheap.  The compensated
 capture is ``r_j(t) exp(-j 2 pi f t) / h_j`` with absolute time
@@ -36,23 +53,48 @@ capture is ``r_j(t) exp(-j 2 pi f t) / h_j`` with absolute time
 rotation ``exp(-j 2 pi f t0_j)`` cancels between numerator and channel:
 the accumulator factors as ``phasor(tau) * sum_j r_j(tau) / (2 q_j)``
 where ``q_j = mean(r_j(tau) phasor(tau))`` is a single dot product per
-(capture, target) and ``phasor`` is computed once per target.
+(capture, target, antenna) and ``phasor`` is computed once per target.
+The same cancellation holds per antenna, so the MRC reduction needs only
+the ``q_{j,a}`` matrix — no second pass over the samples.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..constants import PACKET_BITS, QUERY_PERIOD_S
-from ..errors import CrcError, DecodingError, ModulationError, PacketError
+from ..errors import ConfigurationError, CrcError, DecodingError, ModulationError, PacketError
 from ..phy.modulation import OokModulator
 from ..phy.packet import TransponderPacket
 from ..phy.waveform import Waveform
 from .cfo import estimate_channel, refine_frequency
 
 __all__ = ["DecodeResult", "CoherentDecoder", "MultiTargetCombiner", "DecodeSession"]
+
+#: Valid cross-antenna combining policies.
+COMBINING_POLICIES = ("mrc", "single")
+
+
+def validate_combining(combining: str) -> str:
+    if combining not in COMBINING_POLICIES:
+        raise ConfigurationError(
+            f"unknown combining policy {combining!r}; options: {COMBINING_POLICIES}"
+        )
+    return combining
+
+
+def deprecated_antenna_index(antenna_index, owner: str) -> int:
+    warnings.warn(
+        f"{owner}'s antenna_index is deprecated: it now maps to the "
+        "combining='single' ablation policy; multi-antenna MRC "
+        "(combining='mrc') is the default pipeline",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return int(antenna_index)
 
 
 @dataclass
@@ -64,16 +106,31 @@ class DecodeResult:
         n_queries: collisions combined before the CRC passed.
         cfo_hz: the refined CFO used for compensation.
         identification_time_s: queries x query period — the Fig 16 metric.
+        channels: per-antenna channel evidence accumulated while decoding
+            (None before any capture was combined).  Entry ``a`` is
+            ``sum_j q_{j,a} conj(q_{j,0})`` over the combined captures —
+            each response's random phase cancels against the reference
+            antenna, so the terms add coherently and *cross-antenna
+            ratios* converge on the true channel ratios ``h_a / h_b``.
+            Those ratios are exactly the Eq 10 phase differences, which is
+            what lets localization consume decode output directly instead
+            of re-reading spectra.
     """
 
     packet: TransponderPacket | None
     n_queries: int
     cfo_hz: float
     query_period_s: float = QUERY_PERIOD_S
+    channels: np.ndarray | None = None
 
     @property
     def success(self) -> bool:
         return self.packet is not None
+
+    @property
+    def n_antennas(self) -> int:
+        """How many antennas contributed channel evidence."""
+        return 0 if self.channels is None else int(self.channels.size)
 
     @property
     def identification_time_s(self) -> float:
@@ -101,11 +158,11 @@ class CoherentDecoder:
     ) -> DecodeResult:
         """Decode by accumulating captures until the packet checks out.
 
-        This is the reference single-target algorithm; it recomputes the
-        compensation of every capture from scratch. Repeated-query
-        pipelines should use :class:`DecodeSession` (or
+        This is the reference single-target, single-antenna algorithm; it
+        recomputes the compensation of every capture from scratch.
+        Repeated-query pipelines should use :class:`DecodeSession` (or
         :class:`MultiTargetCombiner` directly), which share work across
-        targets and retries.
+        targets, antennas and retries.
 
         Args:
             captures: single-antenna captures, one per query, all aligned
@@ -149,7 +206,9 @@ class CoherentDecoder:
         The vectorized counterpart of calling :meth:`decode` once per
         target: one :class:`MultiTargetCombiner` recombines the same
         captures for every target, so each capture is read once and each
-        target's compensation is a broadcast, not a Python loop.
+        target's compensation is a broadcast, not a Python loop.  The
+        captures are single-antenna waveforms, so the combiner runs the
+        ``"single"`` policy and reproduces :meth:`decode` exactly.
 
         Returns:
             ``{requested cfo: DecodeResult}`` — same per-target outcomes
@@ -157,7 +216,7 @@ class CoherentDecoder:
         """
         if not captures:
             raise DecodingError("no captures supplied")
-        combiner = MultiTargetCombiner(self, captures[0].n_samples)
+        combiner = MultiTargetCombiner(self, captures[0].n_samples, combining="single")
         refined = [
             self.refine_cfo(captures[0], cfo) if refine else float(cfo)
             for cfo in target_cfos_hz
@@ -204,28 +263,55 @@ class CoherentDecoder:
 class MultiTargetCombiner:
     """Incremental, batched coherent recombination of shared captures.
 
-    Holds one accumulator row per target over a single stream of captures
-    (§12.4: the *same* collisions are recombined per target). Advancing a
-    target by one capture costs one dot product (its channel estimate) and
-    one vector add; nothing is ever re-summed, and demodulation is only
-    attempted at capture counts not tried before — so a session that
-    doubles its budget past a failure never repeats work.
+    Holds one accumulator row per (target, antenna) over a single stream
+    of captures (§12.4: the *same* collisions are recombined per target).
+    Advancing a target by one capture costs one dot product per antenna
+    (its channel estimates) and one broadcast add; nothing is ever
+    re-summed, and demodulation is only attempted at capture counts not
+    tried before — so a session that doubles its budget past a failure
+    never repeats work.
+
+    ``combining`` selects how a capture's antennas enter the rows:
+
+    * ``"mrc"`` (default) — every antenna of the
+      :class:`~repro.channel.collision.ReceivedCollision` contributes;
+      per capture, the per-antenna Eq 5 readouts weight the compensated
+      copies maximum-ratio, so the reduced cohort row is the
+      minimum-variance unbiased estimate of the target's chips.
+    * ``"single"`` — exactly one antenna (``antenna_index``) feeds one
+      row per target, reproducing the pre-multi-antenna pipeline
+      bit-for-bit (the ablation baseline).
 
     Targets are identified by integer keys from :meth:`add_target` /
-    :meth:`add_targets`. All per-target state lives in ``(T, N)`` matrices
-    so a cohort of targets advances through a capture with one
-    matrix-vector product and one broadcast add.
+    :meth:`add_targets`. All per-target state lives in ``(T, A, N)``
+    arrays so a cohort of targets advances through a capture with one
+    matrix product and one broadcast add.  Bare :class:`Waveform`
+    captures are accepted as one-antenna collisions.
     """
 
-    def __init__(self, decoder: CoherentDecoder, n_samples: int):
+    def __init__(
+        self,
+        decoder: CoherentDecoder,
+        n_samples: int,
+        combining: str = "mrc",
+        antenna_index: int = 0,
+    ):
         if n_samples <= 0:
             raise DecodingError("combiner needs a positive capture length")
         self.decoder = decoder
         self.n_samples = int(n_samples)
+        self.combining = validate_combining(combining)
+        self.antenna_index = int(antenna_index)
         self._tau = np.arange(self.n_samples) / decoder.sample_rate_hz
         self.cfos_hz = np.zeros(0, dtype=np.float64)
         self._phasors = np.zeros((0, self.n_samples), dtype=np.complex128)
-        self._acc = np.zeros((0, self.n_samples), dtype=np.complex128)
+        #: Antenna rows per target; fixed by the first combined capture.
+        self.n_antennas: int | None = None
+        self._acc: np.ndarray | None = None  # (T, A, N)
+        #: Latest capture's per-antenna Eq 5 readout ``h = 2 q`` (T, A).
+        self._latest_channels: np.ndarray | None = None
+        #: Cross-antenna channel evidence ``sum_j q_{j,a} conj(q_{j,0})``.
+        self._channel_acc: np.ndarray | None = None
         self.n_combined = np.zeros(0, dtype=np.int64)
         self.n_attempted = np.zeros(0, dtype=np.int64)
         self._results: list[DecodeResult | None] = []
@@ -243,9 +329,17 @@ class MultiTargetCombiner:
         phasors = np.exp(-2j * np.pi * cfos[:, None] * self._tau[None, :])
         self.cfos_hz = np.concatenate([self.cfos_hz, cfos])
         self._phasors = np.vstack([self._phasors, phasors])
-        self._acc = np.vstack(
-            [self._acc, np.zeros((cfos.size, self.n_samples), dtype=np.complex128)]
-        )
+        if self._acc is not None:
+            a = self._acc.shape[1]
+            self._acc = np.concatenate(
+                [self._acc, np.zeros((cfos.size, a, self.n_samples), dtype=np.complex128)]
+            )
+            self._latest_channels = np.vstack(
+                [self._latest_channels, np.zeros((cfos.size, a), dtype=np.complex128)]
+            )
+            self._channel_acc = np.vstack(
+                [self._channel_acc, np.zeros((cfos.size, a), dtype=np.complex128)]
+            )
         self.n_combined = np.concatenate(
             [self.n_combined, np.zeros(cfos.size, dtype=np.int64)]
         )
@@ -262,6 +356,29 @@ class MultiTargetCombiner:
     def decoded(self, key: int) -> bool:
         """Whether the target's packet has passed its CRC."""
         return self._results[key] is not None
+
+    def channel_estimates(self, key: int) -> np.ndarray | None:
+        """Per-antenna Eq 5 channel readout from the *latest* capture.
+
+        ``h_a = 2 q_a`` including that response's random phase — directly
+        comparable to the synthesis ground truth
+        (:class:`~repro.channel.collision.TruthEntry.channels`) of the
+        capture it was read from.  None before any capture was combined.
+        """
+        if self._latest_channels is None or self.n_combined[key] == 0:
+            return None
+        return self._latest_channels[key].copy()
+
+    def accumulated_channels(self, key: int) -> np.ndarray | None:
+        """Cross-antenna channel evidence summed over combined captures.
+
+        See :attr:`DecodeResult.channels` for the semantics (per-response
+        phases cancel against antenna 0, so ratios estimate ``h_a/h_b``
+        with SNR growing in the number of captures).
+        """
+        if self._channel_acc is None or self.n_combined[key] == 0:
+            return None
+        return self._channel_acc[key].copy()
 
     def result(self, key: int, max_queries: int | None = None) -> DecodeResult:
         """The target's outcome so far.
@@ -281,20 +398,24 @@ class MultiTargetCombiner:
             n_queries=n,
             cfo_hz=float(self.cfos_hz[key]),
             query_period_s=self.decoder.query_period_s,
+            channels=self.accumulated_channels(key),
         )
 
     def advance(
         self,
         keys: list[int],
-        captures: list[Waveform],
+        captures: list,
         upto: int,
         min_queries: int = 1,
     ) -> None:
         """Advance targets through ``captures[:upto]``, incrementally.
 
-        Each target combines only captures beyond its own prefix and
-        attempts demodulation only at capture counts above its previous
-        attempt — the §12.4 stopping rule without quadratic re-work.
+        ``captures`` holds :class:`~repro.channel.collision.ReceivedCollision`
+        objects (a bare :class:`Waveform` is treated as a one-antenna
+        collision).  Each target combines only captures beyond its own
+        prefix and attempts demodulation only at capture counts above its
+        previous attempt — the §12.4 stopping rule without quadratic
+        re-work.
         """
         upto = min(int(upto), len(captures))
         keys = list(dict.fromkeys(keys))  # duplicates would double-combine
@@ -324,32 +445,135 @@ class MultiTargetCombiner:
 
     # -- internals ---------------------------------------------------------------
 
-    def _combine(self, cohort: np.ndarray, capture: Waveform) -> None:
-        """Fold one capture into every cohort accumulator (batched)."""
-        x = capture.samples
-        if x.size != self.n_samples:
+    def _antenna_rows(self, capture) -> np.ndarray:
+        """The capture's antenna streams as an (A, N) matrix.
+
+        ``"single"`` slices out exactly the configured antenna; ``"mrc"``
+        stacks every antenna of the collision.  A bare waveform is one
+        antenna either way.
+        """
+        if isinstance(capture, Waveform):
+            rows = capture.samples[None, :]
+        elif self.combining == "single":
+            rows = capture.antenna(self.antenna_index).samples[None, :]
+        else:
+            rows = np.stack([wave.samples for wave in capture.antennas])
+        if rows.shape[1] != self.n_samples:
             raise DecodingError(
-                f"capture length {x.size} does not match combiner ({self.n_samples})"
+                f"capture length {rows.shape[1]} does not match combiner "
+                f"({self.n_samples})"
             )
-        # One matvec gives every target's channel readout q = mean(x * phasor);
-        # the absolute-time rotation cancels against Eq 5's channel estimate,
-        # so the compensated capture is x / (2 q) (see module docstring).
+        return rows
+
+    def _ensure_rows(self, n_antennas: int) -> None:
+        """Grow the accumulators to hold at least ``n_antennas`` rows.
+
+        Captures may disagree on antenna count (a legacy one-antenna
+        waveform seeded into a three-antenna stream, a degraded element):
+        each capture contributes to the rows it has, zero-padded rows
+        simply hold no evidence yet, and the MRC weights normalize per
+        capture — so mixed streams stay well-defined instead of erroring.
+        """
+        n_antennas = int(n_antennas)
+        if self.n_antennas is None:
+            self.n_antennas = n_antennas
+            self._acc = np.zeros(
+                (self.n_targets, self.n_antennas, self.n_samples), dtype=np.complex128
+            )
+            self._latest_channels = np.zeros(
+                (self.n_targets, self.n_antennas), dtype=np.complex128
+            )
+            self._channel_acc = np.zeros(
+                (self.n_targets, self.n_antennas), dtype=np.complex128
+            )
+        elif n_antennas > self.n_antennas:
+            grow = n_antennas - self.n_antennas
+            self._acc = np.concatenate(
+                [
+                    self._acc,
+                    np.zeros(
+                        (self.n_targets, grow, self.n_samples), dtype=np.complex128
+                    ),
+                ],
+                axis=1,
+            )
+            self._latest_channels = np.concatenate(
+                [
+                    self._latest_channels,
+                    np.zeros((self.n_targets, grow), dtype=np.complex128),
+                ],
+                axis=1,
+            )
+            self._channel_acc = np.concatenate(
+                [
+                    self._channel_acc,
+                    np.zeros((self.n_targets, grow), dtype=np.complex128),
+                ],
+                axis=1,
+            )
+            self.n_antennas = n_antennas
+
+    def _combine(self, cohort: np.ndarray, capture) -> None:
+        """Fold one capture into every cohort accumulator row (batched)."""
+        rows = self._antenna_rows(capture)
+        self._ensure_rows(rows.shape[0])
+        # One matrix product gives every (target, antenna) channel readout
+        # q = mean(x * phasor); the absolute-time rotation cancels against
+        # Eq 5's channel estimate (see module docstring).
         whole = cohort.size == self.n_targets
         phasors = self._phasors if whole else self._phasors[cohort]
-        q = phasors @ x / self.n_samples
-        if np.any(q == 0):
-            raise DecodingError("zero channel estimate for target")
-        contribution = x[None, :] / (2.0 * q[:, None])
-        if whole:
-            self._acc += contribution
+        if self.combining == "single":
+            x = rows[0]
+            q = phasors @ x / self.n_samples
+            if np.any(q == 0):
+                raise DecodingError("zero channel estimate for target")
+            contribution = x[None, :] / (2.0 * q[:, None])
+            if whole:
+                self._acc[:, 0, :] += contribution
+            else:
+                self._acc[cohort, 0, :] += contribution
+            channels = q[:, None]
         else:
-            self._acc[cohort] += contribution
+            q = phasors @ rows.T / self.n_samples  # (T_c, A)
+            power = np.einsum("ka,ka->k", q, q.conj()).real
+            if np.any(power == 0):
+                raise DecodingError("zero channel estimate for target")
+            # Maximum-ratio rows: antenna a's compensated copy x_a/(2 q_a)
+            # weighted by |q_a|^2 / sum|q|^2 is conj(q_a) x_a / (2 sum|q|^2)
+            # — no per-antenna division, so a dead antenna just drops out.
+            weights = q.conj() / (2.0 * power[:, None])
+            contribution = weights[:, :, None] * rows[None, :, :]
+            if whole:
+                self._acc[:, : rows.shape[0], :] += contribution
+            else:
+                self._acc[cohort, : rows.shape[0], :] += contribution
+            channels = q
+        latest = np.zeros(
+            (channels.shape[0], self.n_antennas), dtype=np.complex128
+        )
+        latest[:, : channels.shape[1]] = 2.0 * channels
+        evidence = channels * channels[:, :1].conj()
+        if whole:
+            self._latest_channels[:] = latest
+            self._channel_acc[:, : channels.shape[1]] += evidence
+        else:
+            self._latest_channels[cohort] = latest
+            self._channel_acc[cohort, : channels.shape[1]] += evidence
         self.n_combined[cohort] += 1
+
+    def _reduced(self, idx: np.ndarray) -> np.ndarray:
+        """MRC-reduce the antenna rows of the indexed targets to (n, N)."""
+        if self.combining == "single":
+            return self._acc[idx, 0, :]
+        if self.n_antennas == 1:
+            return self._acc[idx, 0, :]
+        return self._acc[idx].sum(axis=1)
 
     def _attempt(self, cohort: np.ndarray, count: int) -> None:
         """Try demodulation for cohort members that haven't tried ``count``.
 
-        The matched filter and Manchester comparison run once for the
+        The antenna rows are reduced to one cohort row per target first;
+        the matched filter and Manchester comparison then run once for the
         whole cohort (matrix ops); packet parsing — one demodulation
         attempt per target — still goes through the decoder's
         ``_try_demodulate`` funnel.
@@ -362,6 +586,7 @@ class MultiTargetCombiner:
         if not pending:
             return
         idx = np.asarray(pending, dtype=np.intp)
+        reduced = self._reduced(idx)
         modulator = self.decoder._modulator
         spc = modulator.samples_per_chip
         n_chips = 2 * PACKET_BITS
@@ -370,7 +595,7 @@ class MultiTargetCombiner:
             # path raises (and swallows) the same ModulationError.
             bit_rows = None
         else:
-            rows = (self._phasors[idx] * self._acc[idx]).real
+            rows = (self._phasors[idx] * reduced).real
             soft = (
                 np.add.reduce(
                     rows[:, : n_chips * spc].reshape(idx.size, n_chips, spc), axis=2
@@ -381,7 +606,7 @@ class MultiTargetCombiner:
         for i, k in enumerate(pending):
             self.n_attempted[k] = count
             if bit_rows is None:
-                packet = self.decoder._try_demodulate(self._phasors[k] * self._acc[k])
+                packet = self.decoder._try_demodulate(self._phasors[k] * reduced[i])
             else:
                 packet = self.decoder._try_demodulate(bits=bit_rows[i])
             if packet is not None:
@@ -390,6 +615,7 @@ class MultiTargetCombiner:
                     n_queries=count,
                     cfo_hz=float(self.cfos_hz[k]),
                     query_period_s=self.decoder.query_period_s,
+                    channels=self.accumulated_channels(k),
                 )
 
 
@@ -401,13 +627,18 @@ class DecodeSession:
     time than decoding one: the same collisions are recombined per target
     with different CFO/channel compensation. The session issues queries
     through a callable (e.g. ``StaticCollisionSimulator.query``) and feeds
-    one shared capture list to a :class:`MultiTargetCombiner`, so:
+    the full :class:`~repro.channel.collision.ReceivedCollision` stream to
+    a :class:`MultiTargetCombiner`, so:
 
     * captures are issued lazily and reused across targets *and* budget
       doublings (a failed target retried with a larger ``max_queries``
       resumes where it stopped);
     * demodulation is attempted exactly once per (target, capture count);
-    * targets decoded together advance through each capture as one batch.
+    * targets decoded together advance through each capture as one batch;
+    * with ``combining="mrc"`` (default) every antenna of every capture
+      contributes, cutting the Fig 16 query counts ~K-fold for a K-antenna
+      reader; ``combining="single"`` is the one-antenna ablation baseline
+      and reproduces the pre-multi-antenna numerics bit-for-bit.
 
     The session is a cache of decoding evidence: once a target's packet
     has passed its CRC, later calls return that result even if asked with
@@ -416,24 +647,53 @@ class DecodeSession:
     Attributes:
         query_fn: ``query_fn(t_s) -> ReceivedCollision``.
         decoder: the coherent decoder to use.
-        antenna_index: which antenna's capture stream to decode from.
+        combining: ``"mrc"`` or ``"single"``.
         refine: sub-bin refine each target's CFO on the first capture.
+        antenna_index: **deprecated** alias — setting it selects
+            ``combining="single"`` on that antenna.
     """
 
     query_fn: object
     decoder: CoherentDecoder
-    antenna_index: int = 0
-    captures: list[Waveform] = field(default_factory=list)
+    combining: str = "mrc"
+    captures: list = field(default_factory=list)
     _next_query_s: float = 0.0
     refine: bool = True
     _combiner: MultiTargetCombiner | None = field(default=None, repr=False)
     _target_keys: dict[float, int] = field(default_factory=dict, repr=False)
+    antenna_index: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.antenna_index is not None:
+            self.antenna_index = deprecated_antenna_index(
+                self.antenna_index, "DecodeSession"
+            )
+            self.combining = "single"
+        validate_combining(self.combining)
+
+    @property
+    def _antenna(self) -> int:
+        return 0 if self.antenna_index is None else self.antenna_index
 
     def _ensure_captures(self, n: int) -> None:
         while len(self.captures) < n:
             collision = self.query_fn(self._next_query_s)
             self._next_query_s += self.decoder.query_period_s
-            self.captures.append(collision.antenna(self.antenna_index))
+            self.captures.append(collision)
+
+    def readout_capture(self, index: int) -> Waveform:
+        """The single waveform used for spike/CFO readout of one capture.
+
+        The ``"single"`` policy reads its configured antenna; ``"mrc"``
+        refines on the first antenna (sub-bin refinement needs one clean
+        tone, and every antenna sees the same spike frequency).
+        """
+        capture = self.captures[index]
+        if isinstance(capture, Waveform):
+            return capture
+        if self.combining == "single":
+            return capture.antenna(self._antenna)
+        return capture.antennas[0]
 
     def _keys_for(self, target_cfos_hz: list[float]) -> list[int]:
         """Target keys for the requested CFOs, registering new ones."""
@@ -444,12 +704,16 @@ class DecodeSession:
         )
         if fresh:
             self._ensure_captures(1)
+            first = self.readout_capture(0)
             if self._combiner is None:
                 self._combiner = MultiTargetCombiner(
-                    self.decoder, self.captures[0].n_samples
+                    self.decoder,
+                    first.n_samples,
+                    combining=self.combining,
+                    antenna_index=self._antenna,
                 )
             refined = [
-                self.decoder.refine_cfo(self.captures[0], cfo) if self.refine else cfo
+                self.decoder.refine_cfo(first, cfo) if self.refine else cfo
                 for cfo in fresh
             ]
             for cfo, key in zip(fresh, self._combiner.add_targets(refined)):
@@ -478,12 +742,15 @@ class DecodeSession:
         results = self._run(keys, max_queries)
         return dict(zip(target_cfos_hz, results))
 
-    def seed_capture(self, capture: Waveform) -> None:
+    def seed_capture(self, capture) -> None:
         """Feed an already-received capture into the shared stream.
 
         Lets a caller that has queried for other reasons (e.g. a
         counting/AoA measurement round) donate that capture to the
         decode stream, so identification reuses its air time (§12.4).
+        Accepts a full :class:`~repro.channel.collision.ReceivedCollision`
+        (preferred — MRC can use every antenna) or a bare
+        :class:`Waveform` treated as a one-antenna capture.
         """
         self.captures.append(capture)
         self._next_query_s += self.decoder.query_period_s

@@ -22,7 +22,7 @@ from ..channel.geometry import RoadSegment, aoa_cone_conic, intersect_conics
 from ..constants import PAIR_USABLE_MAX_DEG, PAIR_USABLE_MIN_DEG, WAVELENGTH_M
 from ..errors import GeometryError, LocalizationError
 from ..utils import wrap_angle
-from .cfo import estimate_channel, extract_cfo_peaks
+from .cfo import estimate_channel, extract_collision_peaks
 
 __all__ = [
     "aoa_from_phase",
@@ -111,6 +111,39 @@ class AoAEstimator:
     wavelength_m: float = WAVELENGTH_M
     min_snr_db: float = 15.0
 
+    def estimate_from_channels(
+        self, cfo_hz: float, channels: np.ndarray
+    ) -> AoAEstimate:
+        """AoA from per-antenna channel estimates at one spike.
+
+        The channels may come from any Eq 5 readout of the same capture —
+        a direct spectral read, the shared
+        :func:`~repro.core.cfo.extract_collision_peaks` pass, or the
+        decoder's per-antenna accumulators
+        (:attr:`~repro.core.decoding.DecodeResult.channels`): only the
+        cross-antenna *ratios* enter Eq 10, and any per-response or
+        reference phase common to all entries cancels there.
+        """
+        channels = np.asarray(channels, dtype=np.complex128)
+        if channels.size < 3:
+            raise LocalizationError(
+                f"triangle AoA needs 3 antenna channels, got {channels.size}"
+            )
+        channels = channels[:3]
+        if np.any(np.abs(channels) == 0.0):
+            raise LocalizationError("zero channel estimate; no signal at the CFO")
+        alphas = []
+        for pair, (i, j) in zip(self.array.pairs(), self.array.pair_indices()):
+            delta_phi = float(np.angle(channels[j] / channels[i]))
+            alphas.append(aoa_from_phase(delta_phi, pair.spacing_m, self.wavelength_m))
+        best = int(np.argmin([abs(a - np.pi / 2.0) for a in alphas]))
+        return AoAEstimate(
+            cfo_hz=float(cfo_hz),
+            alphas_rad=tuple(alphas),
+            best_pair_index=best,
+            channels=channels,
+        )
+
     def estimate_for_cfo(self, collision: ReceivedCollision, cfo_hz: float) -> AoAEstimate:
         """AoA of the tag whose spike sits at (or near) ``cfo_hz``.
 
@@ -123,26 +156,41 @@ class AoAEstimator:
                 f"triangle AoA needs 3 antenna captures, got {collision.n_antennas}"
             )
         channels = np.array(
-            [estimate_channel(collision.antenna(k), cfo_hz) for k in range(3)]
+            [estimate_channel(wave, cfo_hz) for wave in collision.antennas[:3]]
         )
-        if np.any(np.abs(channels) == 0.0):
-            raise LocalizationError("zero channel estimate; no signal at the CFO")
-        alphas = []
-        for pair, (i, j) in zip(self.array.pairs(), self.array.pair_indices()):
-            delta_phi = float(np.angle(channels[j] / channels[i]))
-            alphas.append(aoa_from_phase(delta_phi, pair.spacing_m, self.wavelength_m))
-        best = int(np.argmin([abs(a - np.pi / 2.0) for a in alphas]))
-        return AoAEstimate(
-            cfo_hz=cfo_hz,
-            alphas_rad=tuple(alphas),
-            best_pair_index=best,
-            channels=channels,
-        )
+        return self.estimate_from_channels(cfo_hz, channels)
 
-    def estimate_all(self, collision: ReceivedCollision) -> list[AoAEstimate]:
-        """Detect every spike on antenna 0 and measure each tag's AoA."""
-        peaks = extract_cfo_peaks(collision.antenna(0), min_snr_db=self.min_snr_db)
-        return [self.estimate_for_cfo(collision, p.cfo_hz) for p in peaks]
+    def estimate_from_decode(self, result) -> AoAEstimate:
+        """AoA straight from a decode outcome — no extra spectral pass.
+
+        The decoder already read every antenna's channel (Eq 5) for each
+        capture it combined; a
+        :attr:`~repro.core.decoding.DecodeResult.channels` vector carries
+        that evidence coherently summed across captures, so its phase
+        differences *are* the AoA measurement, averaged over the whole
+        decode burst (§8 meets §6: localization falls out of decoding).
+        """
+        if result.channels is None:
+            raise LocalizationError("decode result carries no channel estimates")
+        return self.estimate_from_channels(result.cfo_hz, result.channels)
+
+    def estimate_all(
+        self, collision: ReceivedCollision, cfos_hz: list[float] | None = None
+    ) -> list[AoAEstimate]:
+        """Measure each tag's AoA via the shared collision readout.
+
+        Spikes are detected on the average magnitude spectrum across
+        every antenna (no element is privileged) and each spike's channel
+        is read per antenna at one refined frequency — the same Eq 5 pass
+        the rest of the chain uses.  Passing ``cfos_hz`` (e.g. the
+        counting pass's accepted spikes) skips detection entirely.
+        """
+        if cfos_hz is not None:
+            return [self.estimate_for_cfo(collision, float(f)) for f in cfos_hz]
+        peaks = extract_collision_peaks(collision, min_snr_db=self.min_snr_db)
+        return [
+            self.estimate_from_channels(p.cfo_hz, p.channels) for p in peaks
+        ]
 
     def best_pair(self, estimate: AoAEstimate) -> AntennaPair:
         """The physical pair selected for an estimate."""

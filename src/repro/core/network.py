@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import CaraokeError
-from .decoding import DecodeResult
+from .decoding import DecodeResult, deprecated_antenna_index, validate_combining
 from .reader import ReaderReport
 
 __all__ = [
@@ -46,6 +46,7 @@ __all__ = [
     "StationReport",
     "ReaderNetwork",
     "resolve_cached_ids",
+    "decode_aoa",
 ]
 
 
@@ -255,6 +256,28 @@ def resolve_cached_ids(
     return ids, [spikes[i] for i in sorted(unresolved)]
 
 
+def decode_aoa(station, decode_results: dict | None, cfo: float):
+    """AoA minted from decode-time channel evidence, if any.
+
+    A CFO the measurement pass produced no AoA for (e.g. it was detected
+    only once decoding sharpened it) can still be localized: the decode
+    result's per-antenna channel evidence carries the Eq 10 phase
+    differences for free. Returns None when the evidence is missing,
+    single-antenna, or degenerate.
+    """
+    if not decode_results:
+        return None
+    result = decode_results.get(cfo)
+    if result is None or result.n_antennas < 3:
+        return None
+    try:
+        return station.reader.estimator.estimate_from_channels(
+            result.cfo_hz, result.channels
+        )
+    except CaraokeError:
+        return None
+
+
 @dataclass
 class ReaderStation:
     """One pole of the network: reader + collision stream + localizer.
@@ -264,7 +287,10 @@ class ReaderStation:
         reader: the processing chain for this pole.
         query_fn: ``query_fn(t_s) -> ReceivedCollision`` — the pole's
             radio front-end (e.g. ``StaticCollisionSimulator.query``).
-        antenna_index: antenna whose stream feeds the decoder.
+        combining: decode policy — ``"mrc"`` (default: maximum-ratio
+            across every antenna) or ``"single"`` (one-antenna ablation).
+        antenna_index: **deprecated** alias selecting
+            ``combining="single"`` on that antenna.
         localizer: object with ``locate(estimate, estimator, hint_xy=None)
             -> (x, y)`` — typically a
             :class:`~repro.core.localization.LaneProjectionLocalizer`;
@@ -280,13 +306,22 @@ class ReaderStation:
     name: str
     reader: object
     query_fn: object
-    antenna_index: int = 0
+    combining: str = "mrc"
     localizer: object | None = None
     identities: IdentityCache = field(default_factory=IdentityCache)
     hint_horizon_s: float = 300.0
     _last_fixes: dict[int, tuple[np.ndarray, float]] = field(
         default_factory=dict, repr=False
     )
+    antenna_index: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.antenna_index is not None:
+            self.antenna_index = deprecated_antenna_index(
+                self.antenna_index, "ReaderStation"
+            )
+            self.combining = "single"
+        validate_combining(self.combining)
 
     def recall_fix(self, tag_id: int, now_s: float) -> np.ndarray | None:
         """The tag's last fix, if recent enough to serve as a hint."""
@@ -401,17 +436,21 @@ class ReaderNetwork:
         if unknown and self.decode:
             session = station.reader.decode_session(
                 lambda t: station.query_fn(timestamp_s + t),
+                combining=station.combining,
                 antenna_index=station.antenna_index,
             )
-            # Reuse the measurement capture as the first decode capture.
-            session.seed_capture(collision.antenna(station.antenna_index))
+            # Reuse the measurement capture as the first decode capture
+            # (the whole collision: MRC combines every antenna of it).
+            session.seed_capture(collision)
             decode_results = session.decode_all(unknown, max_queries=self.max_queries)
             for cfo, result in decode_results.items():
                 if result.success:
                     ids[cfo] = result.packet.tag_id
                     station.identities.store(cfo, result.packet.tag_id, now_s=timestamp_s)
 
-        observations = self._positioned(station, report, ids, timestamp_s)
+        observations = self._positioned(
+            station, report, ids, timestamp_s, decode_results
+        )
         return StationReport(
             station=station.name,
             timestamp_s=timestamp_s,
@@ -434,6 +473,7 @@ class ReaderNetwork:
         report: ReaderReport,
         ids: dict[float, int],
         timestamp_s: float,
+        decode_results: dict[float, DecodeResult] | None = None,
     ) -> list:
         """Pair identified CFOs with their AoA and project to the road."""
         if station.localizer is None:
@@ -443,6 +483,8 @@ class ReaderNetwork:
         observations = []
         for cfo, tag_id in sorted(ids.items()):
             estimate = estimates.get(cfo)
+            if estimate is None:
+                estimate = decode_aoa(station, decode_results, cfo)
             if estimate is None:
                 continue
             # End-fire measurements are unusable (§6: d(alpha)/d(phase)

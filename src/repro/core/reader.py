@@ -95,28 +95,44 @@ class CaraokeReader:
 
     # -- decoding ------------------------------------------------------------------
 
-    def decode_session(self, query_fn, antenna_index: int = 0) -> DecodeSession:
+    def decode_session(
+        self, query_fn, combining: str = "mrc", antenna_index: int | None = None
+    ) -> DecodeSession:
         """Open a repeated-query decode session (§8).
 
         Args:
             query_fn: ``query_fn(t_s) -> ReceivedCollision`` — typically
                 ``StaticCollisionSimulator.query`` or a live radio.
-            antenna_index: antenna whose stream feeds the decoder.
+            combining: ``"mrc"`` (default: maximum-ratio across every
+                antenna) or ``"single"`` (one-antenna ablation baseline).
+            antenna_index: **deprecated** alias selecting
+                ``combining="single"`` on that antenna.
         """
         decoder = CoherentDecoder(self.sample_rate_hz, self.query_period_s)
-        return DecodeSession(query_fn=query_fn, decoder=decoder, antenna_index=antenna_index)
+        return DecodeSession(
+            query_fn=query_fn,
+            decoder=decoder,
+            combining=combining,
+            antenna_index=antenna_index,
+        )
 
     def decode_all_in_range(
-        self, query_fn, max_queries: int = 64, antenna_index: int = 0
+        self,
+        query_fn,
+        max_queries: int = 64,
+        combining: str = "mrc",
+        antenna_index: int | None = None,
     ) -> dict[float, DecodeResult]:
         """Count first, then decode every detected tag (§12.4 workflow).
 
         All detected tags are decoded as one batch from a single shared
         capture stream; the counting capture is the batch's first capture.
         """
-        session = self.decode_session(query_fn, antenna_index=antenna_index)
+        session = self.decode_session(
+            query_fn, combining=combining, antenna_index=antenna_index
+        )
         session._ensure_captures(1)
-        estimate = self.counter.count(session.captures[0])
+        estimate = self.counter.count(session.readout_capture(0))
         cfos = [float(c) for c in estimate.cfos_hz()]
         if not cfos:
             return {}

@@ -20,6 +20,7 @@ __all__ = [
     "SpectralPeak",
     "estimate_noise_floor",
     "local_noise_floor",
+    "band_floors",
     "parabolic_offset",
     "find_peaks_in_magnitudes",
     "find_spectral_peaks",
@@ -97,8 +98,26 @@ def local_noise_floor(
             f"window_bins must be odd and > 2*guard_bins+2, got {window_bins}"
         )
     half = window_bins // 2
+    scale = np.sqrt(np.log(4.0))
     floors = np.empty(n)
-    for k in range(n):
+    # Interior bins all share one window/guard shape, so their medians
+    # come from a single strided view and one axis-wise median — the
+    # per-bin Python loop was the counting chain's hot spot (§5 runs
+    # this twice per capture over the whole CFO band). Edge bins keep
+    # the scalar path; their clipped windows have irregular shapes.
+    interior_lo, interior_hi = half, n - half  # k with a full window
+    if interior_hi > interior_lo:
+        windows = np.lib.stride_tricks.sliding_window_view(magnitudes, window_bins)
+        keep = np.concatenate(
+            [
+                np.arange(0, half - guard_bins),
+                np.arange(half + guard_bins + 1, window_bins),
+            ]
+        )
+        floors[interior_lo:interior_hi] = (
+            np.median(windows[:, keep], axis=1) / scale
+        )
+    for k in (*range(min(interior_lo, n)), *range(max(interior_hi, interior_lo, 0), n)):
         lo = max(0, k - half)
         hi = min(n, k + half + 1)
         neighbourhood = np.concatenate(
@@ -106,8 +125,39 @@ def local_noise_floor(
         )
         if neighbourhood.size == 0:
             neighbourhood = magnitudes[lo:hi]
-        floors[k] = np.median(neighbourhood) / np.sqrt(np.log(4.0))
+        floors[k] = np.median(neighbourhood) / scale
     return floors
+
+
+def _band_bounds(
+    n_bins: int, bin_hz: float, search_lo_hz: float, search_hi_hz: float
+) -> tuple[int, int]:
+    """The inclusive FFT-bin bounds of a search band."""
+    if search_hi_hz <= search_lo_hz:
+        raise SpectrumError(f"empty search band [{search_lo_hz}, {search_hi_hz}]")
+    lo_bin = max(0, int(np.floor(search_lo_hz / bin_hz)))
+    hi_bin = min(n_bins - 1, int(np.ceil(search_hi_hz / bin_hz)))
+    if hi_bin <= lo_bin:
+        raise SpectrumError("search band narrower than one bin")
+    return lo_bin, hi_bin
+
+
+def band_floors(
+    magnitudes: np.ndarray,
+    bin_hz: float,
+    search_lo_hz: float,
+    search_hi_hz: float,
+) -> np.ndarray:
+    """The CFAR floor of a search band, reusable across detection passes.
+
+    :func:`find_peaks_in_magnitudes` recomputes the local floor on every
+    call; a caller that probes the *same* magnitudes at several
+    thresholds (the §5 counter's density probe followed by its decision
+    pass) computes the floor once here and hands it back via ``floors``.
+    """
+    magnitudes = np.asarray(magnitudes, dtype=np.float64)
+    lo_bin, hi_bin = _band_bounds(magnitudes.size, bin_hz, search_lo_hz, search_hi_hz)
+    return local_noise_floor(magnitudes[lo_bin : hi_bin + 1])
 
 
 def find_peaks_in_magnitudes(
@@ -119,6 +169,7 @@ def find_peaks_in_magnitudes(
     min_separation_bins: int = 2,
     max_peaks: int | None = None,
     values: np.ndarray | None = None,
+    floors: np.ndarray | None = None,
 ) -> list[SpectralPeak]:
     """Detect spikes in a magnitude spectrum against a local (CFAR) floor.
 
@@ -136,20 +187,24 @@ def find_peaks_in_magnitudes(
             tags 2+ bins apart survive as distinct peaks.
         max_peaks: optional cap (strongest first).
         values: optional complex spectrum aligned with ``magnitudes``.
+        floors: optional precomputed CFAR floor for the search band (from
+            :func:`band_floors` over the same magnitudes/band) — skips
+            the per-call floor estimate when one caller scans the same
+            spectrum at several thresholds.
 
     Returns:
         Peaks sorted by ascending frequency.
     """
     magnitudes = np.asarray(magnitudes, dtype=np.float64)
-    if search_hi_hz <= search_lo_hz:
-        raise SpectrumError(f"empty search band [{search_lo_hz}, {search_hi_hz}]")
-    lo_bin = max(0, int(np.floor(search_lo_hz / bin_hz)))
-    hi_bin = min(magnitudes.size - 1, int(np.ceil(search_hi_hz / bin_hz)))
-    if hi_bin <= lo_bin:
-        raise SpectrumError("search band narrower than one bin")
+    lo_bin, hi_bin = _band_bounds(magnitudes.size, bin_hz, search_lo_hz, search_hi_hz)
 
     band = magnitudes[lo_bin : hi_bin + 1]
-    floors = local_noise_floor(band)
+    if floors is None:
+        floors = local_noise_floor(band)
+    elif floors.size != band.size:
+        raise SpectrumError(
+            f"precomputed floors cover {floors.size} bins, band has {band.size}"
+        )
     thresholds = floors * db_to_amplitude(min_snr_db)
 
     # Local maxima above their local threshold.

@@ -31,12 +31,15 @@ the air log; later events observe and defer to them. Measurement rounds
 are processed at response *end* (so every query that could have stepped
 on the response is already on the log); decode captures check corruption
 against the log as synthesized, which under-counts only the no-CSMA
-ablation where bursts interleave blindly. End-of-run corruption totals
-from :meth:`AirLog.corrupted_responses` are exact either way.
+ablation where bursts interleave blindly. Accounting is exact either
+way: every burst capture is re-checked post-hoc against the final log
+(:attr:`CorridorResult.burst_corrupted_posthoc`), and end-of-run totals
+from :meth:`AirLog.corrupted_responses` cover the response side.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -49,8 +52,9 @@ from ...constants import (
     RESPONSE_DURATION_S,
     TURNAROUND_S,
 )
+from ...core.decoding import deprecated_antenna_index, validate_combining
 from ...core.mac import ReaderMac
-from ...core.network import IdentityCache, resolve_cached_ids
+from ...core.network import IdentityCache, decode_aoa, resolve_cached_ids
 from ...errors import CaraokeError, ConfigurationError
 from ...utils import as_rng
 from ..events import EventScheduler
@@ -83,7 +87,10 @@ class CorridorStation:
         identities: the pole's CFO -> account-id cache.
         mac: the §9 listen-before-talk policy.
         query_interval_s / jitter_s: measurement cadence.
-        antenna_index: antenna whose stream feeds the decoder.
+        combining: decode policy — ``"mrc"`` (default: maximum-ratio
+            across every antenna) or ``"single"`` (one-antenna ablation).
+        antenna_index: **deprecated** alias selecting
+            ``combining="single"`` on that antenna.
     """
 
     name: str
@@ -95,7 +102,7 @@ class CorridorStation:
     mac: ReaderMac = field(default_factory=ReaderMac)
     query_interval_s: float = 80e-3
     jitter_s: float = 5e-3
-    antenna_index: int = 0
+    combining: str = "mrc"
     upstream: "CorridorStation | None" = field(default=None, repr=False)
     downstream: "CorridorStation | None" = field(default=None, repr=False)
     # -- per-run statistics --
@@ -105,6 +112,15 @@ class CorridorStation:
     empty_rounds: int = 0
     corrupted_rounds: int = 0
     _hints: dict[int, tuple[np.ndarray, float]] = field(default_factory=dict, repr=False)
+    antenna_index: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.antenna_index is not None:
+            self.antenna_index = deprecated_antenna_index(
+                self.antenna_index, "CorridorStation"
+            )
+            self.combining = "single"
+        validate_combining(self.combining)
 
     @property
     def pole_position_m(self) -> np.ndarray:
@@ -147,6 +163,21 @@ class CorridorResult:
     ledger: HandoffLedger
     identifications: list[IdentificationStat]
     tags_seen: int
+    #: Decode-burst captures that carried responses, and how many of them
+    #: were stepped on by another reader's query: as judged when the
+    #: capture was synthesized (only transmissions known by then) versus
+    #: re-checked post-hoc against the final air log. The synthesis-time
+    #: count under-counts exactly when bursts interleave blindly (the
+    #: no-CSMA / ``defer_to_queries=False`` ablation); the post-hoc count
+    #: is exact.
+    burst_captures: int = 0
+    burst_corrupted_at_synthesis: int = 0
+    burst_corrupted_posthoc: int = 0
+
+    @property
+    def burst_corruption_undercount(self) -> int:
+        """Corrupted burst captures the synthesis-time check missed."""
+        return self.burst_corrupted_posthoc - self.burst_corrupted_at_synthesis
 
     @property
     def queries_per_s(self) -> float:
@@ -181,6 +212,9 @@ class CorridorResult:
             "responses": self.responses,
             "corrupted_responses": self.corrupted_responses,
             "observations": self.n_observations,
+            "burst_captures": self.burst_captures,
+            "burst_corrupted_at_synthesis": self.burst_corrupted_at_synthesis,
+            "burst_corrupted_posthoc": self.burst_corrupted_posthoc,
             "tags_seen": self.tags_seen,
             "tags_identified": self.identified,
             "mean_identification_delay_s": self.mean_identification_delay_s,
@@ -273,6 +307,11 @@ class CityCorridor:
             )
         self._first_seen: dict[int, float] = {}
         self._identified: dict[int, tuple[float, int]] = {}
+        # Every decode-burst capture that carried responses, for exact
+        # post-hoc corruption accounting against the *final* air log:
+        # (station, query start, response start, response end, corrupted
+        # as judged at synthesis time).
+        self._burst_log: list[tuple[str, float, float, float, bool]] = []
         self._ran = False
 
     # -- construction ----------------------------------------------------------
@@ -604,6 +643,7 @@ class CityCorridor:
             still_unknown = unknown
 
         busy_end = response_end
+        decode_results: dict = {}
         if still_unknown and self.decode:
             busy_end = self._decode_burst(
                 station,
@@ -612,10 +652,11 @@ class CityCorridor:
                 still_unknown,
                 snr_by_cfo,
                 ids,
-                seed=collision.antenna(station.antenna_index),
+                decode_results,
+                seed=collision,
             )
 
-        self._emit_observations(station, report, ids, t_query)
+        self._emit_observations(station, report, ids, t_query, decode_results)
         return busy_end
 
     def _decode_burst(
@@ -626,6 +667,7 @@ class CityCorridor:
         targets: list[float],
         snr_by_cfo: dict[float, float],
         ids: dict[float, int],
+        decode_results: dict | None = None,
         seed=None,
     ) -> float:
         """Run one §12.4 batched decode over the shared capture stream."""
@@ -664,12 +706,20 @@ class CityCorridor:
                     exclude_source=station.name,
                     exclude_start_s=t_actual,
                 )
+                # The synthesis-time verdict only sees transmissions
+                # recorded so far; _result re-checks this capture against
+                # the final log for exact corruption accounting.
+                self._burst_log.append(
+                    (station.name, t_actual, response.start_s, response.end_s, corrupted)
+                )
             state["cursor"] = t_actual + QUERY_PERIOD_S
             state["busy_end"] = start + RESPONSE_DURATION_S
             return station.source.query(subset, t_actual, corrupted=corrupted)
 
         session = station.reader.decode_session(
-            decode_query, antenna_index=station.antenna_index
+            decode_query,
+            combining=station.combining,
+            antenna_index=station.antenna_index,
         )
         if seed is not None:
             # The measurement capture doubles as the burst's first decode
@@ -677,6 +727,8 @@ class CityCorridor:
             # measurement query itself (§12.4).
             session.seed_capture(seed)
         results = session.decode_all(worth_it, max_queries=self.max_queries)
+        if decode_results is not None:
+            decode_results.update(results)
         for cfo, result in results.items():
             if result.success:
                 tag_id = result.packet.tag_id
@@ -694,7 +746,12 @@ class CityCorridor:
         return state["busy_end"]
 
     def _emit_observations(
-        self, station: CorridorStation, report, ids: dict[float, int], t_query: float
+        self,
+        station: CorridorStation,
+        report,
+        ids: dict[float, int],
+        t_query: float,
+        decode_results: dict | None = None,
     ) -> None:
         if station.localizer is None or not ids:
             return
@@ -702,6 +759,11 @@ class CityCorridor:
         estimates = {estimate.cfo_hz: estimate for estimate in report.aoas}
         for cfo, tag_id in sorted(ids.items()):
             estimate = estimates.get(cfo)
+            if estimate is None:
+                # A spike the measurement pass produced no AoA for can
+                # still be positioned from the decode burst's channel
+                # evidence — localization falls out of decoding.
+                estimate = decode_aoa(station, decode_results, cfo)
             if estimate is None or not estimate.in_usable_band():
                 continue
             hint = station._hints.get(tag_id)
@@ -727,6 +789,31 @@ class CityCorridor:
 
     # -- results -----------------------------------------------------------------
 
+    def _recheck_burst_captures(self) -> int:
+        """Exact corrupted-burst count against the *final* air log.
+
+        A burst capture's synthesis-time corruption check only sees
+        transmissions recorded before it — a later event's (or a blindly
+        interleaving burst's) query that lands on the same response
+        window is invisible to it. With the run over, every transmission
+        is on the log, so each recorded burst capture is re-checked here;
+        one binary search per capture bounds the scan to the queries that
+        could overlap its window.
+        """
+        queries = sorted(self.air.queries(), key=lambda q: q.start_s)
+        starts = [q.start_s for q in queries]
+        corrupted = 0
+        for source, t_query, start_s, end_s, _ in self._burst_log:
+            lo = bisect.bisect_left(starts, start_s - QUERY_DURATION_S)
+            hi = bisect.bisect_left(starts, end_s)
+            for query in queries[lo:hi]:
+                if query.source == source and query.start_s == t_query:
+                    continue
+                if query.start_s < end_s and query.end_s > start_s:
+                    corrupted += 1
+                    break
+        return corrupted
+
     def _result(self, duration_s: float) -> CorridorResult:
         identifications = [
             IdentificationStat(
@@ -751,4 +838,9 @@ class CityCorridor:
             ledger=self.ledger,
             identifications=identifications,
             tags_seen=len(self._first_seen),
+            burst_captures=len(self._burst_log),
+            burst_corrupted_at_synthesis=sum(
+                1 for entry in self._burst_log if entry[4]
+            ),
+            burst_corrupted_posthoc=self._recheck_burst_captures(),
         )

@@ -228,6 +228,37 @@ class TestCityCorridorRun:
         with pytest.raises(ConfigurationError):
             corridor.run(1.0)
 
+    def test_burst_corruption_accounting_exact_under_csma(self):
+        """With CSMA on, bursts defer to each other: the synthesis-time
+        verdict already matches the post-hoc re-check."""
+        result = small_corridor(seed=17).run(6.0)
+        assert result.burst_captures > 0
+        assert result.burst_corrupted_posthoc == result.burst_corrupted_at_synthesis
+        assert result.burst_corruption_undercount == 0
+        summary = result.summary()
+        assert summary["burst_captures"] == result.burst_captures
+        assert summary["burst_corrupted_posthoc"] == result.burst_corrupted_posthoc
+
+    def test_blind_bursts_undercount_fixed_posthoc(self):
+        """The no-CSMA ablation interleaves decode bursts blindly: a
+        query recorded *after* a capture was synthesized can step on its
+        response window. The synthesis-time count misses those; the
+        post-hoc re-check against the final air log is exact (it matches
+        an independent recount of stepped-on burst responses)."""
+        corridor = small_corridor(seed=17, use_csma=False, handoff=False)
+        result = corridor.run(6.0)
+        assert result.burst_captures > 0
+        # The under-count this accounting exists to fix actually occurs.
+        assert result.burst_corrupted_posthoc > result.burst_corrupted_at_synthesis
+        # Exactness: every burst capture put a "-burst" response on the
+        # log, so the final log's own corruption sweep must agree.
+        stepped_on = [
+            r
+            for r in corridor.air.corrupted_responses()
+            if r.source.endswith("-burst")
+        ]
+        assert result.burst_corrupted_posthoc == len(stepped_on)
+
     def test_services_receive_provenanced_observations(self):
         from repro.apps import CarFinder
 

@@ -123,3 +123,44 @@ class TestStaticCollisionSimulator:
         tag.position_m = None
         with pytest.raises(ConfigurationError):
             StaticCollisionSimulator([tag], array.positions_m, LosChannel())
+
+
+class TestReceivedCollisionValidation:
+    def waves(self, n=2, n_samples=64, rate=4e6):
+        from repro.phy.waveform import Waveform
+
+        return [
+            Waveform(np.zeros(n_samples, dtype=np.complex128), rate)
+            for _ in range(n)
+        ]
+
+    def test_empty_antenna_list_rejected(self):
+        """An empty collision used to surface as a bare IndexError from
+        sample_rate_hz/t0_s; construction must reject it instead."""
+        from repro.channel.collision import ReceivedCollision
+
+        with pytest.raises(ConfigurationError):
+            ReceivedCollision(antennas=[], lo_hz=READER_LO_HZ)
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.channel.collision import ReceivedCollision
+        from repro.phy.waveform import Waveform
+
+        waves = self.waves(1) + [Waveform(np.zeros(32, dtype=np.complex128), 4e6)]
+        with pytest.raises(ConfigurationError):
+            ReceivedCollision(antennas=waves, lo_hz=READER_LO_HZ)
+
+    def test_mismatched_rates_rejected(self):
+        from repro.channel.collision import ReceivedCollision
+        from repro.phy.waveform import Waveform
+
+        waves = self.waves(1) + [Waveform(np.zeros(64, dtype=np.complex128), 2e6)]
+        with pytest.raises(ConfigurationError):
+            ReceivedCollision(antennas=waves, lo_hz=READER_LO_HZ)
+
+    def test_valid_collision_accepted(self):
+        from repro.channel.collision import ReceivedCollision
+
+        collision = ReceivedCollision(antennas=self.waves(3), lo_hz=READER_LO_HZ)
+        assert collision.n_antennas == 3
+        assert collision.sample_rate_hz == pytest.approx(4e6)

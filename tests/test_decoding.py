@@ -187,6 +187,20 @@ class TestMultiTargetCombiner:
     def test_seed_capture_reuses_air_time(self):
         sim, _ = build_sim([300e3], seed=28)
         session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=CoherentDecoder(FS))
+        donated = sim.query(0.0)
+        session.seed_capture(donated)
+        result = session.decode_target(300e3, max_queries=8)
+        assert result.success
+        assert session.captures[0] is donated
+
+    def test_seed_capture_accepts_bare_waveform(self):
+        """Legacy callers may donate one antenna's waveform; the session
+        treats it as a one-antenna collision."""
+        sim, _ = build_sim([300e3], seed=28)
+        session = DecodeSession(
+            query_fn=lambda t: sim.query(t).antenna(0),
+            decoder=CoherentDecoder(FS),
+        )
         donated = sim.query(0.0).antenna(0)
         session.seed_capture(donated)
         result = session.decode_target(300e3, max_queries=8)
@@ -229,15 +243,19 @@ class TestDecodeSession:
         assert session.total_air_time_s == pytest.approx(len(session.captures) * 1e-3)
 
     def test_decode_all_matches_reference_decoder(self):
-        """The session's batched pipeline and the reference single-target
-        decoder must agree on every packet and query count (§12.4)."""
+        """The session's batched pipeline (ablation policy) and the
+        reference single-target decoder must agree on every packet and
+        query count (§12.4)."""
         cfos = [200e3, 500e3, 800e3]
         sim, _ = build_sim(cfos, seed=25)
         decoder = CoherentDecoder(FS)
-        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=decoder)
+        session = DecodeSession(
+            query_fn=lambda t: sim.query(t), decoder=decoder, combining="single"
+        )
         results = session.decode_all(cfos, max_queries=64)
+        waves = [c.antenna(0) for c in session.captures]
         for cfo in cfos:
-            reference = decoder.decode(session.captures, cfo)
+            reference = decoder.decode(waves, cfo)
             assert results[cfo].packet == reference.packet
             assert results[cfo].n_queries == reference.n_queries
 
@@ -259,12 +277,15 @@ class TestDecodeSession:
         cfos = [250e3, 750e3]
         sim, _ = build_sim(cfos, seed=29)
         decoder = CoherentDecoder(FS)
-        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=decoder)
+        session = DecodeSession(
+            query_fn=lambda t: sim.query(t), decoder=decoder, combining="single"
+        )
         results = session.decode_all([cfos[0], cfos[0], cfos[1]], max_queries=32)
         assert all(r.success for r in results.values())
         # Every result must still match the reference decoder exactly.
+        waves = [c.antenna(0) for c in session.captures]
         for cfo in cfos:
-            reference = decoder.decode(session.captures, cfo)
+            reference = decoder.decode(waves, cfo)
             assert results[cfo].packet == reference.packet
             assert results[cfo].n_queries == reference.n_queries
 
@@ -289,3 +310,125 @@ class TestDecodeSession:
         assert {r.packet.tag_id for r in results.values() if r.success} == {
             t.packet.tag_id for t in tags
         }
+
+
+class TestMultiAntennaChannels:
+    """Satellite coverage: per-antenna Eq 5 readout vs synthesis truth,
+    and the MRC-vs-single SNR gain the whole refactor exists for."""
+
+    def lone_tag_sim(self, noise_factor=1.0, seed=9):
+        from repro.channel.antenna import TriangleArray
+        from repro.channel.propagation import LosChannel
+
+        tag = make_tag(500e3, position_m=(2.0, -9.0, 1.0), seed=70)
+        array = TriangleArray.street_pole(np.array([0.0, 0.0, 3.8]))
+        return StaticCollisionSimulator(
+            [tag],
+            array.positions_m,
+            LosChannel(),
+            noise_power_w=NOISE_W * noise_factor,
+            rng=seed,
+        )
+
+    def test_eq5_readout_matches_truth_per_antenna(self):
+        """The Eq 5 channel readout at the true CFO must reproduce the
+        synthesized ground-truth channel of every antenna."""
+        from repro.core.cfo import estimate_channel
+
+        collision = self.lone_tag_sim().query(0.0)
+        entry = collision.truth[0]
+        cfo = entry.cfo_hz(collision.lo_hz)
+        for a, wave in enumerate(collision.antennas):
+            estimate = estimate_channel(wave, cfo)
+            truth = entry.channels[a]
+            assert abs(np.angle(estimate / truth)) < 0.02
+            assert abs(estimate) == pytest.approx(abs(truth), rel=0.05)
+
+    def test_combiner_channel_estimates_match_truth_per_antenna(self):
+        """The MRC combiner's per-antenna readout of its latest capture is
+        the same Eq 5 estimate — phases match the capture's truth."""
+        sim = self.lone_tag_sim()
+        collision = sim.query(0.0)
+        decoder = CoherentDecoder(FS)
+        combiner = MultiTargetCombiner(decoder, collision.antennas[0].n_samples)
+        key = combiner.add_target(collision.truth[0].cfo_hz(collision.lo_hz))
+        assert combiner.channel_estimates(key) is None  # nothing combined yet
+        combiner.advance([key], [collision], 1, min_queries=2)
+        estimates = combiner.channel_estimates(key)
+        truth = collision.truth[0].channels
+        assert estimates.shape == truth.shape
+        for estimate, channel in zip(estimates, truth):
+            assert abs(np.angle(estimate / channel)) < 0.02
+            assert abs(estimate) == pytest.approx(abs(channel), rel=0.05)
+
+    def test_decode_result_channels_match_truth_ratios(self):
+        """DecodeResult.channels accumulates cross-antenna evidence whose
+        ratios converge on the true channel ratios — the Eq 10 phases."""
+        sim = self.lone_tag_sim()
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=CoherentDecoder(FS))
+        result = session.decode_target(500e3, max_queries=8)
+        assert result.success
+        assert result.n_antennas == 3
+        truth = session.captures[0].truth[0].channels
+        for a in range(1, 3):
+            measured = result.channels[a] / result.channels[0]
+            expected = truth[a] / truth[0]
+            assert abs(np.angle(measured / expected)) < 0.05
+
+    def test_mrc_snr_gain_at_low_snr(self):
+        """Three antennas of comparable gain buy ~3x accumulator SNR over
+        the single-antenna baseline at identical captures."""
+        sim = self.lone_tag_sim(noise_factor=30_000)
+        pool = [sim.query(i * 1e-3) for i in range(8)]
+        decoder = CoherentDecoder(FS)
+        template = pool[0].truth[0].response.baseband.real  # OOK chips
+        centered = template - template.mean()
+        snr = {}
+        for policy in ("single", "mrc"):
+            combiner = MultiTargetCombiner(
+                decoder, pool[0].antennas[0].n_samples, combining=policy
+            )
+            keys = combiner.add_targets([pool[0].truth[0].cfo_hz(pool[0].lo_hz)])
+            combiner.advance(keys, pool, len(pool), min_queries=len(pool) + 1)
+            row = (
+                combiner._phasors[keys[0]] * combiner._reduced(np.array(keys))[0]
+            ).real
+            gain = np.dot(row, centered) / np.dot(centered, centered)
+            residual = row - row.mean() - gain * centered
+            snr[policy] = (
+                gain * gain * np.dot(centered, centered) / np.dot(residual, residual)
+            )
+        assert snr["mrc"] > 2.0 * snr["single"]
+
+    def test_mrc_decodes_in_fewer_queries_at_low_snr(self):
+        cfos = [300e3, 800e3]
+        queries = {}
+        for policy in ("single", "mrc"):
+            sim, _ = build_sim(cfos, seed=5)
+            sim.noise_power_w = thermal_noise_power_w(FS) * 30_000
+            session = DecodeSession(
+                query_fn=lambda t: sim.query(t),
+                decoder=CoherentDecoder(FS),
+                combining=policy,
+            )
+            results = session.decode_all(cfos, max_queries=64)
+            assert all(r.success for r in results.values())
+            queries[policy] = sum(r.n_queries for r in results.values())
+        assert queries["mrc"] < queries["single"]
+
+    def test_waveform_seed_then_collision_stream_decodes(self):
+        """Regression: a legacy one-antenna seed into a default (MRC)
+        session whose stream yields 3-antenna collisions must combine,
+        not crash — the combiner grows antenna rows per capture."""
+        cfos = [300e3, 800e3]
+        sim, tags = build_sim(cfos, seed=5)
+        sim.noise_power_w = thermal_noise_power_w(FS) * 30_000
+        session = DecodeSession(query_fn=lambda t: sim.query(t), decoder=CoherentDecoder(FS))
+        session.seed_capture(sim.query(0.0).antenna(0))
+        results = session.decode_all(cfos, max_queries=64)
+        assert all(r.success for r in results.values())
+        assert {r.packet.tag_id for r in results.values()} == {
+            t.packet.tag_id for t in tags
+        }
+        # Later 3-antenna captures widened the evidence to all antennas.
+        assert max(r.n_antennas for r in results.values() if r.n_queries > 1) == 3

@@ -177,7 +177,7 @@ class TestDecodeSessionProperties:
         # The queries the session spent decoding do not inflate the
         # measurement upload: a report over the same capture is still the
         # "few kbits" of §12.5 (64 header + 96 bits per accepted spike).
-        estimate = CollisionCounter().count(session.captures[0])
+        estimate = CollisionCounter().count(session.readout_capture(0))
         report = ReaderReport(timestamp_s=0.0, count=estimate)
         assert report.payload_bits() == 64 + 96 * len(estimate.observations)
         assert report.payload_bits() < 4000
