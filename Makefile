@@ -1,18 +1,26 @@
 # Developer entrypoints. `make check` is the gate a change must pass:
-# lint (unused imports fail fast) + the tier-1 test suite.
+# lint (unused imports fail fast) + the full tier-1 test suite.
+# `make check-fast` is the per-push CI tier: it deselects the `slow`
+# whole-corridor simulations (the nightly schedule runs everything plus
+# the perf-gate benchmarks).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint test bench
+.PHONY: check check-fast lint test test-fast bench
 
 check: lint test
+
+check-fast: lint test-fast
 
 lint:
 	$(PYTHON) tools/lint.py
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
 
 # Paper-figure regeneration (slow). REPRO_BENCH_SCALE scales MC runs.
 bench:

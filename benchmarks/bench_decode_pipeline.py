@@ -18,6 +18,13 @@ Two gates on the Fig 16 workload (10-tag collisions, ``max_queries=64``):
    shared Eq 5 readout). Packets must agree; MRC must identify every tag
    in strictly fewer queries — both the slowest tag (the session's air
    time) and the per-tag total.
+
+3. **Overheard donations.** The same workload decoded once more with a
+   handful of *donated* captures (another reader's trigger windows over
+   this pole's geometry — here: fresh captures of the same scene)
+   offered through ``DecodeSession.donate_capture``. Packets must still
+   agree, donations must never count toward air time, and the batch
+   must finish in strictly fewer own queries in aggregate.
 """
 
 import os
@@ -25,6 +32,8 @@ import time
 
 from bench_helpers import population_simulator, write_bench_json
 from conftest import scaled
+from repro.channel.collision import StaticCollisionSimulator
+from repro.channel.propagation import LosChannel
 from repro.core.cfo import extract_cfo_peaks
 from repro.core.decoding import CoherentDecoder, DecodeSession
 
@@ -83,12 +92,21 @@ def batched_decode_all(decoder, capture_pool, cfos, max_queries):
     return results, len(session.captures)
 
 
-def combining_decode_all(decoder, collision_pool, cfos, combining, max_queries):
-    """Decode one shared collision stream under a combining policy."""
+def combining_decode_all(
+    decoder, collision_pool, cfos, combining, max_queries, donations=()
+):
+    """Decode one shared collision stream under a combining policy.
+
+    ``donations`` are offered to the session as overheard captures:
+    combined (for targets whose spike they contain) as free evidence,
+    never counted as issued queries.
+    """
     session = DecodeSession(
         query_fn=lambda t: None, decoder=decoder, combining=combining
     )
     session.captures = list(collision_pool)
+    for capture in donations:
+        session.donate_capture(capture)
     return session.decode_all(cfos, max_queries=max_queries)
 
 
@@ -98,6 +116,7 @@ def bench_decode_pipeline(benchmark, report):
     def run_all():
         rows = []
         mrc_rows = []
+        donation_rows = []
         for run in range(scenes):
             simulator = population_simulator(m=N_TAGS, seed=2700 + 31 * run)
             decoder = CoherentDecoder(simulator.sample_rate_hz)
@@ -152,9 +171,41 @@ def bench_decode_pipeline(benchmark, report):
                     sum(r.n_queries for r in variants["mrc"].values()),
                 )
             )
-        return rows, mrc_rows
 
-    rows, mrc_rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+            # -- overheard donations over the *same* scene ---------------
+            # Same tags, fresh rng = fresh response phases and receiver
+            # noise: donated evidence must contain the targets but be
+            # *independent* of the own stream (re-using the same rng
+            # would duplicate noise, and coherently duplicated noise
+            # degrades the accumulator instead of sharpening it).
+            donor = StaticCollisionSimulator(
+                simulator.tags,
+                simulator.antenna_positions_m,
+                LosChannel(),
+                noise_power_w=simulator.noise_power_w,
+                rng=8900 + 31 * run,
+            )
+            donations = [donor.query(i * 1e-3) for i in range(4)]
+            donated = combining_decode_all(
+                decoder, collision_pool, cfos, "mrc", MAX_QUERIES,
+                donations=donations,
+            )
+            for cfo in cfos:
+                assert donated[cfo].success
+                assert donated[cfo].packet == variants["mrc"][cfo].packet, (
+                    f"donations changed the decoded packet at {cfo}"
+                )
+            donation_rows.append(
+                (
+                    run,
+                    sum(r.n_queries for r in variants["mrc"].values()),
+                    sum(r.n_queries for r in donated.values()),
+                    sum(r.n_overheard for r in donated.values()),
+                )
+            )
+        return rows, mrc_rows, donation_rows
+
+    rows, mrc_rows, donation_rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     report(
         f"Decode pipeline — {N_TAGS}-tag Fig 16 workload, "
@@ -198,6 +249,19 @@ def bench_decode_pipeline(benchmark, report):
         f"{single_air} vs {mrc_air}"
     )
 
+    report("")
+    report("Overheard donations (4 donated captures, mrc, same packets)")
+    report(f"{'scene':>5} {'own queries':>12} {'with donations':>15} {'overheard':>10}")
+    for run, base, donated_q, overheard in donation_rows:
+        report(f"{run:5d} {base:12d} {donated_q:15d} {overheard:10d}")
+    donated_total = sum(r[2] for r in donation_rows)
+    donated_overheard = sum(r[3] for r in donation_rows)
+    report(
+        f"aggregate own queries: {mrc_total} undonated vs {donated_total} "
+        f"with donations ({donated_overheard} overheard captures combined, "
+        f"zero own air time)"
+    )
+
     write_bench_json(
         "decode_pipeline",
         {
@@ -224,6 +288,12 @@ def bench_decode_pipeline(benchmark, report):
                 },
                 "single_over_mrc_queries": query_ratio,
             },
+            "donations": {
+                "donated_captures_per_scene": 4,
+                "own_queries_undonated": mrc_total,
+                "own_queries_with_donations": donated_total,
+                "overheard_combined": donated_overheard,
+            },
         },
     )
 
@@ -237,3 +307,8 @@ def bench_decode_pipeline(benchmark, report):
         "MRC must finish the slowest tag in strictly fewer queries: "
         f"{mrc_air} vs {single_air}"
     )
+    assert donated_total < mrc_total, (
+        "donated captures must cut aggregate own decode queries: "
+        f"{donated_total} with donations vs {mrc_total} without"
+    )
+    assert donated_overheard > 0

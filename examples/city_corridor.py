@@ -58,6 +58,11 @@ def main() -> None:
         f"{100 * ledger.handoff_resolution_rate:.0f}% resolved by handoff "
         f"({ledger.handoffs} re-decodes avoided)"
     )
+    print(
+        f"shared air: {result.overheard_windows} trigger windows published, "
+        f"{result.overheard_donated} overheard captures donated to decode "
+        f"bursts, {ledger.overheard_captures_used()} combined as free evidence"
+    )
 
     print("\nlast known positions (find-my-car):")
     for tag_id in finder.known_tags()[:6]:

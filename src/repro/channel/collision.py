@@ -72,11 +72,17 @@ class ReceivedCollision:
         lo_hz: the reader LO the capture is referenced to.
         truth: per-tag ground truth (response + per-antenna channels),
             available because this is a simulation; algorithms never read it.
+        overheard_from: provenance for opportunistic captures — the name
+            of the reader whose query triggered the responses when this
+            capture was *overheard* (the receiving pole never transmitted
+            the query; the responses are free air time). None for a
+            reader's own captures.
     """
 
     antennas: list[Waveform]
     lo_hz: float
     truth: list[TruthEntry] = field(default_factory=list)
+    overheard_from: str | None = None
 
     def __post_init__(self) -> None:
         # The decode pipeline treats the antennas as rows of one (K, N)

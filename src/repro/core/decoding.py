@@ -77,6 +77,21 @@ __all__ = ["DecodeResult", "CoherentDecoder", "MultiTargetCombiner", "DecodeSess
 #: Valid cross-antenna combining policies.
 COMBINING_POLICIES = ("mrc", "single")
 
+#: Valid overheard-capture policies.
+OPPORTUNISTIC_POLICIES = ("accept", "ignore")
+
+#: A donated capture is combined for a target only when the target's
+#: spike power at the capture exceeds this multiple of the per-bin
+#: noise-plus-interference floor (~10.8 dB). An overheard window need
+#: not contain the target at all (the tag may be out of the donor
+#: query's range), and a target-absent capture would be combined
+#: through a noise-dominated Eq 5 estimate — the probe keeps that
+#: garbage out. Present-but-weak spikes that pass are further
+#: inverse-variance weighted against the target's own captures (see
+#: ``MultiTargetCombiner._combine``), so they shave variance instead of
+#: amplifying their noise into the accumulator.
+OVERHEARD_PROBE_THRESHOLD = 12.0
+
 
 def validate_combining(combining: str) -> str:
     if combining not in COMBINING_POLICIES:
@@ -84,6 +99,15 @@ def validate_combining(combining: str) -> str:
             f"unknown combining policy {combining!r}; options: {COMBINING_POLICIES}"
         )
     return combining
+
+
+def validate_opportunistic(opportunistic: str) -> str:
+    if opportunistic not in OPPORTUNISTIC_POLICIES:
+        raise ConfigurationError(
+            f"unknown opportunistic policy {opportunistic!r}; "
+            f"options: {OPPORTUNISTIC_POLICIES}"
+        )
+    return opportunistic
 
 
 def deprecated_antenna_index(antenna_index, owner: str) -> int:
@@ -115,6 +139,10 @@ class DecodeResult:
             Those ratios are exactly the Eq 10 phase differences, which is
             what lets localization consume decode output directly instead
             of re-reading spectra.
+        n_overheard: overheard (donated) captures combined on top of the
+            ``n_queries`` own captures. They are free evidence — air time
+            another reader already spent — so they never enter
+            :attr:`identification_time_s`.
     """
 
     packet: TransponderPacket | None
@@ -122,6 +150,7 @@ class DecodeResult:
     cfo_hz: float
     query_period_s: float = QUERY_PERIOD_S
     channels: np.ndarray | None = None
+    n_overheard: int = 0
 
     @property
     def success(self) -> bool:
@@ -313,6 +342,13 @@ class MultiTargetCombiner:
         #: Cross-antenna channel evidence ``sum_j q_{j,a} conj(q_{j,0})``.
         self._channel_acc: np.ndarray | None = None
         self.n_combined = np.zeros(0, dtype=np.int64)
+        #: Overheard (donated) captures combined per target, on top of
+        #: the shared main stream counted by ``n_combined``.
+        self.n_extra = np.zeros(0, dtype=np.int64)
+        #: Summed spike power of own-stream captures per target — the
+        #: baseline donated captures are inverse-variance weighted
+        #: against (see :meth:`advance_extra`).
+        self._own_power = np.zeros(0, dtype=np.float64)
         self.n_attempted = np.zeros(0, dtype=np.int64)
         self._results: list[DecodeResult | None] = []
 
@@ -343,6 +379,12 @@ class MultiTargetCombiner:
         self.n_combined = np.concatenate(
             [self.n_combined, np.zeros(cfos.size, dtype=np.int64)]
         )
+        self.n_extra = np.concatenate(
+            [self.n_extra, np.zeros(cfos.size, dtype=np.int64)]
+        )
+        self._own_power = np.concatenate(
+            [self._own_power, np.zeros(cfos.size, dtype=np.float64)]
+        )
         self.n_attempted = np.concatenate(
             [self.n_attempted, np.zeros(cfos.size, dtype=np.int64)]
         )
@@ -356,6 +398,10 @@ class MultiTargetCombiner:
     def decoded(self, key: int) -> bool:
         """Whether the target's packet has passed its CRC."""
         return self._results[key] is not None
+
+    def evidence_count(self, key: int) -> int:
+        """Captures combined for the target: own stream plus overheard."""
+        return int(self.n_combined[key] + self.n_extra[key])
 
     def channel_estimates(self, key: int) -> np.ndarray | None:
         """Per-antenna Eq 5 channel readout from the *latest* capture.
@@ -399,6 +445,7 @@ class MultiTargetCombiner:
             cfo_hz=float(self.cfos_hz[key]),
             query_period_s=self.decoder.query_period_s,
             channels=self.accumulated_channels(key),
+            n_overheard=int(self.n_extra[key]),
         )
 
     def advance(
@@ -436,12 +483,38 @@ class MultiTargetCombiner:
             )
             if cohort.size:
                 self._combine(cohort, captures[j])
+                self.n_combined[cohort] += 1
                 count = j + 1
                 if count >= min_queries:
-                    self._attempt(cohort, count)
+                    self._attempt(cohort)
                     pending = [k for k in pending if self._results[k] is None]
                     if not pending:
                         return
+
+    def advance_extra(self, keys: list[int], capture) -> list[int]:
+        """Fold one *donated* capture into targets' rows as free evidence.
+
+        Donated captures (e.g. a window overheard from a neighboring
+        reader's query) advance the demod accumulators like main-stream
+        captures — inverse-variance weighted, see :meth:`_combine` — but
+        are tallied separately in ``n_extra`` (no air time, never in a
+        result's ``n_queries``) and contribute nothing to the
+        cross-antenna channel evidence (their geometry is stale by up to
+        the harvest horizon, which would bias the Eq 10 AoA readout).
+        Demodulation is attempted at the new total evidence count.
+        Already-decoded targets are skipped; returns the keys actually
+        advanced.
+        """
+        cohort = np.array(
+            [k for k in dict.fromkeys(keys) if self._results[k] is None],
+            dtype=np.intp,
+        )
+        if not cohort.size:
+            return []
+        self._combine(cohort, capture, extra=True)
+        self.n_extra[cohort] += 1
+        self._attempt(cohort)
+        return [int(k) for k in cohort]
 
     # -- internals ---------------------------------------------------------------
 
@@ -513,21 +586,40 @@ class MultiTargetCombiner:
             )
             self.n_antennas = n_antennas
 
-    def _combine(self, cohort: np.ndarray, capture) -> None:
-        """Fold one capture into every cohort accumulator row (batched)."""
+    def _combine(self, cohort: np.ndarray, capture, extra: bool = False) -> None:
+        """Fold one capture into every cohort accumulator row (batched).
+
+        ``extra`` marks a donated (overheard) capture: its contribution
+        is inverse-variance weighted against the target's mean own-stream
+        spike power. An own capture enters at weight 1 (``x / 2q``, whose
+        noise scales as ``1/|h|``); a donated capture whose channel is
+        ``w`` times weaker in power enters at weight ``min(1, w)``, so
+        strong overheard evidence counts like an own query while a weak
+        window shaves variance instead of amplifying its noise into the
+        accumulator. Own-stream numerics are untouched.
+        """
         rows = self._antenna_rows(capture)
         self._ensure_rows(rows.shape[0])
         # One matrix product gives every (target, antenna) channel readout
         # q = mean(x * phasor); the absolute-time rotation cancels against
-        # Eq 5's channel estimate (see module docstring).
-        whole = cohort.size == self.n_targets
+        # Eq 5's channel estimate (see module docstring). The full-matrix
+        # fast path requires the cohort in target order: per-target state
+        # (own-power baselines, weights) is indexed by cohort, so a
+        # *permuted* whole cohort must take the gather path.
+        whole = cohort.size == self.n_targets and np.array_equal(
+            cohort, np.arange(self.n_targets)
+        )
         phasors = self._phasors if whole else self._phasors[cohort]
         if self.combining == "single":
             x = rows[0]
             q = phasors @ x / self.n_samples
             if np.any(q == 0):
                 raise DecodingError("zero channel estimate for target")
+            spike_power = np.abs(q) ** 2
+            scale = self._extra_weight(cohort, spike_power, extra)
             contribution = x[None, :] / (2.0 * q[:, None])
+            if scale is not None:
+                contribution = contribution * scale[:, None]
             if whole:
                 self._acc[:, 0, :] += contribution
             else:
@@ -538,16 +630,27 @@ class MultiTargetCombiner:
             power = np.einsum("ka,ka->k", q, q.conj()).real
             if np.any(power == 0):
                 raise DecodingError("zero channel estimate for target")
+            scale = self._extra_weight(cohort, power, extra)
             # Maximum-ratio rows: antenna a's compensated copy x_a/(2 q_a)
             # weighted by |q_a|^2 / sum|q|^2 is conj(q_a) x_a / (2 sum|q|^2)
             # — no per-antenna division, so a dead antenna just drops out.
             weights = q.conj() / (2.0 * power[:, None])
+            if scale is not None:
+                weights = weights * scale[:, None]
             contribution = weights[:, :, None] * rows[None, :, :]
             if whole:
                 self._acc[:, : rows.shape[0], :] += contribution
             else:
                 self._acc[cohort, : rows.shape[0], :] += contribution
             channels = q
+        if extra:
+            # Donated captures feed the demod accumulator only. Their
+            # channel readouts are valid but *stale geometry* — the tag
+            # sat elsewhere when the overheard window was transmitted
+            # (up to the harvest horizon ago, metres at city speeds) —
+            # so folding them into the cross-antenna evidence would bias
+            # the Eq 10 AoA readout localization consumes.
+            return
         latest = np.zeros(
             (channels.shape[0], self.n_antennas), dtype=np.complex128
         )
@@ -559,7 +662,24 @@ class MultiTargetCombiner:
         else:
             self._latest_channels[cohort] = latest
             self._channel_acc[cohort, : channels.shape[1]] += evidence
-        self.n_combined[cohort] += 1
+
+    def _extra_weight(
+        self, cohort: np.ndarray, spike_power: np.ndarray, extra: bool
+    ) -> np.ndarray | None:
+        """Per-target weight for a donated capture (None = own, weight 1).
+
+        Own captures also feed the running own-power baseline here. A
+        donation arriving before any own capture (no baseline yet) enters
+        at weight 1.
+        """
+        if not extra:
+            self._own_power[cohort] += spike_power
+            return None
+        counts = self.n_combined[cohort]
+        baseline = np.where(
+            counts > 0, self._own_power[cohort] / np.maximum(counts, 1), spike_power
+        )
+        return np.minimum(1.0, spike_power / np.maximum(baseline, 1e-300))
 
     def _reduced(self, idx: np.ndarray) -> np.ndarray:
         """MRC-reduce the antenna rows of the indexed targets to (n, N)."""
@@ -569,19 +689,22 @@ class MultiTargetCombiner:
             return self._acc[idx, 0, :]
         return self._acc[idx].sum(axis=1)
 
-    def _attempt(self, cohort: np.ndarray, count: int) -> None:
-        """Try demodulation for cohort members that haven't tried ``count``.
+    def _attempt(self, cohort: np.ndarray) -> None:
+        """Try demodulation for cohort members with new evidence counts.
 
-        The antenna rows are reduced to one cohort row per target first;
-        the matched filter and Manchester comparison then run once for the
-        whole cohort (matrix ops); packet parsing — one demodulation
-        attempt per target — still goes through the decoder's
-        ``_try_demodulate`` funnel.
+        A target's count is its total evidence (own stream plus donated
+        extras); demodulation is attempted only at counts not tried
+        before. The antenna rows are reduced to one cohort row per
+        target first; the matched filter and Manchester comparison then
+        run once for the whole cohort (matrix ops); packet parsing — one
+        demodulation attempt per target — still goes through the
+        decoder's ``_try_demodulate`` funnel.
         """
         pending = [
             int(k)
             for k in cohort
-            if self._results[int(k)] is None and self.n_attempted[int(k)] < count
+            if self._results[int(k)] is None
+            and self.n_attempted[int(k)] < self.evidence_count(int(k))
         ]
         if not pending:
             return
@@ -604,7 +727,7 @@ class MultiTargetCombiner:
             )
             bit_rows = (soft[:, 0::2] > soft[:, 1::2]).astype(np.uint8)
         for i, k in enumerate(pending):
-            self.n_attempted[k] = count
+            self.n_attempted[k] = self.evidence_count(k)
             if bit_rows is None:
                 packet = self.decoder._try_demodulate(self._phasors[k] * reduced[i])
             else:
@@ -612,10 +735,11 @@ class MultiTargetCombiner:
             if packet is not None:
                 self._results[k] = DecodeResult(
                     packet=packet,
-                    n_queries=count,
+                    n_queries=int(self.n_combined[k]),
                     cfo_hz=float(self.cfos_hz[k]),
                     query_period_s=self.decoder.query_period_s,
                     channels=self.accumulated_channels(k),
+                    n_overheard=int(self.n_extra[k]),
                 )
 
 
@@ -648,6 +772,14 @@ class DecodeSession:
         query_fn: ``query_fn(t_s) -> ReceivedCollision``.
         decoder: the coherent decoder to use.
         combining: ``"mrc"`` or ``"single"``.
+        opportunistic: what to do with *donated* captures offered via
+            :meth:`donate_capture` (responses overheard from another
+            reader's trigger window). ``"accept"`` (default) combines
+            each donation for every pending target whose spike the
+            capture detectably contains — free evidence, excluded from
+            ``n_queries``/air time; ``"ignore"`` drops donations at the
+            door, reproducing the donation-free numerics bit-for-bit
+            (the ablation baseline).
         refine: sub-bin refine each target's CFO on the first capture.
         antenna_index: **deprecated** alias — setting it selects
             ``combining="single"`` on that antenna.
@@ -656,11 +788,14 @@ class DecodeSession:
     query_fn: object
     decoder: CoherentDecoder
     combining: str = "mrc"
+    opportunistic: str = "accept"
+    probe_threshold: float = OVERHEARD_PROBE_THRESHOLD
     captures: list = field(default_factory=list)
     _next_query_s: float = 0.0
     refine: bool = True
     _combiner: MultiTargetCombiner | None = field(default=None, repr=False)
     _target_keys: dict[float, int] = field(default_factory=dict, repr=False)
+    _donations: list = field(default_factory=list, repr=False)
     antenna_index: int | None = None
 
     def __post_init__(self) -> None:
@@ -670,6 +805,7 @@ class DecodeSession:
             )
             self.combining = "single"
         validate_combining(self.combining)
+        validate_opportunistic(self.opportunistic)
 
     @property
     def _antenna(self) -> int:
@@ -755,6 +891,108 @@ class DecodeSession:
         self.captures.append(capture)
         self._next_query_s += self.decoder.query_period_s
 
+    def donate_capture(self, capture) -> bool:
+        """Offer an *overheard* capture as free evidence (no air time).
+
+        A capture of another reader's trigger window (e.g. synthesized
+        by the city corridor's response pool) may contain this session's
+        targets — their responses are the same physical transmissions,
+        just received over this pole's geometry. Under
+        ``opportunistic="accept"`` the donation is held and, on the next
+        decode run, combined for every still-pending target whose spike
+        it detectably contains (see :data:`OVERHEARD_PROBE_THRESHOLD`);
+        under ``"ignore"`` it is dropped immediately. Donated captures
+        never join :attr:`captures` — air-time accounting
+        (:attr:`total_air_time_s`, ``DecodeResult.n_queries``) stays
+        own-queries-only; their use is visible in
+        ``DecodeResult.n_overheard``. Returns whether the donation was
+        kept.
+        """
+        if self.opportunistic != "accept":
+            return False
+        self._donations.append(capture)
+        return True
+
+    #: Half-width (in FFT bins) of the probe's local floor window, and
+    #: how many center bins are excluded as the spike's own energy.
+    _PROBE_FLOOR_HALF_BINS = 64
+    _PROBE_SPIKE_GUARD_BINS = 2
+    #: Shoulder offsets (in bins) the probed bin must dominate: energy
+    #: *leaking* from another tag's spike a few bins away is always
+    #: larger at bins nearer its true peak, so a probe reading that
+    #: loses to its own shoulders is leakage, not the target.
+    _PROBE_SHOULDER_BINS = (2, 3, 4, 5, 6)
+
+    def _probe_spectra(self, rows: np.ndarray) -> np.ndarray:
+        """Per-antenna power spectra of a donated capture (one FFT each,
+        shared across every target probed against the capture)."""
+        return np.abs(np.fft.fft(rows, axis=1)) ** 2 / rows.shape[1] ** 2
+
+    def _spike_present(
+        self,
+        capture,
+        key: int,
+        rows: np.ndarray | None = None,
+        spectra: np.ndarray | None = None,
+    ) -> bool:
+        """Whether a target's spike is detectably in a donated capture.
+
+        The same one-dot readout as Eq 5, turned into a CFAR-style
+        detector with two conditions: the target's bin power (summed
+        over the antennas the combining policy uses) must exceed
+        ``probe_threshold`` times a *local* floor — the median bin power
+        in a window around the target bin, spike bins excluded — and it
+        must dominate its spectral shoulders. The local median tracks
+        whatever sits there (thermal noise *and* other tags' OOK data
+        sidebands); the shoulder test rejects *leakage* from a stronger
+        tag a few bins away, which can beat any floor while peaking at
+        its own bin, not the target's. Tags landing within a bin of each
+        other remain indistinguishable — the §5 merge case.
+        """
+        combiner = self._combiner
+        if rows is None:
+            rows = combiner._antenna_rows(capture)
+        if spectra is None:
+            spectra = self._probe_spectra(rows)
+        n = combiner.n_samples
+        q = rows @ combiner._phasors[key] / n
+        spike = float(np.sum(np.abs(q) ** 2))
+        bin_index = int(round(float(combiner.cfos_hz[key]) / self.decoder.sample_rate_hz * n))
+        half = self._PROBE_FLOOR_HALF_BINS
+        guard = self._PROBE_SPIKE_GUARD_BINS
+        neighborhood = np.arange(bin_index - half, bin_index + half + 1) % n
+        keep = np.ones(neighborhood.size, dtype=bool)
+        keep[half - guard : half + guard + 1] = False
+        floor = float(np.median(spectra[:, neighborhood[keep]], axis=1).sum())
+        if spike <= self.probe_threshold * floor:
+            return False
+        shoulder_bins = np.array(
+            [(bin_index + s) % n for s in self._PROBE_SHOULDER_BINS]
+            + [(bin_index - s) % n for s in self._PROBE_SHOULDER_BINS]
+        )
+        shoulder = float(spectra[:, shoulder_bins].sum(axis=0).max())
+        return spike >= shoulder
+
+    def _flush_donations(self, keys: list[int]) -> None:
+        """Combine held donations for the pending targets that pass the
+        spike probe; donations are consumed (at most one use each)."""
+        if not self._donations:
+            return
+        donations, self._donations = self._donations, []
+        for capture in donations:
+            pending = [k for k in dict.fromkeys(keys) if not self._combiner.decoded(k)]
+            if not pending:
+                return
+            rows = self._combiner._antenna_rows(capture)
+            spectra = self._probe_spectra(rows)
+            accepted = [
+                k
+                for k in pending
+                if self._spike_present(capture, k, rows=rows, spectra=spectra)
+            ]
+            if accepted:
+                self._combiner.advance_extra(accepted, capture)
+
     def _run(self, keys: list[int], max_queries: int) -> list[DecodeResult]:
         if not keys:
             return []
@@ -766,6 +1004,7 @@ class DecodeSession:
         while True:
             self._ensure_captures(n)
             combiner.advance(keys, self.captures, n)
+            self._flush_donations(keys)
             if all(combiner.decoded(k) for k in keys) or n >= max_queries:
                 return [combiner.result(k, max_queries=max_queries) for k in keys]
             n = min(2 * n, max_queries)

@@ -249,6 +249,19 @@ class ReaderMac:
                 return t
         return now_s  # unreachable when blocked; defensive
 
+    def response_window(self, t_query_s: float) -> tuple[float, float]:
+        """The response slot a query starting at ``t_query_s`` opens.
+
+        §3 timing: tags answer exactly ``turnaround`` after the query
+        ends, for one response duration. This is both the window the
+        querying reader captures and the window every *other* in-range
+        reader overhears — the cross-pole response pool keys trigger
+        windows off it, and harvesting stations use it to keep overheard
+        windows clear of their own capture slots.
+        """
+        start = t_query_s + self.query_s + TURNAROUND_S
+        return (start, start + RESPONSE_DURATION_S)
+
     def guaranteed_safe(self, idle_observed_s: float) -> bool:
         """§9's argument, as a predicate: after ``query + turnaround`` of
         silence no tag response can start, because any response needs a

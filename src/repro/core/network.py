@@ -37,7 +37,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import CaraokeError
-from .decoding import DecodeResult, deprecated_antenna_index, validate_combining
+from .decoding import (
+    DecodeResult,
+    deprecated_antenna_index,
+    validate_combining,
+    validate_opportunistic,
+)
 from .reader import ReaderReport
 
 __all__ = [
@@ -289,6 +294,10 @@ class ReaderStation:
             radio front-end (e.g. ``StaticCollisionSimulator.query``).
         combining: decode policy — ``"mrc"`` (default: maximum-ratio
             across every antenna) or ``"single"`` (one-antenna ablation).
+        opportunistic: overheard-capture policy for the station's decode
+            sessions — ``"accept"`` (default) combines captures donated
+            by a shared-medium layer (e.g. the city corridor's response
+            pool) as free evidence; ``"ignore"`` drops them (ablation).
         antenna_index: **deprecated** alias selecting
             ``combining="single"`` on that antenna.
         localizer: object with ``locate(estimate, estimator, hint_xy=None)
@@ -307,6 +316,7 @@ class ReaderStation:
     reader: object
     query_fn: object
     combining: str = "mrc"
+    opportunistic: str = "accept"
     localizer: object | None = None
     identities: IdentityCache = field(default_factory=IdentityCache)
     hint_horizon_s: float = 300.0
@@ -322,6 +332,7 @@ class ReaderStation:
             )
             self.combining = "single"
         validate_combining(self.combining)
+        validate_opportunistic(self.opportunistic)
 
     def recall_fix(self, tag_id: int, now_s: float) -> np.ndarray | None:
         """The tag's last fix, if recent enough to serve as a hint."""
@@ -437,6 +448,7 @@ class ReaderNetwork:
             session = station.reader.decode_session(
                 lambda t: station.query_fn(timestamp_s + t),
                 combining=station.combining,
+                opportunistic=station.opportunistic,
                 antenna_index=station.antenna_index,
             )
             # Reuse the measurement capture as the first decode capture

@@ -96,7 +96,11 @@ class CaraokeReader:
     # -- decoding ------------------------------------------------------------------
 
     def decode_session(
-        self, query_fn, combining: str = "mrc", antenna_index: int | None = None
+        self,
+        query_fn,
+        combining: str = "mrc",
+        opportunistic: str = "accept",
+        antenna_index: int | None = None,
     ) -> DecodeSession:
         """Open a repeated-query decode session (§8).
 
@@ -105,6 +109,10 @@ class CaraokeReader:
                 ``StaticCollisionSimulator.query`` or a live radio.
             combining: ``"mrc"`` (default: maximum-ratio across every
                 antenna) or ``"single"`` (one-antenna ablation baseline).
+            opportunistic: ``"accept"`` (default: captures donated via
+                ``DecodeSession.donate_capture`` — windows overheard from
+                other readers — are combined as free evidence) or
+                ``"ignore"`` (donations dropped; the ablation baseline).
             antenna_index: **deprecated** alias selecting
                 ``combining="single"`` on that antenna.
         """
@@ -113,6 +121,7 @@ class CaraokeReader:
             query_fn=query_fn,
             decoder=decoder,
             combining=combining,
+            opportunistic=opportunistic,
             antenna_index=antenna_index,
         )
 

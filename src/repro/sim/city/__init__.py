@@ -12,6 +12,10 @@ per-pole machinery into that infrastructure:
   handoff, or a full re-decode.
 * :mod:`repro.sim.city.moving` — moving tags: trajectory-driven
   transponders whose channel geometry is re-sampled per query.
+* :mod:`repro.sim.city.pool` — the shared :class:`ResponsePool` of
+  trigger windows: a tag answering one pole's query is audible at every
+  pole in range, so neighbors harvest the window as free decode
+  evidence (the ``opportunistic="accept"`` policy).
 * :mod:`repro.sim.city.corridor` — :class:`CityCorridor`, the engine:
   every station runs its own query cadence through the §9
   :class:`~repro.core.mac.ReaderMac` policy on one shared
@@ -23,6 +27,7 @@ per-pole machinery into that infrastructure:
 from .cells import StationCell, carve_cells
 from .handoff import HandoffLedger, SightingRecord
 from .moving import MovingCollisionSource, MovingTag, TagWaveformBank
+from .pool import ResponsePool, TriggerWindow
 from .corridor import CityCorridor, CorridorResult, CorridorStation
 
 __all__ = [
@@ -33,6 +38,8 @@ __all__ = [
     "MovingTag",
     "MovingCollisionSource",
     "TagWaveformBank",
+    "ResponsePool",
+    "TriggerWindow",
     "CityCorridor",
     "CorridorResult",
     "CorridorStation",

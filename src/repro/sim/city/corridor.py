@@ -24,6 +24,24 @@
   :mod:`repro.sim.mobility` trajectories (entry/exit scheduled as
   events), and every capture re-samples channel geometry at the actual
   response time through :class:`~repro.sim.city.moving.MovingCollisionSource`.
+* **Cross-pole overheard responses** — every query that triggered
+  responses publishes its trigger window (responders + per-response
+  oscillator phases) to one shared
+  :class:`~repro.sim.city.pool.ResponsePool`; a station opening a
+  decode burst harvests the windows *other* poles triggered since its
+  last burst (same transmissions, re-synthesized over its own
+  delay/attenuation/array geometry and receiver noise) and donates them
+  to its :class:`~repro.core.decoding.DecodeSession`, which combines
+  each for the targets whose spike it detectably contains — free
+  evidence, excluded from own-air-time accounting. The per-station
+  ``opportunistic="accept"|"ignore"`` policy gates harvesting;
+  ``"ignore"`` reproduces the pool-less corridor bit for bit (the
+  ablation). Windows overlapping the harvester's own capture slots are
+  skipped (the receiver was busy, and coincident triggers already merge
+  into its own capture), and windows a query stepped on are dropped at
+  harvest with the same post-hoc exact-accounting treatment as burst
+  captures. Not modeled: partial-overlap mixing into an own capture and
+  capture-effect suppression between overheard responses.
 
 Causality note: a station's decode burst is executed synchronously at
 its processing event, recording its (future) query transmissions into
@@ -52,7 +70,11 @@ from ...constants import (
     RESPONSE_DURATION_S,
     TURNAROUND_S,
 )
-from ...core.decoding import deprecated_antenna_index, validate_combining
+from ...core.decoding import (
+    deprecated_antenna_index,
+    validate_combining,
+    validate_opportunistic,
+)
 from ...core.mac import ReaderMac
 from ...core.network import IdentityCache, decode_aoa, resolve_cached_ids
 from ...errors import CaraokeError, ConfigurationError
@@ -62,6 +84,7 @@ from ..medium import AirLog
 from .cells import StationCell, carve_cells
 from .handoff import HandoffLedger
 from .moving import MovingCollisionSource, MovingTag, TagWaveformBank
+from .pool import ResponsePool, TriggerWindow
 
 __all__ = ["CorridorStation", "CityCorridor", "CorridorResult", "IdentificationStat"]
 
@@ -89,6 +112,13 @@ class CorridorStation:
         query_interval_s / jitter_s: measurement cadence.
         combining: decode policy — ``"mrc"`` (default: maximum-ratio
             across every antenna) or ``"single"`` (one-antenna ablation).
+        opportunistic: overheard-response policy — ``"accept"``
+            (default: windows other poles' queries triggered are
+            harvested from the corridor's shared
+            :class:`~repro.sim.city.pool.ResponsePool` and donated to
+            this station's decode sessions as free evidence) or
+            ``"ignore"`` (never harvest — bit-for-bit the pool-less
+            corridor numerics, the ablation baseline).
         antenna_index: **deprecated** alias selecting
             ``combining="single"`` on that antenna.
     """
@@ -103,6 +133,7 @@ class CorridorStation:
     query_interval_s: float = 80e-3
     jitter_s: float = 5e-3
     combining: str = "mrc"
+    opportunistic: str = "accept"
     upstream: "CorridorStation | None" = field(default=None, repr=False)
     downstream: "CorridorStation | None" = field(default=None, repr=False)
     # -- per-run statistics --
@@ -111,6 +142,15 @@ class CorridorStation:
     rounds: int = 0
     empty_rounds: int = 0
     corrupted_rounds: int = 0
+    overheard_donated: int = 0
+    #: Harvest cursor: pool windows ending at or before this were already
+    #: offered to (or aged past) this station.
+    last_harvest_s: float = 0.0
+    #: This pole's own capture slots (the response window each own query
+    #: opened) — overheard windows overlapping them are off limits: the
+    #: receiver was busy, and coincident triggers already merged into the
+    #: own capture.
+    _own_windows: list[tuple[float, float]] = field(default_factory=list, repr=False)
     _hints: dict[int, tuple[np.ndarray, float]] = field(default_factory=dict, repr=False)
     antenna_index: int | None = None
 
@@ -121,6 +161,7 @@ class CorridorStation:
             )
             self.combining = "single"
         validate_combining(self.combining)
+        validate_opportunistic(self.opportunistic)
 
     @property
     def pole_position_m(self) -> np.ndarray:
@@ -134,12 +175,17 @@ class CorridorStation:
 
 @dataclass(frozen=True)
 class IdentificationStat:
-    """When the corridor learned one tag's identity (Fig 16 style)."""
+    """When the corridor learned one tag's identity (Fig 16 style).
+
+    ``n_queries`` is the station's own decode air time; ``n_overheard``
+    counts overheard captures the decode combined on top for free.
+    """
 
     tag_id: int
     first_seen_s: float
     identified_s: float
     n_queries: int
+    n_overheard: int = 0
 
     @property
     def delay_s(self) -> float:
@@ -173,11 +219,39 @@ class CorridorResult:
     burst_captures: int = 0
     burst_corrupted_at_synthesis: int = 0
     burst_corrupted_posthoc: int = 0
+    #: Cross-pole response-pool accounting. ``opportunistic`` is the
+    #: stations' harvest policy ("mixed" when they disagree). Published
+    #: windows are every query that triggered responses; harvested ones
+    #: passed a station's filters (another pole's trigger, inside its
+    #: radio range, clear of its own capture slots); of those, windows
+    #: judged corrupted against the air log as known at harvest time were
+    #: skipped and the rest were donated to decode sessions. The post-hoc
+    #: count re-checks every *donated* window against the final log —
+    #: nonzero means a later-recorded query stepped on evidence a
+    #: combiner already consumed (only possible when bursts interleave
+    #: blindly, i.e. the no-CSMA ablation).
+    opportunistic: str = "accept"
+    overheard_windows: int = 0
+    overheard_harvested: int = 0
+    overheard_corrupted_at_harvest: int = 0
+    overheard_donated: int = 0
+    overheard_corrupted_posthoc: int = 0
 
     @property
     def burst_corruption_undercount(self) -> int:
         """Corrupted burst captures the synthesis-time check missed."""
         return self.burst_corrupted_posthoc - self.burst_corrupted_at_synthesis
+
+    @property
+    def overheard_corruption_undercount(self) -> int:
+        """Donated overheard captures the harvest-time check missed."""
+        return self.overheard_corrupted_posthoc
+
+    @property
+    def overheard_per_identified(self) -> float:
+        if not self.identifications:
+            return float("nan")
+        return float(np.mean([s.n_overheard for s in self.identifications]))
 
     @property
     def queries_per_s(self) -> float:
@@ -215,6 +289,15 @@ class CorridorResult:
             "burst_captures": self.burst_captures,
             "burst_corrupted_at_synthesis": self.burst_corrupted_at_synthesis,
             "burst_corrupted_posthoc": self.burst_corrupted_posthoc,
+            "opportunistic": self.opportunistic,
+            "overheard": {
+                "windows": self.overheard_windows,
+                "harvested": self.overheard_harvested,
+                "corrupted_at_harvest": self.overheard_corrupted_at_harvest,
+                "donated": self.overheard_donated,
+                "corrupted_posthoc": self.overheard_corrupted_posthoc,
+                "per_identified": self.overheard_per_identified,
+            },
             "tags_seen": self.tags_seen,
             "tags_identified": self.identified,
             "mean_identification_delay_s": self.mean_identification_delay_s,
@@ -238,6 +321,15 @@ class CityCorridor:
         use_csma: listen-before-talk on (False = blind ALOHA ablation).
         handoff: consult neighbor caches before re-decoding.
         decode: run §8 identification at all (False = count-only).
+        opportunistic: when given, overrides every station's
+            overheard-response policy — ``"accept"`` harvests other
+            poles' trigger windows from the shared :class:`ResponsePool`
+            as free decode evidence, ``"ignore"`` never does (bit-for-bit
+            the pool-less numerics, the ablation). None leaves each
+            station's own setting.
+        overheard_horizon_s: how long a station's receiver buffers
+            overheard windows between decode bursts; windows older than
+            this at harvest time are lost, not combined.
         max_queries: decode budget per identification burst.
         decode_snr_db: spikes below this detection SNR are not worth a
             decode burst yet (the tag is still far; a later, closer
@@ -256,6 +348,8 @@ class CityCorridor:
         use_csma: bool = True,
         handoff: bool = True,
         decode: bool = True,
+        opportunistic: str | None = None,
+        overheard_horizon_s: float = 0.25,
         max_queries: int = 32,
         decode_snr_db: float | None = 17.0,
         range_m: float = READER_RANGE_M,
@@ -272,6 +366,11 @@ class CityCorridor:
         self.use_csma = bool(use_csma)
         self.handoff = bool(handoff)
         self.decode = bool(decode)
+        if opportunistic is not None:
+            validate_opportunistic(opportunistic)
+            for station in self.stations:
+                station.opportunistic = opportunistic
+        self.overheard_horizon_s = float(overheard_horizon_s)
         self.max_queries = int(max_queries)
         self.decode_snr_db = decode_snr_db
         self.range_m = float(range_m)
@@ -283,6 +382,28 @@ class CityCorridor:
                 0.25, self.max_queries * QUERY_PERIOD_S + RESPONSE_DURATION_S + 0.05
             )
         )
+        #: Every trigger window on the street, shared by all poles; the
+        #: scan-back slack mirrors the air log's (bursts publish their
+        #: future windows when the burst executes).
+        self.pool = ResponsePool(slack_s=self.air.sense_slack_s)
+        # Overheard captures take their receiver noise from a stream
+        # spawned off the corridor seed: deterministic, but never a draw
+        # from the main stream — so an "accept" run and its "ignore"
+        # ablation synthesize bit-identical own captures and differ only
+        # through the evidence actually donated.
+        try:
+            self.overhear_rng = self.rng.spawn(1)[0]
+        except (AttributeError, TypeError, ValueError):  # numpy < 1.25
+            try:
+                # PCG64 (the default_rng bit generator) exposes its
+                # counter directly — derive without consuming a draw.
+                entropy = int(self.rng.bit_generator.state["state"]["state"])
+            except (KeyError, TypeError, ValueError):
+                # Any other bit generator: spend one draw from the main
+                # stream. Both policies pay it identically (it happens
+                # at construction), so accept/ignore stay aligned.
+                entropy = int(self.rng.integers(1 << 63))
+            self.overhear_rng = np.random.default_rng(entropy & ((1 << 63) - 1))
         self.ledger = HandoffLedger()
         self.services: list[object] = []
         self.observations: list = []
@@ -306,12 +427,19 @@ class CityCorridor:
                 ]
             )
         self._first_seen: dict[int, float] = {}
-        self._identified: dict[int, tuple[float, int]] = {}
+        #: tag id -> (identified at, own decode queries, overheard used).
+        self._identified: dict[int, tuple[float, int, int]] = {}
         # Every decode-burst capture that carried responses, for exact
         # post-hoc corruption accounting against the *final* air log:
         # (station, query start, response start, response end, corrupted
         # as judged at synthesis time).
         self._burst_log: list[tuple[str, float, float, float, bool]] = []
+        # Every harvested overheard window: (station, origin, trigger
+        # query start, window start, window end, corrupted as judged at
+        # harvest time). Clean entries were synthesized over the
+        # station's geometry and donated; _result re-checks them against
+        # the final log.
+        self._overheard_log: list[tuple[str, str, float, float, float, bool]] = []
         self._ran = False
 
     # -- construction ----------------------------------------------------------
@@ -564,6 +692,7 @@ class CityCorridor:
         station.rounds += 1
         station.queries_sent += 1
         self.air.record_query(station.name, t_query)
+        self._note_own_window(station, t_query)
         candidates = self._tags_near(station, t_query)
         if not candidates:
             station.empty_rounds += 1
@@ -574,7 +703,9 @@ class CityCorridor:
         response_start = t_query + QUERY_DURATION_S + TURNAROUND_S
         response_end = response_start + RESPONSE_DURATION_S
         for tag in candidates:
-            self.air.record_response(f"tag{tag.tag_id}", response_start)
+            self.air.record_response(
+                f"tag{tag.tag_id}", response_start, triggered_by=station.name
+            )
         now = t_query
         for tag in candidates:
             if tag.tag_id not in self._first_seen:
@@ -607,8 +738,15 @@ class CityCorridor:
         )
         if corrupted:
             station.corrupted_rounds += 1
+            # Tags still transmitted (the corruption is at the receivers,
+            # where query energy steps on the window): publish the window
+            # marked corrupted so overhearing poles account for it too.
+            self._publish_window(station, t_query, response_start, candidates, None)
             return response_end
         collision = station.source.query(candidates, t_query)
+        self._publish_window(
+            station, t_query, response_start, candidates, collision.truth
+        )
         report = station.reader.observe(collision, timestamp_s=t_query)
         cfos = [float(c) for c in report.count.cfos_hz()]
         snr_by_cfo = {
@@ -693,12 +831,13 @@ class CityCorridor:
                     t_actual = station.mac.next_opportunity(t_actual, heard)
             station.queries_sent += 1
             self.air.record_query(station.name, t_actual)
+            self._note_own_window(station, t_actual)
             subset = self._tags_near(station, t_actual)
             start = t_actual + QUERY_DURATION_S + TURNAROUND_S
             corrupted = False
             if subset:
                 response = self.air.record_response(
-                    f"{station.name}-burst", start
+                    f"{station.name}-burst", start, triggered_by=station.name
                 )
                 corrupted = self.air.any_query_overlapping(
                     response.start_s,
@@ -714,11 +853,18 @@ class CityCorridor:
                 )
             state["cursor"] = t_actual + QUERY_PERIOD_S
             state["busy_end"] = start + RESPONSE_DURATION_S
-            return station.source.query(subset, t_actual, corrupted=corrupted)
+            collision = station.source.query(subset, t_actual, corrupted=corrupted)
+            if subset:
+                self._publish_window(
+                    station, t_actual, start, subset,
+                    None if corrupted else collision.truth,
+                )
+            return collision
 
         session = station.reader.decode_session(
             decode_query,
             combining=station.combining,
+            opportunistic=station.opportunistic,
             antenna_index=station.antenna_index,
         )
         if seed is not None:
@@ -726,6 +872,13 @@ class CityCorridor:
             # capture, so identification adds air time only beyond the
             # measurement query itself (§12.4).
             session.seed_capture(seed)
+        if station.opportunistic == "accept":
+            # Windows other poles triggered since the last burst are free
+            # evidence: re-synthesized over this pole's geometry and
+            # donated — the session combines each for the targets whose
+            # spike it detectably contains.
+            for collision in self._overhear(station, t_query):
+                session.donate_capture(collision)
         results = session.decode_all(worth_it, max_queries=self.max_queries)
         if decode_results is not None:
             decode_results.update(results)
@@ -735,15 +888,144 @@ class CityCorridor:
                 ids[cfo] = tag_id
                 station.identities.store(cfo, tag_id, now_s=t_query)
                 self.ledger.record_decode(
-                    station.name, tag_id, t_query, cfo, n_queries=result.n_queries
+                    station.name,
+                    tag_id,
+                    t_query,
+                    cfo,
+                    n_queries=result.n_queries,
+                    n_overheard=result.n_overheard,
                 )
                 if tag_id not in self._identified:
-                    self._identified[tag_id] = (state["busy_end"], result.n_queries)
+                    self._identified[tag_id] = (
+                        state["busy_end"],
+                        result.n_queries,
+                        result.n_overheard,
+                    )
             else:
                 self.ledger.record_decode_failure(
-                    station.name, t_query, cfo, n_queries=result.n_queries
+                    station.name,
+                    t_query,
+                    cfo,
+                    n_queries=result.n_queries,
+                    n_overheard=result.n_overheard,
                 )
         return state["busy_end"]
+
+    # -- the shared response pool -------------------------------------------------
+
+    def _note_own_window(self, station: CorridorStation, t_query_s: float) -> None:
+        """Remember the capture slot an own query opens, bounded.
+
+        Harvesting needs recent own windows for the overlap exclusion;
+        windows far past the receiver-buffer horizon can never matter
+        again, so the list is trimmed as it grows — including for
+        ``"ignore"`` stations, which never harvest (and would otherwise
+        accumulate one entry per query for the whole run).
+        """
+        window = station.mac.response_window(t_query_s)
+        station._own_windows.append(window)
+        if len(station._own_windows) > 256:
+            floor = window[1] - (self.overheard_horizon_s + 1.0)
+            station._own_windows = [
+                w for w in station._own_windows if w[1] > floor
+            ]
+
+    def _publish_window(
+        self,
+        station: CorridorStation,
+        t_query_s: float,
+        start_s: float,
+        candidates: list[MovingTag],
+        truth,
+    ) -> None:
+        """Publish one query's trigger window to the shared pool.
+
+        ``truth`` is the synthesized collision's ground-truth list (its
+        order matches ``candidates``), carrying each response's random
+        oscillator phase — the transmission-side state an overhearing
+        pole must reuse. None marks the window corrupted (a query stepped
+        on it; its content is garbage at every receiver, so no phases
+        exist to share).
+        """
+        end_s = start_s + RESPONSE_DURATION_S
+        if truth is None:
+            window = TriggerWindow(
+                station.name,
+                t_query_s,
+                start_s,
+                end_s,
+                tags=tuple(candidates),
+                corrupted=True,
+            )
+        else:
+            window = TriggerWindow(
+                station.name,
+                t_query_s,
+                start_s,
+                end_s,
+                tags=tuple(candidates),
+                phases_rad=tuple(
+                    float(entry.response.phase0_rad) for entry in truth
+                ),
+            )
+        self.pool.publish(window)
+
+    def _overhear(self, station: CorridorStation, now_s: float) -> list:
+        """Harvest and synthesize the windows a station overheard.
+
+        Windows ending since the station's last harvest (bounded by the
+        receiver's buffer horizon) that another pole triggered, that
+        stay clear of this pole's own capture slots, and that carry at
+        least one responder in radio range are re-synthesized over this
+        pole's geometry — same per-response phases, this pole's
+        channel/noise. Each harvested window's corruption verdict against
+        the air log as known *now* is recorded; corrupted windows are
+        dropped (their content is query-energy garbage), and `_result`
+        re-checks the donated ones against the final log.
+        """
+        lo = max(station.last_harvest_s, now_s - self.overheard_horizon_s)
+        station.last_harvest_s = now_s
+        station._own_windows = [
+            w for w in station._own_windows if w[1] > lo - 1e-3
+        ]
+        harvested = self.pool.harvest(
+            station.name,
+            station.pole_position_m,
+            lo,
+            now_s,
+            station._own_windows,
+            self.range_m,
+        )
+        captures = []
+        for window, audible in harvested:
+            corrupted = window.corrupted or self.air.any_query_overlapping(
+                window.start_s,
+                window.end_s,
+                exclude_source=window.origin,
+                exclude_start_s=window.t_query_s,
+            )
+            self._overheard_log.append(
+                (
+                    station.name,
+                    window.origin,
+                    window.t_query_s,
+                    window.start_s,
+                    window.end_s,
+                    corrupted,
+                )
+            )
+            if corrupted:
+                continue
+            captures.append(
+                station.source.overhear(
+                    audible,
+                    window.start_s,
+                    origin=window.origin,
+                    rng=self.overhear_rng,
+                )
+            )
+        station.overheard_donated += len(captures)
+        return captures
 
     def _emit_observations(
         self,
@@ -789,30 +1071,44 @@ class CityCorridor:
 
     # -- results -----------------------------------------------------------------
 
-    def _recheck_burst_captures(self) -> int:
-        """Exact corrupted-burst count against the *final* air log.
+    def _recheck_captures_posthoc(self) -> tuple[int, int]:
+        """Exact corrupted-capture counts against the *final* air log.
 
-        A burst capture's synthesis-time corruption check only sees
-        transmissions recorded before it — a later event's (or a blindly
-        interleaving burst's) query that lands on the same response
-        window is invisible to it. With the run over, every transmission
-        is on the log, so each recorded burst capture is re-checked here;
-        one binary search per capture bounds the scan to the queries that
-        could overlap its window.
+        A capture's synthesis-time (or harvest-time) corruption check
+        only sees transmissions recorded before it — a later event's (or
+        a blindly interleaving burst's) query that lands on the same
+        response window is invisible to it. With the run over, every
+        transmission is on the log, so each recorded burst capture and
+        each *donated* overheard window is re-checked here; one binary
+        search per capture bounds the scan to the queries that could
+        overlap its window. Returns ``(burst, overheard)`` counts.
         """
         queries = sorted(self.air.queries(), key=lambda q: q.start_s)
         starts = [q.start_s for q in queries]
-        corrupted = 0
-        for source, t_query, start_s, end_s, _ in self._burst_log:
+
+        def stepped_on(
+            start_s: float, end_s: float, own_source: str, own_start_s: float
+        ) -> bool:
             lo = bisect.bisect_left(starts, start_s - QUERY_DURATION_S)
             hi = bisect.bisect_left(starts, end_s)
             for query in queries[lo:hi]:
-                if query.source == source and query.start_s == t_query:
+                if query.source == own_source and query.start_s == own_start_s:
                     continue
                 if query.start_s < end_s and query.end_s > start_s:
-                    corrupted += 1
-                    break
-        return corrupted
+                    return True
+            return False
+
+        burst = sum(
+            1
+            for source, t_query, start_s, end_s, _ in self._burst_log
+            if stepped_on(start_s, end_s, source, t_query)
+        )
+        overheard = sum(
+            1
+            for _, origin, t_query, start_s, end_s, corrupted in self._overheard_log
+            if not corrupted and stepped_on(start_s, end_s, origin, t_query)
+        )
+        return burst, overheard
 
     def _result(self, duration_s: float) -> CorridorResult:
         identifications = [
@@ -821,9 +1117,14 @@ class CityCorridor:
                 first_seen_s=self._first_seen.get(tag_id, t_id),
                 identified_s=t_id,
                 n_queries=n_queries,
+                n_overheard=n_overheard,
             )
-            for tag_id, (t_id, n_queries) in sorted(self._identified.items())
+            for tag_id, (t_id, n_queries, n_overheard) in sorted(
+                self._identified.items()
+            )
         ]
+        burst_posthoc, overheard_posthoc = self._recheck_captures_posthoc()
+        policies = sorted({s.opportunistic for s in self.stations})
         return CorridorResult(
             scheduling=self.scheduling,
             duration_s=duration_s,
@@ -842,5 +1143,13 @@ class CityCorridor:
             burst_corrupted_at_synthesis=sum(
                 1 for entry in self._burst_log if entry[4]
             ),
-            burst_corrupted_posthoc=self._recheck_burst_captures(),
+            burst_corrupted_posthoc=burst_posthoc,
+            opportunistic=policies[0] if len(policies) == 1 else "mixed",
+            overheard_windows=len(self.pool),
+            overheard_harvested=len(self._overheard_log),
+            overheard_corrupted_at_harvest=sum(
+                1 for entry in self._overheard_log if entry[5]
+            ),
+            overheard_donated=sum(s.overheard_donated for s in self.stations),
+            overheard_corrupted_posthoc=overheard_posthoc,
         )

@@ -38,7 +38,13 @@ DECODE_DEFERRED = "decode-deferred"
 
 @dataclass(frozen=True)
 class SightingRecord:
-    """One resolved (or unresolved) spike at one station."""
+    """One resolved (or unresolved) spike at one station.
+
+    ``n_queries`` counts the decode queries the station itself put on
+    the air; ``n_overheard`` counts captures of *other* stations'
+    trigger windows the decode combined on top — free evidence from the
+    shared response pool, no air time of this station's own.
+    """
 
     t_s: float
     station: str
@@ -47,6 +53,7 @@ class SightingRecord:
     tag_id: int | None = None
     from_station: str | None = None
     n_queries: int = 0
+    n_overheard: int = 0
 
 
 @dataclass
@@ -71,21 +78,47 @@ class HandoffLedger:
         )
 
     def record_decode(
-        self, station: str, tag_id: int, t_s: float, cfo_hz: float, n_queries: int = 0
+        self,
+        station: str,
+        tag_id: int,
+        t_s: float,
+        cfo_hz: float,
+        n_queries: int = 0,
+        n_overheard: int = 0,
     ) -> None:
         """A successful full decode; classified as a re-decode when some
         other station already knew this id."""
         known_elsewhere = self._stations_knowing.get(tag_id, set()) - {station}
         kind = REDECODE if known_elsewhere else DECODE
         self._append(
-            SightingRecord(t_s, station, kind, cfo_hz, tag_id, n_queries=n_queries)
+            SightingRecord(
+                t_s,
+                station,
+                kind,
+                cfo_hz,
+                tag_id,
+                n_queries=n_queries,
+                n_overheard=n_overheard,
+            )
         )
 
     def record_decode_failure(
-        self, station: str, t_s: float, cfo_hz: float, n_queries: int = 0
+        self,
+        station: str,
+        t_s: float,
+        cfo_hz: float,
+        n_queries: int = 0,
+        n_overheard: int = 0,
     ) -> None:
         self.records.append(
-            SightingRecord(t_s, station, DECODE_FAILED, cfo_hz, n_queries=n_queries)
+            SightingRecord(
+                t_s,
+                station,
+                DECODE_FAILED,
+                cfo_hz,
+                n_queries=n_queries,
+                n_overheard=n_overheard,
+            )
         )
 
     def record_decode_deferred(self, station: str, t_s: float, cfo_hz: float) -> None:
@@ -149,6 +182,14 @@ class HandoffLedger:
             if r.kind in (DECODE, REDECODE, DECODE_FAILED)
         )
 
+    def overheard_captures_used(self) -> int:
+        """Overheard captures decode attempts combined as free evidence."""
+        return sum(
+            r.n_overheard
+            for r in self.records
+            if r.kind in (DECODE, REDECODE, DECODE_FAILED)
+        )
+
     def summary(self) -> dict:
         """Headline numbers, JSON-friendly."""
         return {
@@ -157,6 +198,7 @@ class HandoffLedger:
             "downstream_sightings": self.downstream_sightings,
             "handoff_resolution_rate": self.handoff_resolution_rate,
             "decode_queries_spent": self.decode_queries_spent(),
+            "overheard_captures_used": self.overheard_captures_used(),
             "cell_entries": len(self.cell_entries),
             "cell_exits": len(self.cell_exits),
             "tags_identified": len(self._stations_knowing),

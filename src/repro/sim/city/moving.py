@@ -163,51 +163,121 @@ class MovingCollisionSource:
                 spent, its content is garbage).
         """
         response_t0 = query_start_s + QUERY_DURATION_S + TURNAROUND_S
+        if not tags or corrupted:
+            return self._package(
+                np.zeros((self.n_antennas, self.bank.n_samples), dtype=np.complex128),
+                [],
+                response_t0,
+            )
+        return self._synthesize(tags, None, response_t0)
+
+    def overhear(
+        self,
+        entries: list[tuple[MovingTag, float]],
+        response_t0: float,
+        origin: str | None = None,
+        rng=None,
+    ) -> ReceivedCollision:
+        """Capture a window *another* reader's query triggered.
+
+        The responses are the same physical transmissions the origin pole
+        received, so each tag's random oscillator phase is supplied (from
+        the corridor's response pool) rather than drawn — what changes at
+        this pole is only the channel: per-antenna delay/attenuation is
+        rebuilt from *this* pole's geometry at the window's response
+        time, and the noise is this receiver's own. The returned capture
+        carries ``overheard_from`` provenance.
+
+        Args:
+            entries: ``(tag, phase0_rad)`` responders audible at this
+                pole (range gating is the caller's job — the pool knows
+                the roster).
+            response_t0: absolute start of the overheard response window.
+            origin: name of the reader whose query opened the window.
+            rng: noise randomness for this capture. Defaults to the
+                source's own stream; callers comparing harvest policies
+                pass a separate stream so opportunistic synthesis never
+                perturbs the main sequence of draws (the ``"ignore"``
+                ablation stays bit-for-bit comparable).
+        """
+        if not entries:
+            raise ConfigurationError("an overheard window needs responders")
+        tags = [tag for tag, _ in entries]
+        phases = np.exp(1j * np.asarray([phase for _, phase in entries]))
+        return self._synthesize(
+            tags, phases, response_t0, overheard_from=origin, rng=rng
+        )
+
+    def _synthesize(
+        self,
+        tags: list[MovingTag],
+        phases: np.ndarray | None,
+        response_t0: float,
+        overheard_from: str | None = None,
+        rng=None,
+    ) -> ReceivedCollision:
+        """Superpose the tags' precomputed rows under per-query gains.
+
+        ``phases`` carries each response's oscillator phase; None draws
+        fresh ones (an own-query trigger) — after the gain rebuild, so
+        the rng draw order matches the original single-pole path exactly.
+        """
         m = len(tags)
-        k = self.n_antennas
-        n = self.bank.n_samples
-        if m and not corrupted:
-            rows = []
-            gains = np.zeros((k, m), dtype=np.complex128)
-            templates = []
-            for i, tag in enumerate(tags):
-                mixed, template = self.bank.row(tag.transponder)
-                rows.append(mixed)
-                templates.append(template)
-                position = tag.position(response_t0)
-                tag.transponder.position_m = position
-                for a, rx in enumerate(self.antenna_positions_m):
-                    gains[a, i] = (
-                        self.channel.coefficient(position, rx)
-                        * tag.transponder.tx_amplitude
-                    )
-            phases = np.exp(1j * self.rng.uniform(0.0, 2.0 * np.pi, size=m))
-            weights = gains * phases[None, :]
-            clean = weights @ np.asarray(rows)
-            truth = [
-                TruthEntry(
-                    response=TagResponse(
-                        transponder=tag.transponder,
-                        bits=template.bits,
-                        baseband=template.baseband,
-                        t0_s=response_t0,
-                        sample_rate_hz=self.bank.sample_rate_hz,
-                        carrier_hz=template.carrier_hz,
-                        phase0_rad=float(np.angle(phases[i])),
-                    ),
-                    channels=weights[:, i].copy(),
+        rows = []
+        gains = np.zeros((self.n_antennas, m), dtype=np.complex128)
+        templates = []
+        for i, tag in enumerate(tags):
+            mixed, template = self.bank.row(tag.transponder)
+            rows.append(mixed)
+            templates.append(template)
+            position = tag.position(response_t0)
+            tag.transponder.position_m = position
+            for a, rx in enumerate(self.antenna_positions_m):
+                gains[a, i] = (
+                    self.channel.coefficient(position, rx)
+                    * tag.transponder.tx_amplitude
                 )
-                for i, (tag, template) in enumerate(zip(tags, templates))
-            ]
-        else:
-            clean = np.zeros((k, n), dtype=np.complex128)
-            truth = []
+        if phases is None:
+            phases = np.exp(1j * self.rng.uniform(0.0, 2.0 * np.pi, size=m))
+        weights = gains * phases[None, :]
+        clean = weights @ np.asarray(rows)
+        truth = [
+            TruthEntry(
+                response=TagResponse(
+                    transponder=tag.transponder,
+                    bits=template.bits,
+                    baseband=template.baseband,
+                    t0_s=response_t0,
+                    sample_rate_hz=self.bank.sample_rate_hz,
+                    carrier_hz=template.carrier_hz,
+                    phase0_rad=float(np.angle(phases[i])),
+                ),
+                channels=weights[:, i].copy(),
+            )
+            for i, (tag, template) in enumerate(zip(tags, templates))
+        ]
+        return self._package(clean, truth, response_t0, overheard_from, rng)
+
+    def _package(
+        self,
+        clean: np.ndarray,
+        truth: list[TruthEntry],
+        response_t0: float,
+        overheard_from: str | None = None,
+        rng=None,
+    ) -> ReceivedCollision:
+        rng = self.rng if rng is None else rng
         waveforms = [
             Waveform(
-                add_awgn(clean[a], self.noise_power_w, self.rng),
+                add_awgn(clean[a], self.noise_power_w, rng),
                 self.bank.sample_rate_hz,
                 response_t0,
             )
-            for a in range(k)
+            for a in range(self.n_antennas)
         ]
-        return ReceivedCollision(antennas=waveforms, lo_hz=self.bank.lo_hz, truth=truth)
+        return ReceivedCollision(
+            antennas=waveforms,
+            lo_hz=self.bank.lo_hz,
+            truth=truth,
+            overheard_from=overheard_from,
+        )

@@ -46,12 +46,20 @@ class TxKind(enum.Enum):
 
 @dataclass(frozen=True)
 class Transmission:
-    """One on-air transmission interval."""
+    """One on-air transmission interval.
+
+    ``triggered_by`` is provenance for responses: the reader whose query
+    opened this response window. One physical response is audible at
+    *every* reader in range — the shared-medium bookkeeping (e.g. the
+    city corridor's cross-pole response pool) uses this field to tie
+    overheard captures back to the transmission that explains them.
+    """
 
     kind: TxKind
     source: str
     start_s: float
     end_s: float
+    triggered_by: str | None = None
 
     def overlaps(self, other: "Transmission") -> bool:
         return self.start_s < other.end_s and other.start_s < self.end_s
@@ -95,10 +103,23 @@ class AirLog:
             Transmission(TxKind.QUERY, source, start_s, start_s + QUERY_DURATION_S)
         )
 
-    def record_response(self, source: str, start_s: float) -> Transmission:
-        """Record a standard 512 µs tag response starting at ``start_s``."""
+    def record_response(
+        self, source: str, start_s: float, triggered_by: str | None = None
+    ) -> Transmission:
+        """Record a standard 512 µs tag response starting at ``start_s``.
+
+        ``triggered_by`` names the reader whose query opened the window,
+        so overheard-capture bookkeeping can find the on-air record that
+        backs each synthesized capture.
+        """
         return self.record(
-            Transmission(TxKind.RESPONSE, source, start_s, start_s + RESPONSE_DURATION_S)
+            Transmission(
+                TxKind.RESPONSE,
+                source,
+                start_s,
+                start_s + RESPONSE_DURATION_S,
+                triggered_by=triggered_by,
+            )
         )
 
     def queries(self) -> list[Transmission]:
@@ -281,7 +302,9 @@ class Medium:
         # window; coincident triggers merge into the same response slot.
         response_start = query.end_s + TURNAROUND_S
         for tag_index in range(self.n_tags):
-            self.air.record_response(f"tag{tag_index}", response_start)
+            self.air.record_response(
+                f"tag{tag_index}", response_start, triggered_by=reader.name
+            )
 
     # -- metrics ------------------------------------------------------------------
 

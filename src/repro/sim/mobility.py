@@ -48,6 +48,25 @@ class ConstantSpeedTrajectory:
         delta = point_m - self.start_m
         return self.t0_s + float(np.dot(delta, self.velocity_m_s)) / v2
 
+    def range_interval(
+        self, point_m: np.ndarray, range_m: float
+    ) -> tuple[float, float] | None:
+        """The (enter, exit) times during which ``p(t)`` is within
+        ``range_m`` of a point, or None if it never is (including the
+        stationary out-of-range case; a stationary in-range trajectory
+        returns an unbounded ``(-inf, +inf)`` interval)."""
+        point_m = np.asarray(point_m, dtype=np.float64)
+        if self.speed_m_s == 0.0:
+            if float(np.linalg.norm(self.start_m - point_m)) <= range_m:
+                return (float("-inf"), float("inf"))
+            return None
+        t_close = self.time_of_closest_approach(point_m)
+        min_distance = float(np.linalg.norm(self.position(t_close) - point_m))
+        if min_distance > range_m:
+            return None
+        half_chord = float(np.sqrt(range_m**2 - min_distance**2)) / self.speed_m_s
+        return (t_close - half_chord, t_close + half_chord)
+
 
 @dataclass(frozen=True)
 class DriveBy:
@@ -63,16 +82,9 @@ class DriveBy:
     def in_range_interval(self, pole_position_m: np.ndarray) -> tuple[float, float] | None:
         """The (enter, exit) times during which the car is in radio range.
 
-        Returns None if the trajectory never comes within range.
+        Returns None if the trajectory never comes within range (a parked
+        car has no drive-by interval either way — ``measurement_time``
+        raises on it first).
         """
-        pole_position_m = np.asarray(pole_position_m, dtype=np.float64)
-        t_close = self.measurement_time(pole_position_m)
-        closest = self.trajectory.position(t_close)
-        min_distance = float(np.linalg.norm(closest - pole_position_m))
-        if min_distance > self.range_m:
-            return None
-        speed = self.trajectory.speed_m_s
-        if speed == 0.0:
-            return None
-        half_chord = float(np.sqrt(self.range_m**2 - min_distance**2)) / speed
-        return (t_close - half_chord, t_close + half_chord)
+        self.measurement_time(pole_position_m)  # reject stationary cars
+        return self.trajectory.range_interval(pole_position_m, self.range_m)

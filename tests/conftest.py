@@ -13,6 +13,15 @@ from repro.phy.packet import TransponderPacket
 from repro.phy.transponder import Transponder
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: whole-corridor simulations (seconds each); the fast CI "
+        "tier deselects them with -m 'not slow', the nightly tier and "
+        "the tier-1 gate run everything",
+    )
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)
