@@ -7,11 +7,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check check-fast lint test test-fast bench
+.PHONY: check check-fast check-docs lint test test-fast bench
 
 check: lint test
 
 check-fast: lint test-fast
+
+# Docs tier: intra-repo links must resolve and the city-mesh example
+# must run end to end (short simulation via REPRO_MESH_DURATION_S).
+check-docs:
+	$(PYTHON) tools/check_links.py
+	REPRO_MESH_DURATION_S=12 $(PYTHON) examples/city_mesh.py
 
 lint:
 	$(PYTHON) tools/lint.py

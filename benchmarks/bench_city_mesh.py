@@ -1,0 +1,140 @@
+"""City mesh: predictive push handoff vs pull-at-sighting.
+
+One experiment on :class:`repro.sim.city.CityMesh` — the 3-corridor /
+2-intersection main line A -> B -> C (three poles per corridor,
+signalized intersections, Poisson traffic with an off-route share after
+B) run twice from one seed:
+
+* ``handoff="push"`` — every resolved sighting feeds the city-wide
+  :class:`~repro.sim.city.IdentityDirectory`; a pole whose fixes
+  complete a §7 cross-pole speed estimate pushes the identity-cache
+  entry to the predicted next pole (its downstream neighbor, or across
+  the intersection to the successor corridor's first pole) ahead of the
+  car.
+* ``handoff="pull"`` — today's pull-at-sighting semantics, the
+  ablation: within-corridor neighbor pull still works, but a corridor
+  boundary always costs a re-decode.
+
+Gates:
+
+1. with push, more than half of all cross-corridor entries (a tag's
+   first attributed sighting in a corridor another corridor already
+   identified) resolve from a pushed/pulled cache entry instead of a
+   re-decode;
+2. push strictly lowers the mean decode queries spent on a tag's first
+   sighting at the entered corridor's *first* pole versus pull — the
+   first-round latency §7's speed machinery buys;
+3. both runs keep the street clean: zero corrupted responses under
+   CSMA on the shared mesh-wide air log.
+
+Set ``REPRO_BENCH_SCALE`` < 1 to shorten the simulations.
+"""
+
+from bench_helpers import write_bench_json
+from conftest import bench_scale as _scale
+from repro.sim.city import CityMesh
+from repro.sim.traffic import TrafficLight
+
+MESH_SEED = 2026
+N_POLES_PER_EDGE = 3
+#: Main-line share: the fraction of cars riding A -> B -> C end to end;
+#: the rest turn off after B (the mis-push population).
+THROUGH_WEIGHT = 0.8
+ARRIVAL_RATE_PER_S = 0.6
+
+
+def build_mesh(handoff: str) -> CityMesh:
+    mesh = CityMesh(rng=MESH_SEED, handoff=handoff)
+    mesh.add_node("u", light=TrafficLight(green_s=8.0, yellow_s=1.0, red_s=4.0))
+    mesh.add_node(
+        "v", light=TrafficLight(green_s=8.0, yellow_s=1.0, red_s=4.0, offset_s=3.0)
+    )
+    mesh.add_edge("A", dst="u", n_poles=N_POLES_PER_EDGE)
+    mesh.add_edge("B", src="u", dst="v", n_poles=N_POLES_PER_EDGE)
+    mesh.add_edge("C", src="v", n_poles=N_POLES_PER_EDGE)
+    mesh.add_traffic(
+        [
+            (("A", "B", "C"), THROUGH_WEIGHT),
+            (("A", "B"), 1.0 - THROUGH_WEIGHT),
+        ],
+        rate_per_s=ARRIVAL_RATE_PER_S,
+        speed_range_m_s=(10.0, 16.0),
+    )
+    return mesh
+
+
+def bench_city_mesh(benchmark, report):
+    duration_s = max(20.0, 45.0 * _scale())
+
+    def run_both():
+        return {
+            mode: build_mesh(mode).run(duration_s) for mode in ("push", "pull")
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    push, pull = results["push"], results["pull"]
+
+    report(
+        f"City mesh — 3 corridors x {N_POLES_PER_EDGE} poles, 2 signalized "
+        f"intersections, {ARRIVAL_RATE_PER_S:.1f} cars/s Poisson, "
+        f"{duration_s:.0f} s, push vs pull handoff"
+    )
+    report(
+        f"{'policy':>6} {'entries':>8} {'resolved':>9} {'redecodes':>10} "
+        f"{'rate':>6} {'1st-pole q':>11} {'pushes':>7} {'hits':>5} "
+        f"{'misses':>7} {'corrupted':>10}"
+    )
+    for name, result in (("push", push), ("pull", pull)):
+        ledger = result.ledger
+        report(
+            f"{name:>6} {result.cross_entries:8d} {result.cross_resolved:9d} "
+            f"{result.cross_redecodes:10d} "
+            f"{100 * result.cross_resolution_rate:5.0f}% "
+            f"{result.mean_first_pole_queries:11.2f} "
+            f"{ledger.pushes_sent:7d} {ledger.push_hits:5d} "
+            f"{len(ledger.push_misses):7d} "
+            f"{result.corrupted_responses:10d}"
+        )
+    report(
+        f"predictive push cuts the entered corridor's first-pole cost "
+        f"{pull.mean_first_pole_queries:.2f} -> "
+        f"{push.mean_first_pole_queries:.2f} decode queries per first "
+        f"sighting ({push.cars_transferred} intersection transfers, "
+        f"{push.directory['accounts']} directory accounts, "
+        f"{push.directory['reports']} sighting reports)"
+    )
+
+    write_bench_json(
+        "city_mesh",
+        {
+            "n_poles_per_edge": N_POLES_PER_EDGE,
+            "through_weight": THROUGH_WEIGHT,
+            "arrival_rate_per_s": ARRIVAL_RATE_PER_S,
+            "push": push.summary(),
+            "pull": pull.summary(),
+        },
+    )
+
+    # The mesh must actually exercise the boundary machinery before any
+    # rate is meaningful.
+    assert push.cross_entries >= 5, "too few cross-corridor entries to gate on"
+    assert push.cars_transferred > 0
+    # Gate 1: cross-corridor handoff resolution beats 50% under push.
+    assert push.cross_resolution_rate > 0.5, (
+        "most cross-corridor entries must resolve without a re-decode, got "
+        f"{push.cross_resolution_rate:.2f}"
+    )
+    # Gate 2: push strictly lowers first-pole first-sighting decode cost.
+    assert push.first_pole_queries and pull.first_pole_queries
+    assert (
+        push.mean_first_pole_queries < pull.mean_first_pole_queries
+    ), (
+        "predictive push must beat pull-at-sighting at the entered "
+        f"corridor's first pole: push {push.mean_first_pole_queries:.2f} vs "
+        f"pull {pull.mean_first_pole_queries:.2f}"
+    )
+    # Gate 3: a clean street under CSMA, mesh-wide, both policies.
+    assert push.corrupted_responses == 0
+    assert pull.corrupted_responses == 0
+    # The directory's bounds never tripped mid-run consistency checks.
+    assert push.directory["reports"] > 0

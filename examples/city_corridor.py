@@ -11,6 +11,16 @@ of re-decoding — the HandoffLedger at the end shows how much decode air
 time that saved. A CarFinder service subscribes to the observation
 stream, exactly as in the round-based reader_network example.
 
+Everything here is the promoted library surface — cells, handoff and
+moving-tag synthesis live in :mod:`repro.sim.city`
+(:class:`~repro.sim.city.StationCell`,
+:class:`~repro.sim.city.HandoffLedger`,
+:class:`~repro.sim.city.MovingCollisionSource`), not in example code.
+One street is one :class:`~repro.sim.city.CityCorridor`; for the graph
+of corridors above it (intersections, routed traffic, the city-wide
+identity directory and predictive push handoff) see
+``examples/city_mesh.py`` and :class:`repro.sim.city.CityMesh`.
+
 Run:  python examples/city_corridor.py   (about a minute of compute)
 """
 

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""A city mesh: three corridors, two intersections, predictive handoff.
+
+Three two-pole corridors A -> B -> C joined by signalized intersections;
+Poisson traffic enters at A, most of it routed all the way to C, some
+turning off after B. Every pole runs its own CSMA cadence on one shared
+discrete-event timeline (`repro.sim.city.mesh.CityMesh`), every resolved
+sighting is reported to the city-wide `IdentityDirectory`, and handoff
+is *predictive*: a pole whose fixes complete a §7 cross-pole speed
+estimate pushes the car's identity-cache entry to the predicted next
+pole — across the intersection — ahead of arrival, so the entered
+corridor's first pole resolves the car from its own cache at zero decode
+queries. Cars that turn off-route leave their pushed entry unconsumed
+(a push *miss*, audited on the shared HandoffLedger) and simply
+re-decode wherever they actually went.
+
+Run:  python examples/city_mesh.py    (about ten seconds of compute;
+      set REPRO_MESH_DURATION_S to shorten/lengthen the simulation)
+"""
+
+import os
+
+from repro.apps import CarFinder
+from repro.sim.city import CityMesh
+from repro.sim.traffic import TrafficLight
+
+
+def build_mesh(handoff: str, seed: int = 7) -> CityMesh:
+    mesh = CityMesh(rng=seed, handoff=handoff)
+    mesh.add_node("u", light=TrafficLight(green_s=8.0, yellow_s=1.0, red_s=4.0))
+    mesh.add_node(
+        "v", light=TrafficLight(green_s=8.0, yellow_s=1.0, red_s=4.0, offset_s=3.0)
+    )
+    mesh.add_edge("A", dst="u", n_poles=2)
+    mesh.add_edge("B", src="u", dst="v", n_poles=2)
+    mesh.add_edge("C", src="v", n_poles=2)
+    # 80% of cars ride the whole main line; 20% turn off after B — the
+    # mis-push population the ledger audits.
+    mesh.add_traffic(
+        [(("A", "B", "C"), 0.8), (("A", "B"), 0.2)],
+        rate_per_s=0.5,
+        speed_range_m_s=(10.0, 16.0),
+    )
+    return mesh
+
+
+def main() -> None:
+    duration_s = float(os.environ.get("REPRO_MESH_DURATION_S", "30"))
+    print("=== 3-corridor / 2-intersection mesh, predictive push handoff ===")
+    mesh = build_mesh("push")
+    finder = mesh.subscribe(CarFinder())
+    result = mesh.run(duration_s)
+    ledger = result.ledger
+
+    print(
+        f"{result.cars_injected} edge entries ({result.cars_transferred} "
+        f"intersection transfers, {result.cars_departed} cars left the mesh) "
+        f"in {result.duration_s:.0f} s"
+    )
+    print(
+        f"air: {result.queries_sent} queries, {result.responses} responses, "
+        f"{result.corrupted_responses} corrupted (CSMA on, one shared log)"
+    )
+    print(
+        f"sightings: {ledger.counts()}\n"
+        f"pushes: {ledger.pushes_sent} sent, {ledger.push_hits} consumed at "
+        f"the predicted pole, {len(ledger.push_misses)} missed (off-route or "
+        f"still en route)"
+    )
+    print(
+        f"cross-corridor entries: {result.cross_entries}, "
+        f"{100 * result.cross_resolution_rate:.0f}% resolved without a "
+        f"re-decode; first sighting at the entered corridor's first pole "
+        f"cost {result.mean_first_pole_queries:.2f} decode queries on average"
+    )
+    print(f"directory: {result.directory}")
+
+    print("\nlast known positions (find-my-car, city-wide):")
+    for tag_id in finder.known_tags()[:5]:
+        fix = finder.locate(tag_id)
+        print(
+            f"  account {tag_id}: x={fix.position_m[0]:7.1f} m at "
+            f"t={fix.timestamp_s:5.2f} s via {fix.station}"
+        )
+
+    print("\n--- the same world under pull-at-sighting (the ablation) ---")
+    pull = build_mesh("pull").run(duration_s)
+    print(
+        f"pull: {100 * pull.cross_resolution_rate:.0f}% of "
+        f"{pull.cross_entries} cross-corridor entries resolved; first pole "
+        f"costs {pull.mean_first_pole_queries:.2f} decode queries "
+        f"(vs {result.mean_first_pole_queries:.2f} with push)"
+    )
+
+
+if __name__ == "__main__":
+    main()

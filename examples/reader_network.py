@@ -9,6 +9,17 @@ pole (AoA cone x known lanes), and fans the resulting observations into
 the parking-billing and find-my-car services. A second segment re-uses
 the same machinery for red-light enforcement with a moving car.
 
+Historical note: the hand-carved per-station coverage segments below
+are where the library's cell machinery came from — they have since been
+promoted to :class:`repro.sim.city.StationCell` / ``carve_cells``
+(first-class cells with neighbor links and per-cell localizers), and
+the per-pole identity caches shown here grew into the corridor's
+fingerprint-keyed cache *handoff* (:mod:`repro.sim.city.handoff`) and
+the mesh's city-wide :class:`repro.sim.city.IdentityDirectory`. This
+example keeps the minimal by-hand version to show the round-based
+pipeline itself; see ``examples/city_corridor.py`` and
+``examples/city_mesh.py`` for the promoted APIs.
+
 Run:  python examples/reader_network.py
 """
 

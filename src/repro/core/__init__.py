@@ -37,6 +37,7 @@ from .localization import (
     phase_from_aoa,
 )
 from .speed import (
+    CrossPoleSpeedTracker,
     SpeedEstimate,
     SpeedEstimator,
     SpeedObservation,
@@ -77,6 +78,7 @@ __all__ = [
     "TwoReaderLocalizer",
     "aoa_from_phase",
     "phase_from_aoa",
+    "CrossPoleSpeedTracker",
     "SpeedEstimate",
     "SpeedEstimator",
     "SpeedObservation",

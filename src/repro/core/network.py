@@ -19,6 +19,13 @@ parking billing, find-my-car). This module is that batch layer:
 The network never reads simulation ground truth: stations consume
 collisions through ``query_fn`` exactly like a live radio front-end.
 
+The :class:`IdentityCache` defined here is the per-pole identity store
+the whole city stack builds on: the corridor engine forwards its
+entries between neighbor poles (pull handoff), the mesh pushes them
+ahead of predicted arrivals, and the city-wide
+:class:`~repro.sim.city.directory.IdentityDirectory` composes one as
+its bounded fingerprint index.
+
 Example::
 
     network = ReaderNetwork()
@@ -153,17 +160,23 @@ class IdentityCache:
                 return candidate
         return None
 
-    def store(self, cfo_hz: float, tag_id: int, now_s: float = 0.0) -> None:
+    def store(self, cfo_hz: float, tag_id: int, now_s: float = 0.0) -> list[int]:
         """Record (or refresh) a decoded spike at time ``now_s``.
 
         Exceeding ``max_entries`` evicts least-recently-seen entries
         (ties broken by id, for determinism) until the bound holds.
+        Returns the evicted account ids (usually empty) so layered
+        services keeping per-account state alongside the fingerprint
+        index — e.g. the city mesh's
+        :class:`~repro.sim.city.directory.IdentityDirectory` sighting
+        trails — can drop theirs in the same step and stay consistent.
         """
         self._cfos_by_id[tag_id] = float(cfo_hz)
         self._last_seen_s[tag_id] = max(
             float(now_s), self._last_seen_s.get(tag_id, float("-inf"))
         )
         self._dirty = True
+        evicted: list[int] = []
         if self.max_entries is not None:
             while len(self._cfos_by_id) > max(1, int(self.max_entries)):
                 victim = min(
@@ -171,6 +184,8 @@ class IdentityCache:
                     key=lambda t: (self._last_seen_s.get(t, float("-inf")), t),
                 )
                 self.evict(victim)
+                evicted.append(victim)
+        return evicted
 
     def evict(self, tag_id: int) -> bool:
         """Forget one account's fingerprint; returns whether it existed."""
@@ -183,16 +198,21 @@ class IdentityCache:
 
     def prune(self, now_s: float) -> int:
         """Age out entries unseen since ``now_s - max_age_s``; returns count."""
+        return len(self.prune_ids(now_s))
+
+    def prune_ids(self, now_s: float) -> list[int]:
+        """Like :meth:`prune`, but returns *which* accounts aged out
+        (sorted), for callers keeping per-account state alongside."""
         if self.max_age_s is None:
-            return 0
-        stale = [
+            return []
+        stale = sorted(
             tag_id
             for tag_id, seen_s in self._last_seen_s.items()
             if now_s - seen_s > self.max_age_s
-        ]
+        )
         for tag_id in stale:
             self.evict(tag_id)
-        return len(stale)
+        return stale
 
     def cached_cfo(self, tag_id: int) -> float | None:
         """The stored fingerprint for an account, if any."""
@@ -203,6 +223,13 @@ class IdentityCache:
         if tag_id not in self._cfos_by_id:
             return None
         return self._last_seen_s.get(tag_id)
+
+    def ids(self) -> list[int]:
+        """Every cached account id, sorted (a stable audit order)."""
+        return sorted(self._cfos_by_id)
+
+    def __contains__(self, tag_id: int) -> bool:
+        return tag_id in self._cfos_by_id
 
     def __len__(self) -> int:
         return len(self._cfos_by_id)

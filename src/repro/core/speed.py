@@ -11,7 +11,7 @@ forms are implemented here alongside the estimator itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,6 +28,7 @@ __all__ = [
     "SpeedObservation",
     "SpeedEstimate",
     "SpeedEstimator",
+    "CrossPoleSpeedTracker",
 ]
 
 
@@ -73,11 +74,20 @@ def max_speed_error_fraction(
 
 @dataclass(frozen=True)
 class SpeedObservation:
-    """One localization event: where and when a station saw the car."""
+    """One localization event: where and when a station saw the car.
+
+    ``frame`` names the coordinate frame ``position_m`` lives in. Two
+    observations are only comparable within one frame — a city mesh
+    gives every corridor its own frame (their global-axis layout gap is
+    artifice, not road a car drove), so cross-frame pairs must rebase
+    rather than difference positions. The default shared frame keeps
+    single-street callers unchanged.
+    """
 
     position_m: np.ndarray
     timestamp_s: float
     station: str = ""
+    frame: str = ""
 
 
 @dataclass(frozen=True)
@@ -132,3 +142,125 @@ class SpeedEstimator:
     ) -> float:
         """Convenience wrapper over :func:`max_speed_error_fraction`."""
         return max_speed_error_fraction(speed_m_s, baseline_m, position_error_m, sync_sigma_s)
+
+
+@dataclass
+class CrossPoleSpeedTracker:
+    """Streams per-tag sightings into §7 cross-pole speed estimates.
+
+    The §7 estimator pairs exactly two localizations; a deployment sees
+    a *stream* of sightings — many rounds at one pole, then the next
+    pole. The tracker keeps, per tag, the most recent fix (the anchor)
+    and emits an estimate exactly when a sighting arrives from a
+    *different* station than the anchor's: speed over the inter-pole
+    baseline, from the cross-pole fix timestamps. Sightings at the
+    anchor's own station only refresh the anchor (the latest fix at a
+    pole is the closest to its cell boundary, so the baseline stays the
+    true pole-to-pole distance, not pole-to-wherever-first-heard).
+
+    This is the predictive-handoff trigger used by
+    :class:`~repro.sim.city.mesh.CityMesh`: a tag whose fixes at two
+    consecutive poles yield a speed has a predictable arrival time at
+    the next pole, so its cache entry can be pushed ahead of it. The
+    tracker is deliberately self-contained — it needs only
+    :class:`SpeedObservation` streams, no mesh or corridor — so the
+    trigger is testable against trajectory ground truth alone.
+
+    Attributes:
+        estimator: the pairing rule (defaults to §7 along-road speed).
+        min_pair_elapsed_s: do not pair fixes closer in time than this.
+            §7's error budget is ``(2 e_x + v e_t) / D``: over a short
+            baseline the per-fix position error dominates the ratio
+            (two fixes 0.2 s apart with meter-level §6 error can read
+            tens of m/s for a 13 m/s car), so the tracker waits until
+            the car has put real road between the fixes — the same
+            reason the paper measures over a 360-foot baseline. Pairs
+            that arrive too soon keep the anchor (see :meth:`observe`).
+        max_speed_m_s: plausibility cap; a pair reading faster than
+            this is discarded (and the anchor rebased) rather than
+            stored — an outlier fix or a fingerprint misattribution,
+            not a car. None disables.
+        max_fix_age_s: an anchor older than this when the cross-pole
+            sighting arrives is discarded instead of paired — a car that
+            parked for an hour between poles has no meaningful speed
+            over that interval.
+        max_entries: bound on tracked tags; exceeding it drops the tags
+            with the oldest anchors (city streams see every passing car
+            once — an unbounded table would grow forever).
+    """
+
+    estimator: SpeedEstimator = field(default_factory=SpeedEstimator)
+    min_pair_elapsed_s: float = 1.0
+    max_speed_m_s: float | None = 60.0
+    max_fix_age_s: float = 60.0
+    max_entries: int | None = 4096
+    _anchor: dict[int, SpeedObservation] = field(default_factory=dict, repr=False)
+    _latest: dict[int, SpeedEstimate] = field(default_factory=dict, repr=False)
+
+    def observe(
+        self, tag_id: int, observation: SpeedObservation
+    ) -> SpeedEstimate | None:
+        """Feed one sighting; returns a fresh estimate when it pairs.
+
+        Same-station sightings refresh the anchor. A sighting from a
+        *different* station pairs with the anchor — unless it comes too
+        soon (:attr:`SpeedEstimator.min_elapsed_s`), in which case the
+        anchor is deliberately *kept*: neighboring poles' coverage
+        overlaps, so a car in the overlap zone is sighted by both poles
+        within one cadence tick, and replacing the anchor on every such
+        ping-pong would keep the pair permanently too young to
+        estimate. The anchor only moves to the new station once a pair
+        is emitted (or the anchor has gone stale past
+        ``max_fix_age_s``), so each pole crossing yields one estimate.
+        """
+        anchor = self._anchor.get(tag_id)
+        if anchor is None or anchor.station == observation.station:
+            self._anchor[tag_id] = observation
+            self._trim()
+            return None
+        if anchor.frame != observation.frame:
+            # Positions in different frames (e.g. two corridors of a
+            # mesh) are not differenceable — the car crossed an
+            # intersection, not the distance between the frames' layout
+            # coordinates. Rebase and wait for the next in-frame pole.
+            self._anchor[tag_id] = observation
+            return None
+        elapsed = observation.timestamp_s - anchor.timestamp_s
+        if elapsed < max(self.estimator.min_elapsed_s, self.min_pair_elapsed_s):
+            return None  # too short a baseline: keep the anchor, wait
+        if elapsed > self.max_fix_age_s:
+            self._anchor[tag_id] = observation  # stale anchor: rebase
+            return None
+        estimate = self.estimator.estimate(anchor, observation)
+        self._anchor[tag_id] = observation
+        if self.max_speed_m_s is not None and estimate.speed_m_s > self.max_speed_m_s:
+            return None  # implausible pair (outlier fix / misattribution)
+        self._latest[tag_id] = estimate
+        return estimate
+
+    def latest(self, tag_id: int) -> SpeedEstimate | None:
+        """The most recent estimate for a tag, if any."""
+        return self._latest.get(tag_id)
+
+    def forget(self, tag_id: int) -> None:
+        """Drop a tag's anchor and estimate (e.g. its directory entry
+        was evicted — a stale anchor must not pair with a re-arrival)."""
+        self._anchor.pop(tag_id, None)
+        self._latest.pop(tag_id, None)
+
+    def tracked(self) -> list[int]:
+        """Every tag currently holding an anchor, sorted."""
+        return sorted(self._anchor)
+
+    def _trim(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._anchor) > max(1, int(self.max_entries)):
+            victim = min(
+                self._anchor,
+                key=lambda t: (self._anchor[t].timestamp_s, t),
+            )
+            self.forget(victim)
+
+    def __len__(self) -> int:
+        return len(self._anchor)

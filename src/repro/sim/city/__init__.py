@@ -22,18 +22,30 @@ per-pole machinery into that infrastructure:
   :class:`~repro.sim.events.EventScheduler` timeline and one
   :class:`~repro.sim.medium.AirLog`, so stations genuinely back off each
   other instead of taking synchronized turns.
+* :mod:`repro.sim.city.directory` — the :class:`IdentityDirectory`
+  city-wide fingerprint service above the per-pole caches: bounded,
+  aging, trail-keeping, and the source of §7 cross-pole speed
+  estimates.
+* :mod:`repro.sim.city.mesh` — :class:`CityMesh`, the city graph:
+  corridors as edges, intersections as nodes, Poisson traffic routed
+  edge-to-edge on one shared timeline, with predictive *push* handoff
+  planting cache entries at the predicted next pole ahead of each car
+  (``handoff="pull"`` is the at-sighting ablation).
 """
 
 from .cells import StationCell, carve_cells
-from .handoff import HandoffLedger, SightingRecord
+from .handoff import HandoffLedger, PushRecord, SightingRecord
 from .moving import MovingCollisionSource, MovingTag, TagWaveformBank
 from .pool import ResponsePool, TriggerWindow
 from .corridor import CityCorridor, CorridorResult, CorridorStation
+from .directory import IdentityDirectory, SightingFix
+from .mesh import CityMesh, MeshEdge, MeshNode, MeshResult
 
 __all__ = [
     "StationCell",
     "carve_cells",
     "HandoffLedger",
+    "PushRecord",
     "SightingRecord",
     "MovingTag",
     "MovingCollisionSource",
@@ -43,4 +55,10 @@ __all__ = [
     "CityCorridor",
     "CorridorResult",
     "CorridorStation",
+    "IdentityDirectory",
+    "SightingFix",
+    "CityMesh",
+    "MeshEdge",
+    "MeshNode",
+    "MeshResult",
 ]

@@ -136,6 +136,12 @@ class CorridorStation:
     opportunistic: str = "accept"
     upstream: "CorridorStation | None" = field(default=None, repr=False)
     downstream: "CorridorStation | None" = field(default=None, repr=False)
+    #: Predictively pushed cache entries not yet consumed by a sighting:
+    #: ``tag_id -> (pushing station, fingerprint, push time)``. Filled by
+    #: :meth:`receive_push`; the first sighting resolved by a pushed
+    #: entry pops it (and is ledgered as ``push`` rather than ``own``);
+    #: entries still here at run end are recorded as push *misses*.
+    pushed: dict = field(default_factory=dict, repr=False)
     # -- per-run statistics --
     queries_sent: int = 0
     queries_deferred: int = 0
@@ -171,6 +177,21 @@ class CorridorStation:
         """Upstream first: traffic flows +x, so the usual donor is the
         pole the tag just left."""
         return [s for s in (self.upstream, self.downstream) if s is not None]
+
+    def receive_push(
+        self, cfo_hz: float, tag_id: int, from_station: str, now_s: float
+    ) -> None:
+        """Accept a predictively pushed identity-cache entry.
+
+        The entry lands in :attr:`identities` exactly like a pull
+        handoff would — same LRU/aging bounds — plus a note in
+        :attr:`pushed` so the first sighting it resolves is audited as
+        ``push``. A mis-push costs nothing here: the entry just ages
+        out (or is LRU-evicted) like any other, and the note survives
+        to be swept into the ledger's push-miss list.
+        """
+        self.identities.store(float(cfo_hz), tag_id, now_s=now_s)
+        self.pushed[tag_id] = (from_station, float(cfo_hz), float(now_s))
 
 
 @dataclass(frozen=True)
@@ -318,8 +339,21 @@ class CityCorridor:
         road: the corridor road segment.
         stations: the poles, in along-road order.
         tags: every car that will traverse the corridor.
-        use_csma: listen-before-talk on (False = blind ALOHA ablation).
-        handoff: consult neighbor caches before re-decoding.
+        scheduling: ``"event"`` (default) runs every station on its own
+            anchored cadence through the §9 MAC on one discrete-event
+            timeline; ``"rounds"`` is the lock-step sequential ablation
+            (stations take strict turns, each turn serializing its
+            whole burst — the ``ReaderNetwork.step`` contract on a
+            shared clock), the baseline `bench_city_corridor` gates
+            event-driven throughput against.
+        use_csma: listen-before-talk on (False = blind ALOHA ablation:
+            bursts interleave without sensing, and the §9 harmful case
+            — queries stepping on responses — is measured instead of
+            avoided).
+        handoff: consult neighbor caches before re-decoding (False =
+            every downstream sighting burns a re-decode; the waste the
+            :class:`~repro.sim.city.handoff.HandoffLedger` exists to
+            measure).
         decode: run §8 identification at all (False = count-only).
         opportunistic: when given, overrides every station's
             overheard-response policy — ``"accept"`` harvests other
@@ -335,6 +369,31 @@ class CityCorridor:
             decode burst yet (the tag is still far; a later, closer
             round decodes it in fewer queries). None disables the gate.
         range_m: radio range gating which tags hear a query.
+        name: corridor label. When set, it scopes this corridor inside a
+            larger deployment (a :class:`~repro.sim.city.mesh.CityMesh`
+            names stations ``"<edge>/pole-k"`` through
+            :meth:`build`) — pass it there; the corridor itself only
+            stores it for reports.
+        air / pool / ledger: externally shared infrastructure. A mesh
+            runs several corridors on *one* air log, one response pool
+            and one handoff ledger (so carrier sensing, overhearing and
+            re-decode classification all span corridor boundaries); None
+            (the default) gives the corridor private instances — the
+            single-street behavior, bit-for-bit.
+        interference_range_m: along-city distance beyond which
+            transmitters are inaudible (carrier sensing, corruption and
+            post-hoc re-checks all gate on it). None — the default, and
+            the right setting for one street — means everything on the
+            shared log is heard everywhere.
+        on_sighting: ``hook(corridor, station, tag_id, cfo_hz, t_s,
+            x_m, localized)`` called for every resolved sighting
+            (own/push/handoff hits and fresh decodes); ``x_m`` is the
+            sighting's §6 localized fix when the round produced one
+            (``localized=True``), else the pole position as a coarse
+            stand-in (``localized=False`` — good for audit, not for
+            speed ratios). The mesh uses the hook to feed the
+            :class:`~repro.sim.city.directory.IdentityDirectory` and
+            trigger predictive pushes; None disables.
     """
 
     def __init__(
@@ -353,12 +412,19 @@ class CityCorridor:
         max_queries: int = 32,
         decode_snr_db: float | None = 17.0,
         range_m: float = READER_RANGE_M,
+        name: str = "",
+        air: AirLog | None = None,
+        pool: ResponsePool | None = None,
+        ledger: HandoffLedger | None = None,
+        interference_range_m: float | None = None,
+        on_sighting=None,
     ):
         if scheduling not in ("event", "rounds"):
             raise ConfigurationError(f"unknown scheduling {scheduling!r}")
         if not stations:
             raise ConfigurationError("need at least one station")
         self.road = road
+        self.name = str(name)
         self.stations = list(stations)
         self.tags = list(tags)
         self.rng = as_rng(rng)
@@ -374,18 +440,30 @@ class CityCorridor:
         self.max_queries = int(max_queries)
         self.decode_snr_db = decode_snr_db
         self.range_m = float(range_m)
+        self.interference_range_m = (
+            None if interference_range_m is None else float(interference_range_m)
+        )
+        self.on_sighting = on_sighting
         # Sensing lookback must cover a whole synchronous decode burst:
         # burst queries sense up to max_queries periods past the event
         # clock, and later events still need everything in that window.
-        self.air = AirLog(
-            sense_slack_s=max(
-                0.25, self.max_queries * QUERY_PERIOD_S + RESPONSE_DURATION_S + 0.05
-            )
+        slack_s = max(
+            0.25, self.max_queries * QUERY_PERIOD_S + RESPONSE_DURATION_S + 0.05
         )
+        if air is None:
+            self.air = AirLog(sense_slack_s=slack_s)
+        else:
+            # Shared log (mesh): never shrink another corridor's slack.
+            self.air = air
+            self.air.sense_slack_s = max(self.air.sense_slack_s, slack_s)
         #: Every trigger window on the street, shared by all poles; the
         #: scan-back slack mirrors the air log's (bursts publish their
         #: future windows when the burst executes).
-        self.pool = ResponsePool(slack_s=self.air.sense_slack_s)
+        if pool is None:
+            self.pool = ResponsePool(slack_s=self.air.sense_slack_s)
+        else:
+            self.pool = pool
+            self.pool.slack_s = max(self.pool.slack_s, self.air.sense_slack_s)
         # Overheard captures take their receiver noise from a stream
         # spawned off the corridor seed: deterministic, but never a draw
         # from the main stream — so an "accept" run and its "ignore"
@@ -404,7 +482,7 @@ class CityCorridor:
                 # at construction), so accept/ignore stay aligned.
                 entropy = int(self.rng.integers(1 << 63))
             self.overhear_rng = np.random.default_rng(entropy & ((1 << 63) - 1))
-        self.ledger = HandoffLedger()
+        self.ledger = HandoffLedger() if ledger is None else ledger
         self.services: list[object] = []
         self.observations: list = []
         self._cell_index = {s.cell.name: i for i, s in enumerate(self.stations)}
@@ -440,7 +518,11 @@ class CityCorridor:
         # station's geometry and donated; _result re-checks them against
         # the final log.
         self._overheard_log: list[tuple[str, str, float, float, float, bool]] = []
+        self._station_x = {
+            s.name: float(s.pole_position_m[0]) for s in self.stations
+        }
         self._ran = False
+        self._primed = False
 
     # -- construction ----------------------------------------------------------
 
@@ -456,6 +538,7 @@ class CityCorridor:
         jitter_s: float = 5e-3,
         cache_max_entries: int | None = 512,
         cache_max_age_s: float | None = 600.0,
+        name: str = "",
         **kwargs,
     ) -> "CityCorridor":
         """Assemble a corridor from a scene + one trajectory per tag.
@@ -464,14 +547,23 @@ class CityCorridor:
         and tag transponders — e.g. from
         :func:`repro.sim.scenario.city_corridor_scene`. Cells are carved
         between the poles at the midpoints; stations are wired to their
-        along-road neighbors for handoff.
+        along-road neighbors for handoff. A non-empty ``name`` scopes
+        the corridor inside a larger deployment: stations become
+        ``"<name>/pole-k"`` and cells ``"<name>/cell-k"``, so ledgers
+        and observations shared across a mesh stay unambiguous.
         """
         if len(scene.tags) != len(trajectories):
             raise ConfigurationError("one trajectory per scene tag required")
         rng = as_rng(rng)
+        prefix = f"{name}/" if name else ""
         bank = TagWaveformBank(scene.lo_hz, scene.sample_rate_hz, rng=rng)
         pole_xs = [float(array.center_m[0]) for array in scene.arrays]
-        cells = carve_cells(pole_xs, scene.road, tuple(lane_ys_m))
+        cells = carve_cells(
+            pole_xs,
+            scene.road,
+            tuple(lane_ys_m),
+            names=[f"{prefix}cell-{k}" for k in range(len(pole_xs))],
+        )
         stations: list[CorridorStation] = []
         for index, (array, cell) in enumerate(zip(scene.arrays, cells)):
             source = MovingCollisionSource(
@@ -483,7 +575,7 @@ class CityCorridor:
             )
             stations.append(
                 CorridorStation(
-                    name=f"pole-{index}",
+                    name=f"{prefix}pole-{index}",
                     reader=scene.reader(index),
                     source=source,
                     cell=cell,
@@ -502,7 +594,7 @@ class CityCorridor:
             MovingTag(transponder=tag, trajectory=trajectory)
             for tag, trajectory in zip(scene.tags, trajectories)
         ]
-        return cls(scene.road, stations, tags, rng=rng, **kwargs)
+        return cls(scene.road, stations, tags, rng=rng, name=name, **kwargs)
 
     def subscribe(self, service: object) -> object:
         """Fan every observation into ``service.observe``; returns it."""
@@ -513,22 +605,41 @@ class CityCorridor:
 
     def run(self, duration_s: float) -> CorridorResult:
         """Simulate the corridor for ``duration_s`` seconds."""
+        if self.scheduling == "event":
+            scheduler = EventScheduler()
+            self.prime(scheduler, duration_s)
+            scheduler.run_until(duration_s)
+            return self.finish()
+        self._mark_ran()
+        self._end_s = float(duration_s)
+        self._run_rounds(duration_s, self._cell_transitions(duration_s))
+        return self._result(duration_s)
+
+    def _mark_ran(self) -> None:
         if self._ran:
             raise ConfigurationError(
                 "a CityCorridor instance runs once; build a fresh one"
             )
         self._ran = True
-        self._end_s = float(duration_s)
-        transitions = self._cell_transitions(duration_s)
-        if self.scheduling == "event":
-            self._run_events(duration_s, transitions)
-        else:
-            self._run_rounds(duration_s, transitions)
-        return self._result(duration_s)
 
-    def _run_events(self, duration_s: float, transitions) -> None:
-        scheduler = EventScheduler()
-        for t, kind, tag_index, cell_index in transitions:
+    def prime(self, scheduler: EventScheduler, duration_s: float) -> None:
+        """Plant this corridor's events on an external scheduler.
+
+        The mesh path: several corridors share one
+        :class:`~repro.sim.events.EventScheduler` (and one air log), so
+        instead of :meth:`run` owning the loop, each corridor *primes*
+        the shared scheduler — cell transitions for the tags it already
+        holds, plus every station's first cadence attempt — and the
+        caller drives ``scheduler.run_until`` once for the whole city,
+        then collects per-corridor results via :meth:`finish`. Cars may
+        keep arriving after priming through :meth:`admit`.
+        """
+        if self.scheduling != "event":
+            raise ConfigurationError("prime() requires scheduling='event'")
+        self._mark_ran()
+        self._primed = True
+        self._end_s = float(duration_s)
+        for t, kind, tag_index, cell_index in self._cell_transitions(duration_s):
             scheduler.schedule(
                 t,
                 self._make_transition(kind, tag_index, cell_index),
@@ -538,13 +649,49 @@ class CityCorridor:
         # Every station starts its cadence at t=0: simultaneous queries
         # are benign (§9 rule 1), so there is nothing to stagger — the
         # MAC sorts out the response slots from the first tick on.
+        start_s = scheduler.now_s
         for station in self.stations:
             scheduler.schedule(
-                0.0,
-                self._make_attempt(station, anchor=0.0),
+                start_s,
+                self._make_attempt(station, anchor=start_s),
                 label=f"{station.name}-first",
             )
-        scheduler.run_until(duration_s)
+
+    def admit(self, tag: MovingTag, scheduler: EventScheduler, now_s: float) -> int:
+        """Add a car to a primed corridor mid-run; returns its index.
+
+        The mesh calls this when a routed car enters this corridor edge
+        (its trajectory's ``t0_s`` is the entry time). The tag is
+        rostered into whichever cell holds it right now and its future
+        cell entry/exit crossings are scheduled, exactly as
+        :meth:`prime` does for cars known up front.
+        """
+        if not self._primed:
+            raise ConfigurationError("admit() needs a primed corridor")
+        tag_index = len(self.tags)
+        self.tags.append(tag)
+        x_now = float(tag.position(now_s)[0])
+        for cell_index, station in enumerate(self.stations):
+            cell = station.cell
+            if cell.contains_x(x_now):
+                self._roster[cell_index].add(tag_index)
+                self.ledger.record_cell_entry(now_s, cell.name, tag.tag_id)
+            for x_edge, kind in ((cell.x_min_m, "enter"), (cell.x_max_m, "exit")):
+                t_cross = tag.time_at_x(x_edge)
+                if t_cross is not None and now_s < t_cross <= self._end_s:
+                    scheduler.schedule(
+                        t_cross,
+                        self._make_transition(kind, tag_index, cell_index),
+                        priority=-1,
+                        label=f"{kind}-tag{tag_index}-cell{cell_index}",
+                    )
+        return tag_index
+
+    def finish(self) -> CorridorResult:
+        """Collect this corridor's result after the shared run ended."""
+        if not self._ran:
+            raise ConfigurationError("finish() before run()/prime()")
+        return self._result(self._end_s)
 
     def _run_rounds(self, duration_s: float, transitions) -> None:
         """The lock-step baseline: stations take strict sequential turns.
@@ -646,7 +793,11 @@ class CityCorridor:
         def attempt(scheduler: EventScheduler) -> None:
             now = scheduler.now_s
             if self.use_csma:
-                state = self.air.heard_state(now)
+                state = self.air.heard_state(
+                    now,
+                    x_m=self._station_x[station.name],
+                    hear_range_m=self.interference_range_m,
+                )
                 if not station.mac.can_transmit(now, state):
                     station.queries_deferred += 1
                     retry = station.mac.next_opportunity(now, state)
@@ -691,7 +842,9 @@ class CityCorridor:
         """
         station.rounds += 1
         station.queries_sent += 1
-        self.air.record_query(station.name, t_query)
+        self.air.record_query(
+            station.name, t_query, x_m=self._station_x[station.name]
+        )
         self._note_own_window(station, t_query)
         candidates = self._tags_near(station, t_query)
         if not candidates:
@@ -704,7 +857,10 @@ class CityCorridor:
         response_end = response_start + RESPONSE_DURATION_S
         for tag in candidates:
             self.air.record_response(
-                f"tag{tag.tag_id}", response_start, triggered_by=station.name
+                f"tag{tag.tag_id}",
+                response_start,
+                triggered_by=station.name,
+                x_m=float(tag.position(response_start)[0]),
             )
         now = t_query
         for tag in candidates:
@@ -735,6 +891,8 @@ class CityCorridor:
             response_end,
             exclude_source=station.name,
             exclude_start_s=t_query,
+            x_m=self._station_x[station.name],
+            hear_range_m=self.interference_range_m,
         )
         if corrupted:
             station.corrupted_rounds += 1
@@ -754,7 +912,16 @@ class CityCorridor:
         }
         ids, unknown = resolve_cached_ids(station.identities, cfos, now_s=t_query)
         for cfo, tag_id in sorted(ids.items()):
-            self.ledger.record_own_hit(station.name, tag_id, t_query, cfo)
+            pushed = station.pushed.pop(tag_id, None)
+            if pushed is not None:
+                # The entry was planted here ahead of arrival by an
+                # upstream pole's prediction; its first consumption is a
+                # push hit, not a plain own-cache hit.
+                self.ledger.record_push_hit(
+                    station.name, pushed[0], tag_id, t_query, cfo
+                )
+            else:
+                self.ledger.record_own_hit(station.name, tag_id, t_query, cfo)
 
         # Neighbor handoff: a fingerprint the local cache misses may be
         # sitting one pole upstream — forward it instead of re-decoding.
@@ -774,6 +941,7 @@ class CityCorridor:
                 station.identities.store(cfo, donor_id, now_s=t_query)
                 ids[cfo] = donor_id
                 claimed.add(donor_id)
+                self._push_note_superseded(station, donor_id)
                 self.ledger.record_handoff(
                     station.name, donor.name, donor_id, t_query, cfo
                 )
@@ -795,6 +963,24 @@ class CityCorridor:
             )
 
         self._emit_observations(station, report, ids, t_query, decode_results)
+        if self.on_sighting is not None:
+            # Every id resolved this round (cache hits, pushes, pulls,
+            # fresh decodes) is a sighting the city layer may act on —
+            # the mesh reports it to the identity directory and, under
+            # predictive handoff, plants the entry at the next pole.
+            # The sighting's coordinate is the §6 localized fix when
+            # this round produced one (§7 speed runs on repeated
+            # localization), the pole's own position otherwise.
+            for cfo, tag_id in sorted(ids.items()):
+                hint = station._hints.get(tag_id)
+                localized = hint is not None and hint[1] == t_query
+                if localized:
+                    x_m = float(hint[0][0])
+                else:
+                    x_m = float(station.pole_position_m[0])
+                self.on_sighting(
+                    self, station, tag_id, cfo, t_query, x_m, localized
+                )
         return busy_end
 
     def _decode_burst(
@@ -824,26 +1010,34 @@ class CityCorridor:
         def decode_query(t_rel: float):
             t_requested = t_query + float(t_rel)
             t_actual = max(t_requested, state["cursor"])
+            station_x = self._station_x[station.name]
             if self.use_csma:
-                heard = self.air.heard_state(t_actual)
+                heard = self.air.heard_state(
+                    t_actual, x_m=station_x, hear_range_m=self.interference_range_m
+                )
                 if not station.mac.can_transmit(t_actual, heard):
                     station.queries_deferred += 1
                     t_actual = station.mac.next_opportunity(t_actual, heard)
             station.queries_sent += 1
-            self.air.record_query(station.name, t_actual)
+            self.air.record_query(station.name, t_actual, x_m=station_x)
             self._note_own_window(station, t_actual)
             subset = self._tags_near(station, t_actual)
             start = t_actual + QUERY_DURATION_S + TURNAROUND_S
             corrupted = False
             if subset:
                 response = self.air.record_response(
-                    f"{station.name}-burst", start, triggered_by=station.name
+                    f"{station.name}-burst",
+                    start,
+                    triggered_by=station.name,
+                    x_m=station_x,
                 )
                 corrupted = self.air.any_query_overlapping(
                     response.start_s,
                     response.end_s,
                     exclude_source=station.name,
                     exclude_start_s=t_actual,
+                    x_m=station_x,
+                    hear_range_m=self.interference_range_m,
                 )
                 # The synthesis-time verdict only sees transmissions
                 # recorded so far; _result re-checks this capture against
@@ -887,6 +1081,7 @@ class CityCorridor:
                 tag_id = result.packet.tag_id
                 ids[cfo] = tag_id
                 station.identities.store(cfo, tag_id, now_s=t_query)
+                self._push_note_superseded(station, tag_id)
                 self.ledger.record_decode(
                     station.name,
                     tag_id,
@@ -910,6 +1105,23 @@ class CityCorridor:
                     n_overheard=result.n_overheard,
                 )
         return state["busy_end"]
+
+    def _push_note_superseded(self, station: CorridorStation, tag_id: int) -> None:
+        """A sighting resolved *around* a pushed entry: the push missed.
+
+        The first sighting of a pushed tag can still end in a handoff
+        or a re-decode — the pushed entry was LRU-evicted or aged out
+        before arrival, or the spike drifted outside its tolerance. A
+        note left behind would make the *next* round's plain own-cache
+        hit masquerade as a push hit, so the miss is recorded (and the
+        note cleared) the moment something else resolves the sighting.
+        """
+        note = station.pushed.pop(tag_id, None)
+        if note is not None:
+            from_station, cfo_hz, t_push = note
+            self.ledger.record_push_miss(
+                station.name, from_station, tag_id, t_push, cfo_hz
+            )
 
     # -- the shared response pool -------------------------------------------------
 
@@ -1003,6 +1215,8 @@ class CityCorridor:
                 window.end_s,
                 exclude_source=window.origin,
                 exclude_start_s=window.t_query_s,
+                x_m=self._station_x[station.name],
+                hear_range_m=self.interference_range_m,
             )
             self._overheard_log.append(
                 (
@@ -1083,16 +1297,22 @@ class CityCorridor:
         search per capture bounds the scan to the queries that could
         overlap its window. Returns ``(burst, overheard)`` counts.
         """
-        queries = sorted(self.air.queries(), key=lambda q: q.start_s)
+        queries = self.air.sorted_queries()
         starts = [q.start_s for q in queries]
 
         def stepped_on(
-            start_s: float, end_s: float, own_source: str, own_start_s: float
+            start_s: float,
+            end_s: float,
+            own_source: str,
+            own_start_s: float,
+            receiver_x_m: float,
         ) -> bool:
             lo = bisect.bisect_left(starts, start_s - QUERY_DURATION_S)
             hi = bisect.bisect_left(starts, end_s)
             for query in queries[lo:hi]:
                 if query.source == own_source and query.start_s == own_start_s:
+                    continue
+                if not query.reaches(receiver_x_m, self.interference_range_m):
                     continue
                 if query.start_s < end_s and query.end_s > start_s:
                     return True
@@ -1101,12 +1321,13 @@ class CityCorridor:
         burst = sum(
             1
             for source, t_query, start_s, end_s, _ in self._burst_log
-            if stepped_on(start_s, end_s, source, t_query)
+            if stepped_on(start_s, end_s, source, t_query, self._station_x[source])
         )
         overheard = sum(
             1
-            for _, origin, t_query, start_s, end_s, corrupted in self._overheard_log
-            if not corrupted and stepped_on(start_s, end_s, origin, t_query)
+            for station, origin, t_query, start_s, end_s, corrupted in self._overheard_log
+            if not corrupted
+            and stepped_on(start_s, end_s, origin, t_query, self._station_x[station])
         )
         return burst, overheard
 
@@ -1125,6 +1346,17 @@ class CityCorridor:
         ]
         burst_posthoc, overheard_posthoc = self._recheck_captures_posthoc()
         policies = sorted({s.opportunistic for s in self.stations})
+        # On a shared (mesh) air log / pool, count only what this
+        # corridor's own stations triggered; every response carries
+        # trigger provenance, so the filter is exact (and a no-op for a
+        # private log — every record is ours).
+        own = set(self._station_x)
+        responses = [r for r in self.air.responses() if r.triggered_by in own]
+        corrupted_responses = [
+            r
+            for r in self.air.corrupted_responses(self.interference_range_m)
+            if r.triggered_by in own
+        ]
         return CorridorResult(
             scheduling=self.scheduling,
             duration_s=duration_s,
@@ -1133,8 +1365,8 @@ class CityCorridor:
             rounds=sum(s.rounds for s in self.stations),
             empty_rounds=sum(s.empty_rounds for s in self.stations),
             corrupted_rounds=sum(s.corrupted_rounds for s in self.stations),
-            responses=len(self.air.responses()),
-            corrupted_responses=len(self.air.corrupted_responses()),
+            responses=len(responses),
+            corrupted_responses=len(corrupted_responses),
             n_observations=len(self.observations),
             ledger=self.ledger,
             identifications=identifications,
@@ -1145,7 +1377,7 @@ class CityCorridor:
             ),
             burst_corrupted_posthoc=burst_posthoc,
             opportunistic=policies[0] if len(policies) == 1 else "mixed",
-            overheard_windows=len(self.pool),
+            overheard_windows=sum(1 for w in self.pool.windows if w.origin in own),
             overheard_harvested=len(self._overheard_log),
             overheard_corrupted_at_harvest=sum(
                 1 for entry in self._overheard_log if entry[5]

@@ -1,0 +1,724 @@
+"""The city mesh: a directed graph of corridors on one shared timeline.
+
+One :class:`~repro.sim.city.corridor.CityCorridor` is one street. A city
+is a *graph* of streets: corridors (edges) meeting at intersections
+(nodes), with cars routed edge-to-edge and every reader pole feeding the
+same backend. :class:`CityMesh` is that layer:
+
+* **One timeline, one ether** — every corridor is primed onto a single
+  :class:`~repro.sim.events.EventScheduler` and records onto a single
+  :class:`~repro.sim.medium.AirLog` and
+  :class:`~repro.sim.city.pool.ResponsePool`. Corridor frames are laid
+  out along a global city axis far enough apart that carrier sensing,
+  corruption and overhearing — all gated by
+  ``interference_range_m`` — behave exactly as on one street *within*
+  an edge and not at all *across* edges (distant streets share the
+  clock, not the ether).
+* **Routed traffic** — cars are injected by
+  :class:`~repro.sim.traffic.PoissonArrivals` at an entry edge, follow
+  a route of edges, and dwell at each intersection according to its
+  :class:`~repro.sim.traffic.TrafficLight` (plus a saturation headway
+  between released cars). Each leg is an ordinary
+  :class:`~repro.sim.city.moving.MovingTag` on a
+  :class:`~repro.sim.mobility.ConstantSpeedTrajectory`, admitted into
+  the edge's corridor mid-run.
+* **City-wide identity** — every resolved sighting is reported to the
+  :class:`~repro.sim.city.directory.IdentityDirectory`, the bounded,
+  aging fingerprint service above the per-pole caches; one shared
+  :class:`~repro.sim.city.handoff.HandoffLedger` audits every sighting
+  across the whole mesh (so a re-decode is recognized as waste even
+  when the first decode happened two corridors away).
+* **Predictive push handoff** — under ``handoff="push"`` (the
+  default), a pole whose sighting completes a §7 cross-pole speed
+  estimate (:class:`~repro.core.speed.CrossPoleSpeedTracker`, fed
+  through the directory) pushes the tag's cache entry to the predicted
+  next pole — its downstream neighbor, or across the intersection to
+  the first pole of the predicted successor edge — *ahead of arrival*.
+  The entered corridor's first pole then resolves the tag's first
+  sighting from its own cache at zero decode queries and zero pull
+  latency. ``handoff="pull"`` is the ablation: today's
+  pull-at-sighting semantics, where a corridor boundary always costs a
+  re-decode (the directory still records sightings for audit, but no
+  entry moves ahead of a car).
+
+Mis-pushes are first-class: the successor-edge prediction is a static
+per-intersection policy (the backend does not know each car's route), so
+a car that turns off-route leaves its pushed entry unconsumed — it ages
+out of the target cache, the sweep at run end records a push miss on the
+ledger, and the car simply re-decodes wherever it actually went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...constants import QUERY_PERIOD_S, READER_RANGE_M, RESPONSE_DURATION_S
+from ...errors import ConfigurationError
+from ...utils import as_rng
+from ..scenario import city_corridor_scene, make_tags
+from ..events import EventScheduler
+from ..medium import AirLog
+from ..mobility import ConstantSpeedTrajectory
+from ..traffic import PoissonArrivals, TrafficLight
+from .corridor import CityCorridor, CorridorResult, CorridorStation
+from .directory import IdentityDirectory
+from .handoff import DECODE, HANDOFF, OWN_HIT, PUSH, REDECODE, HandoffLedger
+from .moving import MovingTag
+from .pool import ResponsePool
+
+__all__ = ["MeshNode", "MeshEdge", "CityMesh", "MeshResult"]
+
+#: Sighting kinds that attribute a tag id (the records the cross-corridor
+#: analysis walks). Failures/deferrals carry no id and cannot mark entry.
+_ATTRIBUTED = (OWN_HIT, HANDOFF, PUSH, DECODE, REDECODE)
+
+
+@dataclass(frozen=True)
+class MeshNode:
+    """One intersection: where corridor edges meet.
+
+    Attributes:
+        name: stable identifier.
+        light: the signal governing departure into the next edge; None
+            means an uncontrolled intersection (cars roll through).
+        headway_s: minimum spacing between consecutive cars released
+            into the next edge (the saturation headway of
+            :class:`~repro.sim.traffic.IntersectionSimulator`).
+    """
+
+    name: str
+    light: TrafficLight | None = None
+    headway_s: float = 2.0
+
+    def departure_s(self, arrival_s: float) -> float:
+        """When a car arriving at ``arrival_s`` may proceed (signal
+        only; the per-node release queue adds the headway)."""
+        if self.light is None or self.light.is_go(arrival_s):
+            return arrival_s
+        # Red is the last phase of the cycle, so a red arrival waits
+        # exactly until the next cycle boundary (the green onset).
+        into = (arrival_s - self.light.offset_s) % self.light.cycle_s
+        return arrival_s + (self.light.cycle_s - into)
+
+
+@dataclass
+class MeshEdge:
+    """One corridor edge of the mesh graph.
+
+    Attributes:
+        name: edge label; also the corridor's scope prefix (stations are
+            ``"<name>/pole-k"``).
+        src / dst: intersection names this edge runs from/to; None marks
+            a mesh boundary (cars appear at ``src=None`` edges via
+            traffic sources and vanish after a ``dst=None`` exit).
+        corridor: the edge's :class:`CityCorridor`, sharing the mesh's
+            air log, pool, ledger and scheduler.
+        scene: the edge's deployment (global-frame coordinates).
+    """
+
+    name: str
+    src: str | None
+    dst: str | None
+    corridor: CityCorridor
+    scene: object
+
+    @property
+    def entry_x_m(self) -> float:
+        return float(self.scene.road.x_min_m)
+
+    @property
+    def exit_x_m(self) -> float:
+        return float(self.scene.road.x_max_m)
+
+    @property
+    def first_station(self) -> CorridorStation:
+        return self.corridor.stations[0]
+
+    @property
+    def last_station(self) -> CorridorStation:
+        return self.corridor.stations[-1]
+
+
+@dataclass
+class _TrafficSource:
+    """Poisson car injection at one boundary edge."""
+
+    arrivals: PoissonArrivals
+    routes: list[tuple[tuple[str, ...], float]]
+    speed_range_m_s: tuple[float, float]
+
+
+@dataclass
+class _RoutedCar:
+    """One car working through its route of edges."""
+
+    transponder: object
+    route: tuple[str, ...]
+    speed_m_s: float
+    lane_y_m: float
+    leg: int = 0
+
+
+@dataclass
+class MeshResult:
+    """Everything one :meth:`CityMesh.run` produced.
+
+    Per-edge numbers live in ``edges`` (each a
+    :class:`~repro.sim.city.corridor.CorridorResult`, already filtered
+    to that edge's own traffic); ``ledger`` is the *shared* mesh-wide
+    audit (every edge result references the same object). The
+    cross-corridor fields measure the mesh's reason to exist: of the
+    first sightings of a tag in a corridor it entered from another
+    corridor, how many were resolved by a forwarded/pushed cache entry
+    (``cross_resolved``) versus burned a re-decode
+    (``cross_redecodes``) — and, for entries at the entered corridor's
+    *first* pole, how many decode queries that first sighting cost
+    (``first_pole_queries``; 0 for a push hit, the burst size for a
+    re-decode). ``handoff`` records which policy ran.
+    """
+
+    duration_s: float
+    handoff: str
+    edges: dict[str, CorridorResult]
+    ledger: HandoffLedger
+    directory: dict
+    station_edge: dict[str, str]
+    cars_injected: int
+    cars_transferred: int
+    cars_departed: int
+    cross_entries: int = 0
+    cross_resolved: int = 0
+    cross_redecodes: int = 0
+    first_pole_queries: list[int] = field(default_factory=list)
+    responses: int = 0
+    corrupted_responses: int = 0
+
+    @property
+    def queries_sent(self) -> int:
+        return sum(r.queries_sent for r in self.edges.values())
+
+    @property
+    def cross_resolution_rate(self) -> float:
+        """Fraction of cross-corridor entries resolved without a
+        re-decode (pushed or pulled cache entry)."""
+        return self.cross_resolved / self.cross_entries if self.cross_entries else 0.0
+
+    @property
+    def mean_first_pole_queries(self) -> float:
+        """Mean decode queries spent on a tag's first sighting at the
+        entered corridor's first pole (the push-vs-pull headline)."""
+        if not self.first_pole_queries:
+            return float("nan")
+        return float(np.mean(self.first_pole_queries))
+
+    def summary(self) -> dict:
+        """Headline numbers, JSON-friendly."""
+        return {
+            "duration_s": self.duration_s,
+            "handoff": self.handoff,
+            "cars_injected": self.cars_injected,
+            "cars_transferred": self.cars_transferred,
+            "cars_departed": self.cars_departed,
+            "queries_sent": self.queries_sent,
+            "responses": self.responses,
+            "corrupted_responses": self.corrupted_responses,
+            "cross_corridor": {
+                "entries": self.cross_entries,
+                "resolved": self.cross_resolved,
+                "redecodes": self.cross_redecodes,
+                "resolution_rate": self.cross_resolution_rate,
+                "first_pole_sightings": len(self.first_pole_queries),
+                "mean_first_pole_queries": self.mean_first_pole_queries,
+            },
+            "handoff_ledger": self.ledger.summary(),
+            "directory": self.directory,
+            "edges": {name: r.summary() for name, r in self.edges.items()},
+        }
+
+
+class CityMesh:
+    """A directed graph of reader corridors sharing one timeline.
+
+    Build order: :meth:`add_node` the intersections, :meth:`add_edge`
+    the corridors between them, :meth:`add_traffic` the arrival
+    processes, then :meth:`run` once (like the corridor, an instance
+    runs a single world — build a fresh mesh per run).
+
+    Attributes:
+        handoff: cross-pole identity policy — ``"push"`` (default:
+            predictive push handoff; §7 speed estimates plant cache
+            entries at the predicted next pole, across intersections)
+            or ``"pull"`` (ablation: today's pull-at-sighting
+            semantics — corridor-boundary sightings re-decode; the
+            directory only audits). Within-corridor neighbor pull is
+            active under both policies — push rides on top of it.
+        directory: the city-wide identity service (a default-bounded
+            :class:`IdentityDirectory` unless one is supplied).
+        interference_range_m: along-city distance beyond which
+            transmitters are inaudible. Every edge must fit inside it
+            (so one street keeps single-street semantics) and the
+            frame gap must exceed it (so streets never interfere);
+            both are validated.
+        frame_gap_m: spacing between consecutive edge frames on the
+            global axis.
+        push_horizon_s: do not push for predicted arrivals further out
+            than this (the entry would age toward uselessness first).
+    """
+
+    def __init__(
+        self,
+        *,
+        rng=None,
+        handoff: str = "push",
+        directory: IdentityDirectory | None = None,
+        interference_range_m: float = 500.0,
+        frame_gap_m: float = 1000.0,
+        push_horizon_s: float = 60.0,
+        max_queries: int = 32,
+    ) -> None:
+        if handoff not in ("push", "pull"):
+            raise ConfigurationError(f"unknown handoff policy {handoff!r}")
+        if frame_gap_m <= interference_range_m + 2.0 * READER_RANGE_M:
+            raise ConfigurationError(
+                "frame gap must exceed the interference range (plus radio "
+                "slack): distinct streets may not share the ether"
+            )
+        self.rng = as_rng(rng)
+        self.handoff = handoff
+        self.directory = directory if directory is not None else IdentityDirectory()
+        self.interference_range_m = float(interference_range_m)
+        self.frame_gap_m = float(frame_gap_m)
+        self.push_horizon_s = float(push_horizon_s)
+        self.max_queries = int(max_queries)
+        slack_s = max(
+            0.25, self.max_queries * QUERY_PERIOD_S + RESPONSE_DURATION_S + 0.05
+        )
+        self.air = AirLog(sense_slack_s=slack_s)
+        self.pool = ResponsePool(slack_s=slack_s)
+        self.ledger = HandoffLedger()
+        self.nodes: dict[str, MeshNode] = {}
+        self.edges: dict[str, MeshEdge] = {}
+        self.services: list[object] = []
+        self._sources: list[_TrafficSource] = []
+        self._cursor_x_m = 0.0
+        self._node_next_free: dict[str, float] = {}
+        self._predicted_next: dict[str, str] = {}
+        self._scheduler: EventScheduler | None = None
+        self._end_s = 0.0
+        self.cars_injected = 0
+        self.cars_transferred = 0
+        self.cars_departed = 0
+        self._ran = False
+
+    # -- graph construction ------------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        light: TrafficLight | None = None,
+        headway_s: float = 2.0,
+    ) -> MeshNode:
+        """Declare an intersection; returns it."""
+        if name in self.nodes:
+            raise ConfigurationError(f"duplicate node {name!r}")
+        node = MeshNode(name=name, light=light, headway_s=float(headway_s))
+        self.nodes[name] = node
+        return node
+
+    def add_edge(
+        self,
+        name: str,
+        *,
+        src: str | None = None,
+        dst: str | None = None,
+        n_poles: int = 2,
+        pole_spacing_m: float = 40.0,
+        lane_ys_m: tuple[float, ...] = (-1.75, -5.25),
+        **corridor_kwargs,
+    ) -> MeshEdge:
+        """Add one corridor edge running ``src -> dst``; returns it.
+
+        The edge's scene is laid out at the next free slot on the
+        global city axis and its corridor is built on the mesh's shared
+        air log, response pool, ledger and sighting hook. Extra keyword
+        arguments flow to :meth:`CityCorridor.build` (cadence, decode
+        budget, CSMA/opportunistic policies, ...).
+        """
+        if name in self.edges:
+            raise ConfigurationError(f"duplicate edge {name!r}")
+        for node_name in (src, dst):
+            if node_name is not None and node_name not in self.nodes:
+                raise ConfigurationError(f"unknown node {node_name!r}")
+        if self._ran:
+            raise ConfigurationError("the mesh already ran")
+        span_m = n_poles * pole_spacing_m
+        if span_m > self.interference_range_m:
+            raise ConfigurationError(
+                f"edge {name!r} spans {span_m:.0f} m, beyond the "
+                f"{self.interference_range_m:.0f} m interference range — "
+                "its own poles could not all hear each other"
+            )
+        origin_x_m = self._cursor_x_m + pole_spacing_m / 2.0
+        scene, _ = city_corridor_scene(
+            n_poles=n_poles,
+            pole_spacing_m=pole_spacing_m,
+            lane_ys_m=lane_ys_m,
+            n_cars=0,
+            origin_x_m=origin_x_m,
+            rng=self.rng,
+        )
+        self._cursor_x_m = float(scene.road.x_max_m) + self.frame_gap_m
+        corridor_kwargs.setdefault("max_queries", self.max_queries)
+        corridor = CityCorridor.build(
+            scene,
+            [],
+            lane_ys_m=lane_ys_m,
+            rng=self.rng,
+            name=name,
+            scheduling="event",
+            air=self.air,
+            pool=self.pool,
+            ledger=self.ledger,
+            interference_range_m=self.interference_range_m,
+            on_sighting=self._on_sighting,
+            **corridor_kwargs,
+        )
+        edge = MeshEdge(name=name, src=src, dst=dst, corridor=corridor, scene=scene)
+        self.edges[name] = edge
+        return edge
+
+    def add_traffic(
+        self,
+        routes,
+        rate_per_s: float,
+        speed_range_m_s: tuple[float, float] = (8.0, 18.0),
+    ) -> None:
+        """Attach a Poisson arrival process to the mesh.
+
+        ``routes`` is a list of ``(route, weight)`` pairs — each route a
+        tuple of edge names a car follows in order; weights are the
+        relative probabilities a new arrival draws its route with. All
+        routes of one source must start at the same boundary edge, and
+        consecutive edges must be joined by a shared intersection.
+        """
+        routes = [
+            (tuple(route), float(weight)) for route, weight in routes
+        ]
+        if not routes or any(w <= 0 for _, w in routes):
+            raise ConfigurationError("need routes with positive weights")
+        entry = {route[0] for route, _ in routes}
+        if len(entry) != 1:
+            raise ConfigurationError("one source, one entry edge")
+        for route, _ in routes:
+            for here, there in zip(route, route[1:]):
+                edge = self._edge(here)
+                nxt = self._edge(there)
+                if edge.dst is None or edge.dst != nxt.src:
+                    raise ConfigurationError(
+                        f"route hop {here!r} -> {there!r} crosses no shared "
+                        "intersection"
+                    )
+        self._sources.append(
+            _TrafficSource(
+                arrivals=PoissonArrivals(float(rate_per_s), rng=self.rng),
+                routes=routes,
+                speed_range_m_s=(float(speed_range_m_s[0]), float(speed_range_m_s[1])),
+            )
+        )
+
+    def subscribe(self, service: object) -> object:
+        """Fan every corridor's observations into ``service.observe``."""
+        self.services.append(service)
+        return service
+
+    def _edge(self, name: str) -> MeshEdge:
+        edge = self.edges.get(name)
+        if edge is None:
+            raise ConfigurationError(f"unknown edge {name!r}")
+        return edge
+
+    # -- the run -----------------------------------------------------------------
+
+    def run(self, duration_s: float) -> MeshResult:
+        """Simulate the whole mesh for ``duration_s`` seconds."""
+        if self._ran:
+            raise ConfigurationError("a CityMesh instance runs once; build a fresh one")
+        if not self.edges:
+            raise ConfigurationError("a mesh needs at least one edge")
+        self._ran = True
+        self._end_s = float(duration_s)
+        self._predicted_next = self._turn_policy()
+        scheduler = EventScheduler()
+        self._scheduler = scheduler
+        for edge in self.edges.values():
+            for service in self.services:
+                edge.corridor.subscribe(service)
+            edge.corridor.prime(scheduler, duration_s)
+        for car, t_arrival in self._draw_cars(duration_s):
+            scheduler.schedule(
+                t_arrival,
+                self._make_entry(car),
+                label=f"car{car.transponder.tag_id}-enter",
+            )
+        scheduler.run_until(duration_s)
+        return self._finish(duration_s)
+
+    def _turn_policy(self) -> dict[str, str]:
+        """The static per-edge successor prediction pushes aim at.
+
+        The backend does not know an individual car's route; it knows
+        the traffic mix. For each edge the predicted successor is the
+        outgoing edge carrying the largest expected flow (arrival rate
+        x route weight), falling back to the first declared successor
+        where no route continues. Cars off the predicted turn become
+        push misses — the cost the ledger audits.
+        """
+        mass: dict[tuple[str, str], float] = {}
+        for source in self._sources:
+            total = sum(w for _, w in source.routes)
+            for route, weight in source.routes:
+                share = source.arrivals.rate_per_s * weight / total
+                for here, there in zip(route, route[1:]):
+                    mass[(here, there)] = mass.get((here, there), 0.0) + share
+        policy: dict[str, str] = {}
+        for name, edge in self.edges.items():
+            if edge.dst is None:
+                continue
+            successors = [e.name for e in self.edges.values() if e.src == edge.dst]
+            if not successors:
+                continue
+            policy[name] = max(
+                successors, key=lambda s: (mass.get((name, s), 0.0), -successors.index(s))
+            )
+        return policy
+
+    def _draw_cars(self, duration_s: float) -> list[tuple[_RoutedCar, float]]:
+        """All arrivals of the run, with routes, speeds, lanes and
+        transponders drawn up front in one deterministic sweep."""
+        plan: list[tuple[tuple[str, ...], float, float, float]] = []
+        for source in self._sources:
+            times = source.arrivals.arrivals_until(0.0, duration_s)
+            total = sum(w for _, w in source.routes)
+            entry_edge = self._edge(source.routes[0][0][0])
+            lane_ys = tuple(entry_edge.first_station.cell.lane_ys_m)
+            for t in times:
+                pick = float(self.rng.uniform(0.0, total))
+                route = source.routes[-1][0]
+                for candidate, weight in source.routes:
+                    if pick < weight:
+                        route = candidate
+                        break
+                    pick -= weight
+                speed = float(self.rng.uniform(*source.speed_range_m_s))
+                lane_y = float(lane_ys[int(self.rng.integers(0, len(lane_ys)))])
+                plan.append((route, float(t), speed, lane_y))
+        if not plan:
+            return []
+        positions = [
+            [self._edge(route[0]).entry_x_m, lane_y, 1.0]
+            for route, _, _, lane_y in plan
+        ]
+        transponders = make_tags(np.array(positions), rng=self.rng)
+        return [
+            (
+                _RoutedCar(
+                    transponder=transponder,
+                    route=route,
+                    speed_m_s=speed,
+                    lane_y_m=lane_y,
+                ),
+                t,
+            )
+            for (route, t, speed, lane_y), transponder in zip(plan, transponders)
+        ]
+
+    # -- car movement ------------------------------------------------------------
+
+    def _make_entry(self, car: _RoutedCar):
+        def enter(scheduler: EventScheduler) -> None:
+            self._enter_edge(car, scheduler, scheduler.now_s)
+
+        return enter
+
+    def _enter_edge(
+        self, car: _RoutedCar, scheduler: EventScheduler, now_s: float
+    ) -> None:
+        edge = self._edge(car.route[car.leg])
+        trajectory = ConstantSpeedTrajectory(
+            start_m=np.array([edge.entry_x_m, car.lane_y_m, 1.0]),
+            velocity_m_s=np.array([car.speed_m_s, 0.0, 0.0]),
+            t0_s=now_s,
+        )
+        tag = MovingTag(transponder=car.transponder, trajectory=trajectory)
+        edge.corridor.admit(tag, scheduler, now_s)
+        self.cars_injected += 1
+        t_exit = now_s + (edge.exit_x_m - edge.entry_x_m) / car.speed_m_s
+        if t_exit <= self._end_s:
+            scheduler.schedule(
+                t_exit,
+                self._make_exit(car, edge),
+                label=f"car{car.transponder.tag_id}-exit-{edge.name}",
+            )
+
+    def _make_exit(self, car: _RoutedCar, edge: MeshEdge):
+        def exit_edge(scheduler: EventScheduler) -> None:
+            self._exit_edge(car, edge, scheduler, scheduler.now_s)
+
+        return exit_edge
+
+    def _exit_edge(
+        self, car: _RoutedCar, edge: MeshEdge, scheduler: EventScheduler, now_s: float
+    ) -> None:
+        car.leg += 1
+        if car.leg >= len(car.route):
+            self.cars_departed += 1
+            return
+        node = self.nodes[edge.dst]
+        depart_s = self._release(node, now_s)
+        if depart_s <= self._end_s:
+            self.cars_transferred += 1
+            scheduler.schedule(
+                depart_s,
+                self._make_entry(car),
+                label=f"car{car.transponder.tag_id}-enter-{car.route[car.leg]}",
+            )
+
+    def _release(self, node: MeshNode, arrival_s: float) -> float:
+        """Intersection dwell: wait for the car ahead (saturation
+        headway), then for the signal. The signal check runs on the
+        headway-delayed instant, so a queue draining through a short
+        green holds the remainder for the *next* green instead of
+        releasing cars into the red."""
+        earliest_s = max(arrival_s, self._node_next_free.get(node.name, 0.0))
+        depart_s = node.departure_s(earliest_s)
+        self._node_next_free[node.name] = depart_s + node.headway_s
+        return depart_s
+
+    # -- predictive push ---------------------------------------------------------
+
+    def _on_sighting(
+        self,
+        corridor: CityCorridor,
+        station: CorridorStation,
+        tag_id: int,
+        cfo_hz: float,
+        t_s: float,
+        x_m: float,
+        localized: bool,
+    ) -> None:
+        """Corridor hook: audit the sighting; maybe push ahead of it.
+
+        Only §6-localized fixes feed the §7 speed estimator (a
+        pole-position stand-in would poison the ratio); the corridor
+        name is the estimator's coordinate frame, so crossings rebase
+        instead of pairing across the layout gap.
+        """
+        edge = self.edges[corridor.name]
+        estimate = self.directory.report(
+            tag_id, cfo_hz, station.name, edge.name, x_m, t_s, localized=localized
+        )
+        if self.handoff != "push" or estimate is None:
+            return
+        if estimate.speed_m_s <= 0.5:
+            return  # effectively parked: no meaningful arrival prediction
+        target, distance_m = self._predict_target(edge, station, x_m)
+        if target is None or tag_id in target.identities or tag_id in target.pushed:
+            return
+        eta_s = t_s + max(distance_m, 0.0) / estimate.speed_m_s
+        if eta_s - t_s > self.push_horizon_s:
+            return
+        target.receive_push(cfo_hz, tag_id, from_station=station.name, now_s=t_s)
+        self.ledger.record_push(
+            target.name, station.name, tag_id, t_s, cfo_hz, eta_s=eta_s
+        )
+
+    def _predict_target(
+        self, edge: MeshEdge, station: CorridorStation, x_m: float
+    ) -> tuple[CorridorStation | None, float]:
+        """The pole a car at ``x_m`` reaches next, and the road distance
+        to it — the downstream neighbor, or the first pole of the
+        predicted successor edge when the car is at the last pole."""
+        if station.downstream is not None:
+            return (
+                station.downstream,
+                float(station.downstream.pole_position_m[0]) - x_m,
+            )
+        successor = self._predicted_next.get(edge.name)
+        if successor is None:
+            return None, 0.0
+        succ = self.edges[successor]
+        target = succ.first_station
+        distance_m = (edge.exit_x_m - x_m) + (
+            float(target.pole_position_m[0]) - succ.entry_x_m
+        )
+        return target, distance_m
+
+    # -- results -----------------------------------------------------------------
+
+    def _finish(self, duration_s: float) -> MeshResult:
+        # Sweep speculative pushes that no sighting ever consumed: the
+        # car turned off-route, parked, or the run ended first.
+        for edge in self.edges.values():
+            for station in edge.corridor.stations:
+                for tag_id in sorted(station.pushed):
+                    from_station, cfo_hz, t_push = station.pushed[tag_id]
+                    self.ledger.record_push_miss(
+                        station.name, from_station, tag_id, t_push, cfo_hz
+                    )
+        station_edge = {
+            station.name: edge.name
+            for edge in self.edges.values()
+            for station in edge.corridor.stations
+        }
+        result = MeshResult(
+            duration_s=duration_s,
+            handoff=self.handoff,
+            edges={name: e.corridor.finish() for name, e in self.edges.items()},
+            ledger=self.ledger,
+            directory=self.directory.summary(),
+            station_edge=station_edge,
+            cars_injected=self.cars_injected,
+            cars_transferred=self.cars_transferred,
+            cars_departed=self.cars_departed,
+            responses=len(self.air.responses()),
+            corrupted_responses=len(
+                self.air.corrupted_responses(self.interference_range_m)
+            ),
+        )
+        self._cross_corridor_stats(result, station_edge)
+        return result
+
+    def _cross_corridor_stats(
+        self, result: MeshResult, station_edge: dict[str, str]
+    ) -> None:
+        """Walk the shared ledger and score every cross-corridor entry.
+
+        A cross-corridor entry is a tag's first attributed sighting in
+        an edge after being known in some *other* edge. It was resolved
+        (pushed/pulled cache entry) or it cost a re-decode; entries at
+        the edge's first pole additionally contribute their decode-query
+        cost to the push-vs-pull headline.
+        """
+        first_poles = {e.first_station.name: e.name for e in self.edges.values()}
+        edges_knowing: dict[int, set[str]] = {}
+        ordered = sorted(
+            enumerate(self.ledger.records), key=lambda p: (p[1].t_s, p[0])
+        )
+        for _, record in ordered:
+            if record.tag_id is None or record.kind not in _ATTRIBUTED:
+                continue
+            edge_name = station_edge.get(record.station)
+            if edge_name is None:
+                continue
+            known = edges_knowing.setdefault(record.tag_id, set())
+            if known and edge_name not in known:
+                result.cross_entries += 1
+                if record.kind in (HANDOFF, PUSH):
+                    result.cross_resolved += 1
+                elif record.kind == REDECODE:
+                    result.cross_redecodes += 1
+                if first_poles.get(record.station) == edge_name:
+                    result.first_pole_queries.append(record.n_queries)
+            known.add(edge_name)

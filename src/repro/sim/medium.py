@@ -53,6 +53,13 @@ class Transmission:
     *every* reader in range — the shared-medium bookkeeping (e.g. the
     city corridor's cross-pole response pool) uses this field to tie
     overheard captures back to the transmission that explains them.
+
+    ``x_m`` is the transmitter's along-city coordinate, when the caller
+    models a deployment larger than one street: a city mesh shares one
+    time axis across corridors that are physically far apart, and a
+    query on one street neither carrier-senses nor corrupts anything on
+    another. None (the default) means "audible everywhere" — the
+    single-street behavior every pre-mesh caller gets unchanged.
     """
 
     kind: TxKind
@@ -60,9 +67,22 @@ class Transmission:
     start_s: float
     end_s: float
     triggered_by: str | None = None
+    x_m: float | None = None
 
     def overlaps(self, other: "Transmission") -> bool:
         return self.start_s < other.end_s and other.start_s < self.end_s
+
+    def reaches(self, x_m: float | None, range_m: float | None) -> bool:
+        """Whether a listener at ``x_m`` hears this transmission.
+
+        Distance gating only applies when all three of the
+        transmission's coordinate, the listener's coordinate and the
+        range are known — any None falls back to "hears everything",
+        the single-street model.
+        """
+        if range_m is None or x_m is None or self.x_m is None:
+            return True
+        return abs(self.x_m - x_m) <= range_m
 
 
 class AirLog:
@@ -89,6 +109,13 @@ class AirLog:
         self.transmissions: list[Transmission] = []
         self._queries: list[Transmission] = []
         self._sense_cursor = 0
+        # End-of-run sweeps over a *shared* log are repeated per caller
+        # (every mesh corridor collects its own result); the log is
+        # append-only, so one-slot caches keyed by record count make
+        # the repeats O(1) instead of re-sorting/re-scanning the whole
+        # city's history each time.
+        self._sorted_queries_cache: tuple[int, list[Transmission]] | None = None
+        self._corrupted_cache: tuple[tuple[int, float | None], list[Transmission]] | None = None
 
     def record(self, tx: Transmission) -> Transmission:
         """Append one transmission; returns it for chaining."""
@@ -97,20 +124,33 @@ class AirLog:
             self._queries.append(tx)
         return tx
 
-    def record_query(self, source: str, start_s: float) -> Transmission:
-        """Record a standard 20 µs query starting at ``start_s``."""
+    def record_query(
+        self, source: str, start_s: float, x_m: float | None = None
+    ) -> Transmission:
+        """Record a standard 20 µs query starting at ``start_s``.
+
+        ``x_m`` optionally places the transmitter along the city axis
+        (see :class:`Transmission`); omit it for single-street worlds.
+        """
         return self.record(
-            Transmission(TxKind.QUERY, source, start_s, start_s + QUERY_DURATION_S)
+            Transmission(
+                TxKind.QUERY, source, start_s, start_s + QUERY_DURATION_S, x_m=x_m
+            )
         )
 
     def record_response(
-        self, source: str, start_s: float, triggered_by: str | None = None
+        self,
+        source: str,
+        start_s: float,
+        triggered_by: str | None = None,
+        x_m: float | None = None,
     ) -> Transmission:
         """Record a standard 512 µs tag response starting at ``start_s``.
 
         ``triggered_by`` names the reader whose query opened the window,
         so overheard-capture bookkeeping can find the on-air record that
-        backs each synthesized capture.
+        backs each synthesized capture. ``x_m`` optionally places the
+        responding tag along the city axis.
         """
         return self.record(
             Transmission(
@@ -119,11 +159,22 @@ class AirLog:
                 start_s,
                 start_s + RESPONSE_DURATION_S,
                 triggered_by=triggered_by,
+                x_m=x_m,
             )
         )
 
     def queries(self) -> list[Transmission]:
         return list(self._queries)
+
+    def sorted_queries(self) -> list[Transmission]:
+        """Every query in start-time order (cached until the next
+        record — callers must not mutate the returned list)."""
+        cache = self._sorted_queries_cache
+        if cache is None or cache[0] != len(self._queries):
+            ordered = sorted(self._queries, key=lambda q: q.start_s)
+            self._sorted_queries_cache = (len(self._queries), ordered)
+            return ordered
+        return cache[1]
 
     def any_query_overlapping(
         self,
@@ -131,14 +182,18 @@ class AirLog:
         end_s: float,
         exclude_source: str | None = None,
         exclude_start_s: float | None = None,
+        x_m: float | None = None,
+        hear_range_m: float | None = None,
     ) -> bool:
         """Whether any recorded query steps on the interval.
 
         ``exclude_source``/``exclude_start_s`` skip one transmission (a
-        caller's own query). Queries are recorded in near time order, so
-        the scan walks back from the newest record and stops once it is
-        ``sense_slack_s`` past any possible overlap — O(recent traffic),
-        not O(run history).
+        caller's own query). ``x_m``/``hear_range_m`` restrict the check
+        to queries a receiver at that along-city coordinate could hear
+        (a mesh question; both default off). Queries are recorded in
+        near time order, so the scan walks back from the newest record
+        and stops once it is ``sense_slack_s`` past any possible overlap
+        — O(recent traffic), not O(run history).
         """
         for query in reversed(self._queries):
             if query.end_s < start_s - self.sense_slack_s:
@@ -147,6 +202,8 @@ class AirLog:
                 # can still reach the interval.
                 break
             if query.start_s >= end_s or query.end_s <= start_s:
+                continue
+            if not query.reaches(x_m, hear_range_m):
                 continue
             if (
                 exclude_source is not None
@@ -160,7 +217,13 @@ class AirLog:
     def responses(self) -> list[Transmission]:
         return [t for t in self.transmissions if t.kind is TxKind.RESPONSE]
 
-    def heard_state(self, now_s: float, horizon_s: float = 10e-3) -> CsmaState:
+    def heard_state(
+        self,
+        now_s: float,
+        horizon_s: float = 10e-3,
+        x_m: float | None = None,
+        hear_range_m: float | None = None,
+    ) -> CsmaState:
         """What a reader carrier-sensing at ``now_s`` knows about the air.
 
         A started transmission contributes its full interval (the
@@ -169,11 +232,14 @@ class AirLog:
         start still lies in the future are *announced*: a decode burst's
         remaining 1 ms-cadence queries (§12.4) are predictable from its
         first, and the MAC keeps its own response slot clear of them.
-        Transmissions ending more than ``horizon_s`` before ``now_s``
-        are dropped — they cannot affect a 120 µs listen decision — and
-        a cursor skips the long-dead prefix of the log (records are
-        appended in near time order), so sensing cost tracks recent
-        traffic instead of the whole run's history.
+        ``x_m``/``hear_range_m`` place the listener along the city axis:
+        transmissions farther than the hearing range contribute nothing
+        (distant streets share the clock, not the ether); both default
+        off. Transmissions ending more than ``horizon_s`` before
+        ``now_s`` are dropped — they cannot affect a 120 µs listen
+        decision — and a cursor skips the long-dead prefix of the log
+        (records are appended in near time order), so sensing cost
+        tracks recent traffic instead of the whole run's history.
         """
         floor = now_s - horizon_s
         prune_floor = floor - self.sense_slack_s
@@ -189,25 +255,49 @@ class AirLog:
             [
                 (tx.start_s, tx.end_s, tx.kind.value)
                 for tx in transmissions[cursor:]
-                if tx.end_s >= floor
+                if tx.end_s >= floor and tx.reaches(x_m, hear_range_m)
             ]
         )
 
-    def corrupted_responses(self) -> list[Transmission]:
-        """Responses overlapped by some reader's query transmission."""
-        queries = sorted(self.queries(), key=lambda t: t.start_s)
+    def corrupted_responses(
+        self, interference_range_m: float | None = None
+    ) -> list[Transmission]:
+        """Responses overlapped by some reader's query transmission.
+
+        ``interference_range_m`` gates corruption by along-city distance
+        between the query and the response (mesh worlds; positions or
+        range missing fall back to "everything interferes"). The sweep
+        is cached until the next record, so per-corridor result
+        collection over one shared mesh log pays for it once (callers
+        must not mutate the returned list).
+        """
+        key = (len(self.transmissions), interference_range_m)
+        cache = self._corrupted_cache
+        if cache is not None and cache[0] == key:
+            return cache[1]
+        queries = self.sorted_queries()
         starts = [q.start_s for q in queries]
         corrupted = []
         for response in self.responses():
             # Only queries starting before the response ends can overlap.
             hi = bisect.bisect_left(starts, response.end_s)
-            if any(q.overlaps(response) for q in queries[:hi]):
+            if any(
+                q.overlaps(response) and q.reaches(response.x_m, interference_range_m)
+                for q in queries[:hi]
+            ):
                 corrupted.append(response)
+        self._corrupted_cache = (key, corrupted)
         return corrupted
 
-    def response_corrupted(self, response: Transmission) -> bool:
-        """Whether one response interval was stepped on by any query."""
-        return any(q.overlaps(response) for q in self.queries())
+    def response_corrupted(
+        self, response: Transmission, interference_range_m: float | None = None
+    ) -> bool:
+        """Whether one response interval was stepped on by any query
+        (within the interference range, when given)."""
+        return any(
+            q.overlaps(response) and q.reaches(response.x_m, interference_range_m)
+            for q in self.queries()
+        )
 
 
 @dataclass

@@ -271,6 +271,7 @@ def city_corridor_scene(
     entry: str = "stream",
     pole_height_m: float = EXPERIMENT_POLE_HEIGHT_M,
     pole_setback_m: float = 1.0,
+    origin_x_m: float = 0.0,
     rng=None,
     cfo_model: CfoModel | None = None,
 ):
@@ -286,6 +287,11 @@ def city_corridor_scene(
     pole has traffic from the first query (useful for short saturation
     runs).
 
+    ``origin_x_m`` shifts the whole deployment (poles, road, cars) along
+    the city axis: a :class:`~repro.sim.city.mesh.CityMesh` lays its
+    corridor edges out in one global frame, far enough apart that
+    different streets share the clock but not the ether.
+
     Returns:
         ``(scene, trajectories)`` — a :class:`Scene` whose tags sit at
         their entry positions, plus one
@@ -299,8 +305,8 @@ def city_corridor_scene(
         raise ConfigurationError("car count must be non-negative")
     from .mobility import ConstantSpeedTrajectory
 
-    pole_xs = [k * pole_spacing_m for k in range(n_poles)]
-    x_min = -pole_spacing_m / 2.0
+    pole_xs = [origin_x_m + k * pole_spacing_m for k in range(n_poles)]
+    x_min = origin_x_m - pole_spacing_m / 2.0
     x_max = pole_xs[-1] + pole_spacing_m / 2.0
     y_lo = min(lane_ys_m) - LANE_WIDTH_M / 2.0
     y_hi = max(lane_ys_m) + LANE_WIDTH_M / 2.0

@@ -1,0 +1,136 @@
+"""Unit tests for repro.sim.city.directory (the city-wide identity service)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.city import IdentityDirectory
+
+
+def report(directory, tag_id, cfo_hz, t_s, station="A/pole-0", corridor="A", x_m=0.0):
+    return directory.report(tag_id, cfo_hz, station, corridor, x_m, t_s)
+
+
+class TestResolution:
+    def test_report_then_resolve(self):
+        directory = IdentityDirectory()
+        report(directory, 7, 500e3, 1.0)
+        assert directory.resolve(500.4e3) == 7
+        assert directory.resolve(900e3) is None
+        assert directory.summary()["hits"] == 1
+        assert directory.summary()["misses"] == 1
+        assert 7 in directory
+        assert directory.ids() == [7]
+
+    def test_bounds_are_mandatory(self):
+        with pytest.raises(ConfigurationError):
+            IdentityDirectory(max_entries=None)
+        with pytest.raises(ConfigurationError):
+            IdentityDirectory(max_age_s=None)
+
+    def test_trail_is_bounded_and_ordered(self):
+        directory = IdentityDirectory()
+        for k in range(6):
+            report(
+                directory, 7, 500e3, float(k), station=f"A/pole-{k}", x_m=40.0 * k
+            )
+        trail = directory.trail(7)
+        assert len(trail) == 4  # TRAIL_LENGTH
+        assert [fix.t_s for fix in trail] == [2.0, 3.0, 4.0, 5.0]
+        assert directory.last_fix(7).station == "A/pole-5"
+
+
+class TestSpeedFromTrail:
+    def test_cross_pole_fixes_yield_speed(self):
+        directory = IdentityDirectory()
+        assert report(directory, 7, 500e3, 0.0, station="A/pole-0", x_m=0.0) is None
+        estimate = report(directory, 7, 500e3, 4.0, station="A/pole-1", x_m=52.0)
+        assert estimate is not None
+        assert estimate.speed_m_s == pytest.approx(13.0)
+        assert directory.speed_estimate(7).speed_m_s == pytest.approx(13.0)
+
+    def test_same_pole_reports_never_estimate(self):
+        directory = IdentityDirectory()
+        for t in (0.0, 1.0, 2.0):
+            assert report(directory, 7, 500e3, t) is None
+        assert directory.speed_estimate(7) is None
+
+    def test_unlocalized_sightings_audit_but_never_estimate(self):
+        """A sighting whose x is only the pole's own position (the
+        round produced no §6 fix) belongs in the trail but would poison
+        a speed ratio — it must never reach the estimator."""
+        directory = IdentityDirectory()
+        directory.report(7, 500e3, "A/pole-0", "A", 0.0, 0.0, localized=False)
+        estimate = directory.report(
+            7, 500e3, "A/pole-1", "A", 40.0, 4.0, localized=False
+        )
+        assert estimate is None
+        assert directory.speed_estimate(7) is None
+        assert len(directory.trail(7)) == 2  # the audit still has both
+
+    def test_cross_corridor_reports_rebase(self):
+        """Corridor frames are disjoint: a crossing must not difference
+        positions across the mesh layout gap."""
+        directory = IdentityDirectory()
+        report(directory, 7, 500e3, 0.0, station="A/pole-1", corridor="A", x_m=80.0)
+        estimate = directory.report(
+            7, 500e3, "B/pole-0", "B", 1100.0, 5.0
+        )
+        assert estimate is None
+        assert directory.speed_estimate(7) is None
+
+
+class TestBoundsUnderConcurrentCorridorUpdates:
+    """The mesh's corridors interleave their report() calls on one
+    directory (the discrete-event equivalent of concurrent writers).
+    LRU eviction and aging must keep the fingerprint index, the trails
+    and the speed anchors consistent through any interleaving."""
+
+    def test_lru_eviction_stays_consistent(self):
+        directory = IdentityDirectory(max_entries=8)
+        rng = np.random.default_rng(3)
+        corridors = ("A", "B", "C")
+        t = 0.0
+        for step in range(400):
+            tag_id = int(rng.integers(0, 30))
+            corridor = corridors[step % len(corridors)]
+            t += float(rng.uniform(0.0, 0.1))
+            report(
+                directory,
+                tag_id,
+                400e3 + 7e3 * tag_id,
+                t,
+                station=f"{corridor}/pole-{step % 2}",
+                corridor=corridor,
+                x_m=float(rng.uniform(0.0, 100.0)),
+            )
+            assert len(directory) <= 8
+            directory.check_consistent()
+        assert directory.summary()["evictions"] > 0
+
+    def test_aging_drops_trails_and_anchors_together(self):
+        directory = IdentityDirectory(max_age_s=10.0)
+        report(directory, 7, 500e3, 0.0, station="A/pole-0", x_m=0.0)
+        report(directory, 8, 600e3, 5.0, station="B/pole-0", corridor="B")
+        # Tag 7 ages out at t=20; the report of tag 9 triggers the prune.
+        report(directory, 9, 700e3, 20.0, station="C/pole-0", corridor="C")
+        assert 7 not in directory
+        assert directory.trail(7) == []
+        directory.check_consistent()
+        # An aged-out fingerprint can never claim a fresh spike.
+        assert directory.resolve(500e3, now_s=21.0) is None
+        # And the aged-out anchor cannot pair with a re-arrival: the
+        # first post-expiry sighting starts a fresh trail.
+        assert report(directory, 7, 500e3, 25.0, station="B/pole-1", corridor="B") is None
+        assert len(directory.trail(7)) == 1
+
+    def test_eviction_forgets_speed_anchor(self):
+        directory = IdentityDirectory(max_entries=1)
+        report(directory, 7, 500e3, 0.0, station="A/pole-0", x_m=0.0)
+        report(directory, 8, 900e3, 1.0, station="A/pole-0", x_m=0.0)  # evicts 7
+        assert 7 not in directory
+        directory.check_consistent()
+        # Tag 7 re-arrives at another pole: no stale pair, no estimate.
+        assert (
+            report(directory, 7, 500e3, 2.0, station="A/pole-1", x_m=40.0) is None
+        )

@@ -210,6 +210,40 @@ class TestAirLog:
         state = air.heard_state(1.0, horizon_s=10e-3)
         assert state.busy_intervals == []
 
+    def test_distance_gates_sensing_and_corruption(self):
+        """Mesh worlds: a far-away street's query is neither carrier-
+        sensed nor able to corrupt a response; placing it near restores
+        the single-street behavior; positions or range missing mean
+        'audible everywhere' (the pre-mesh default, unchanged)."""
+        air = AirLog()
+        air.record_query("far", 100e-6, x_m=2000.0)
+        response = air.record_response("tag0", 0.0, x_m=0.0)
+        # A listener at x=0 with a 500 m hearing range hears the nearby
+        # response but not the distant query.
+        state = air.heard_state(1e-3, x_m=0.0, hear_range_m=500.0)
+        assert state.query_spans() == []
+        assert state.response_energy_intervals() == [(0.0, RESPONSE_DURATION_S)]
+        assert not air.any_query_overlapping(
+            response.start_s, response.end_s, x_m=0.0, hear_range_m=500.0
+        )
+        assert air.corrupted_responses(interference_range_m=500.0) == []
+        assert not air.response_corrupted(response, interference_range_m=500.0)
+        # The same query placed nearby is heard and corrupts.
+        near = air.record_query("near", 150e-6, x_m=100.0)
+        assert air.any_query_overlapping(
+            response.start_s, response.end_s, x_m=0.0, hear_range_m=500.0
+        )
+        assert air.corrupted_responses(interference_range_m=500.0) == [response]
+        # Without a range (or without positions), everything interferes.
+        assert air.corrupted_responses() == [response]
+        legacy = AirLog()
+        legacy_response = legacy.record_response("tag0", 0.0)
+        legacy.record_query("B", 100e-6)
+        assert legacy.corrupted_responses(interference_range_m=1.0) == [
+            legacy_response
+        ]
+        assert near.reaches(0.0, 500.0)
+
 
 class TestMedium:
     def test_csma_avoids_query_response_corruption(self):

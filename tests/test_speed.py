@@ -10,6 +10,7 @@ from repro.constants import (
     SPEED_BASELINE_M,
 )
 from repro.core.speed import (
+    CrossPoleSpeedTracker,
     SpeedEstimate,
     SpeedEstimator,
     SpeedObservation,
@@ -17,6 +18,7 @@ from repro.core.speed import (
     max_speed_error_fraction,
 )
 from repro.errors import ConfigurationError
+from repro.sim.mobility import ConstantSpeedTrajectory
 
 
 class TestPositionErrorBound:
@@ -135,3 +137,128 @@ class TestEndToEndGeometry:
                 est = estimator.estimate(a, b)
                 worst = max(worst, abs(est.speed_m_s - v) / v)
             assert worst < 0.08, f"{speed_mph} mph worst error {worst:.3f}"
+
+
+class TestCrossPoleSpeedTracker:
+    """The predictive-handoff trigger, gated with no mesh in sight:
+    sightings stream in, estimates come out exactly at pole crossings,
+    and against constant-speed trajectory ground truth the recovered
+    speed is exact (fixes sampled from the trajectory itself)."""
+
+    def trajectory(self, speed=13.0):
+        return ConstantSpeedTrajectory(
+            start_m=np.array([-10.0, -1.75, 1.0]),
+            velocity_m_s=np.array([speed, 0.0, 0.0]),
+            t0_s=0.0,
+        )
+
+    def fix(self, trajectory, t_s, station):
+        """A sighting whose position is the trajectory's ground truth —
+        what a perfect §6 localization would report."""
+        return SpeedObservation(
+            position_m=trajectory.position(t_s)[:2], timestamp_s=t_s, station=station
+        )
+
+    def test_recovers_trajectory_speed_exactly(self):
+        trajectory = self.trajectory(speed=13.0)
+        tracker = CrossPoleSpeedTracker()
+        assert tracker.observe(7, self.fix(trajectory, 1.0, "pole-0")) is None
+        estimate = tracker.observe(7, self.fix(trajectory, 4.0, "pole-1"))
+        assert estimate is not None
+        assert estimate.speed_m_s == pytest.approx(13.0)
+        assert tracker.latest(7).speed_m_s == pytest.approx(13.0)
+
+    def test_same_station_sightings_only_refresh_the_anchor(self):
+        trajectory = self.trajectory()
+        tracker = CrossPoleSpeedTracker()
+        for t in (0.5, 1.0, 1.5):
+            assert tracker.observe(7, self.fix(trajectory, t, "pole-0")) is None
+        # The pairing uses the *latest* pole-0 fix: elapsed is 2.0, not 3.0.
+        estimate = tracker.observe(7, self.fix(trajectory, 3.5, "pole-1"))
+        assert estimate.elapsed_s == pytest.approx(2.0)
+        assert estimate.speed_m_s == pytest.approx(trajectory.speed_m_s)
+
+    def test_overlap_ping_pong_keeps_the_anchor(self):
+        """Neighboring poles' coverage overlaps: both sight the car
+        within one cadence tick. Too-soon cross-station sightings must
+        not destroy the anchor, or no pair ever grows old enough to
+        estimate — the estimate still arrives once the car is past the
+        overlap, and it matches ground truth."""
+        trajectory = self.trajectory(speed=15.0)
+        tracker = CrossPoleSpeedTracker()
+        t, station = 0.0, 0
+        # 0.04 s alternation for half a second: every sighting too soon.
+        while t < 0.5:
+            estimate = tracker.observe(
+                7, self.fix(trajectory, t, f"pole-{station % 2}")
+            )
+            assert estimate is None
+            t += 0.04
+            station += 1
+        # Past the overlap only pole-1 sights the car; the pair with the
+        # surviving pole-0 anchor finally reaches the minimum pairing
+        # baseline and emits.
+        estimate = tracker.observe(7, self.fix(trajectory, 1.6, "pole-1"))
+        assert estimate is not None
+        assert estimate.speed_m_s == pytest.approx(15.0)
+
+    def test_stale_anchor_is_rebased_not_paired(self):
+        """A car that parked between poles has no meaningful speed over
+        the interval: the old fix is discarded and the next crossing
+        starts a fresh pair."""
+        trajectory = self.trajectory()
+        tracker = CrossPoleSpeedTracker(max_fix_age_s=30.0)
+        assert tracker.observe(7, self.fix(trajectory, 0.0, "pole-0")) is None
+        assert tracker.observe(7, self.fix(trajectory, 100.0, "pole-1")) is None
+        assert tracker.latest(7) is None
+        # The rebased anchor (pole-1) pairs with the next pole normally.
+        estimate = tracker.observe(7, self.fix(trajectory, 103.0, "pole-2"))
+        assert estimate.speed_m_s == pytest.approx(trajectory.speed_m_s)
+
+    def test_cross_frame_sightings_rebase_not_pair(self):
+        """Fixes from different coordinate frames (two mesh corridors —
+        their layout gap is artifice, not road) must never be
+        differenced; the crossing rebases the anchor and the next
+        in-frame pole pairs normally."""
+        tracker = CrossPoleSpeedTracker()
+        a = SpeedObservation(np.array([80.0, 0.0]), 0.0, station="A/pole-1", frame="A")
+        b0 = SpeedObservation(np.array([1100.0, 0.0]), 5.0, station="B/pole-0", frame="B")
+        b1 = SpeedObservation(np.array([1139.0, 0.0]), 8.0, station="B/pole-1", frame="B")
+        assert tracker.observe(7, a) is None
+        assert tracker.observe(7, b0) is None  # rebase, no 1020 m "hop"
+        assert tracker.latest(7) is None
+        estimate = tracker.observe(7, b1)
+        assert estimate.speed_m_s == pytest.approx(13.0)
+
+    def test_implausible_pair_discarded(self):
+        """An outlier fix (or a fingerprint misattribution) reading
+        faster than any car must not become the account's speed."""
+        tracker = CrossPoleSpeedTracker(max_speed_m_s=60.0)
+        a = SpeedObservation(np.array([0.0, 0.0]), 0.0, station="pole-0")
+        b = SpeedObservation(np.array([100.0, 0.0]), 1.2, station="pole-1")
+        assert tracker.observe(7, a) is None
+        assert tracker.observe(7, b) is None  # 83 m/s: discarded
+        assert tracker.latest(7) is None
+
+    def test_short_baseline_pairs_wait(self):
+        """§7 error budget: two fixes 0.3 s apart amplify meter-level
+        position error into tens of m/s, so the tracker holds the
+        anchor until the car has put real road between the fixes."""
+        trajectory = self.trajectory(speed=13.0)
+        tracker = CrossPoleSpeedTracker(min_pair_elapsed_s=1.0)
+        assert tracker.observe(7, self.fix(trajectory, 1.0, "pole-0")) is None
+        assert tracker.observe(7, self.fix(trajectory, 1.3, "pole-1")) is None
+        estimate = tracker.observe(7, self.fix(trajectory, 2.5, "pole-1"))
+        assert estimate.speed_m_s == pytest.approx(13.0)
+
+    def test_forget_and_bounds(self):
+        trajectory = self.trajectory()
+        tracker = CrossPoleSpeedTracker(max_entries=2)
+        for tag_id in (1, 2, 3):
+            tracker.observe(tag_id, self.fix(trajectory, float(tag_id), "pole-0"))
+        # Oldest anchor evicted by the bound.
+        assert len(tracker) == 2
+        assert tracker.tracked() == [2, 3]
+        tracker.forget(2)
+        assert tracker.tracked() == [3]
+        assert tracker.latest(2) is None

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo links in the markdown docs.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and images.
+External targets (``http(s)://``, ``mailto:``) are left alone — CI must
+not depend on the network — but every *relative* target must resolve to
+a real file or directory in the repository, and a ``path#anchor``
+fragment must match a heading in the target markdown file (GitHub-style
+slugs: lowercase, punctuation dropped, spaces to dashes).
+
+Exit status 1 lists every broken link with its file and line.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def heading_slugs(markdown: Path) -> set[str]:
+    """GitHub-flavored anchor slugs for every heading in a file."""
+    slugs: set[str] = set()
+    in_fence = False
+    for line in markdown.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip()
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).replace(" ", "-")
+        slugs.add(slug)
+    return slugs
+
+
+def check_file(doc: Path) -> list[str]:
+    problems: list[str] = []
+    in_fence = False
+    for line_number, line in enumerate(doc.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part, _, anchor = target.partition("#")
+            where = f"{doc.relative_to(REPO)}:{line_number}"
+            if not path_part:
+                resolved = doc  # pure in-page anchor
+            else:
+                resolved = (doc.parent / path_part).resolve()
+                try:
+                    resolved.relative_to(REPO)
+                except ValueError:
+                    problems.append(f"{where}: {target!r} escapes the repository")
+                    continue
+                if not resolved.exists():
+                    problems.append(f"{where}: {target!r} does not exist")
+                    continue
+            if anchor:
+                if resolved.suffix.lower() != ".md" or resolved.is_dir():
+                    continue  # line anchors into code etc.: not checked
+                if anchor not in heading_slugs(resolved):
+                    problems.append(
+                        f"{where}: {target!r} anchor matches no heading"
+                    )
+    return problems
+
+
+def main() -> int:
+    docs = doc_files()
+    problems = [problem for doc in docs for problem in check_file(doc)]
+    for problem in problems:
+        print(f"broken link: {problem}")
+    print(
+        f"checked {len(docs)} markdown files: "
+        f"{'OK' if not problems else f'{len(problems)} broken links'}"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
