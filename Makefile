@@ -1,17 +1,19 @@
 # Developer entrypoints. `make check` is the gate a change must pass:
-# lint (unused imports fail fast) + the full tier-1 test suite.
-# `make check-fast` is the per-push CI tier: it deselects the `slow`
-# whole-corridor simulations (the nightly schedule runs everything plus
-# the perf-gate benchmarks).
+# lint (unused imports fail fast) + the domain-aware static analysis
+# suite (determinism, unit suffixes, RNG policy, ablation API — see
+# docs/ANALYSIS.md) + the full tier-1 test suite. `make check-fast` is
+# the per-push CI tier: it deselects the `slow` whole-corridor
+# simulations (the nightly schedule runs everything plus the perf-gate
+# benchmarks).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check check-fast check-docs lint test test-fast bench
+.PHONY: check check-fast check-docs lint analyze test test-fast bench
 
-check: lint test
+check: lint analyze test
 
-check-fast: lint test-fast
+check-fast: lint analyze test-fast
 
 # Docs tier: intra-repo links must resolve and the city-mesh example
 # must run end to end (short simulation via REPRO_MESH_DURATION_S).
@@ -21,6 +23,11 @@ check-docs:
 
 lint:
 	$(PYTHON) tools/lint.py
+
+# Static analysis suite (`python -m tools.analyze`): zero unbaselined
+# findings or the build fails. The JSON report is the CI artifact.
+analyze:
+	$(PYTHON) -m tools.analyze --json benchmarks/results/ANALYZE_findings.json
 
 test:
 	$(PYTHON) -m pytest -x -q

@@ -63,6 +63,7 @@ class CameraCounter:
     """Per-vehicle Bernoulli error model for a video counter."""
 
     conditions: CameraConditions = field(default_factory=CameraConditions)
+    # repro: allow[determinism] — default rng only feeds the closed-form error-model demos; every stochastic count() in tests/examples passes a seeded rng
     rng: np.random.Generator = field(default_factory=lambda: as_rng(None), repr=False)
 
     def __post_init__(self) -> None:

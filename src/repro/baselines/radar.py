@@ -51,6 +51,7 @@ class RadarGun:
     base_confusion: float = 0.10
     per_car_confusion: float = 0.04
     max_confusion: float = 0.30
+    # repro: allow[determinism] — default rng only feeds the closed-form confusion model; stochastic enforce()/MC paths in tests/examples pass a seeded rng
     rng: np.random.Generator = field(default_factory=lambda: as_rng(None), repr=False)
 
     def __post_init__(self) -> None:

@@ -94,6 +94,8 @@ OVERHEARD_PROBE_THRESHOLD = 12.0
 
 
 def validate_combining(combining: str) -> str:
+    """Validate a combining policy: ``"mrc"`` (all antennas, maximum-ratio)
+    or ``"single"`` (one-antenna ablation baseline)."""
     if combining not in COMBINING_POLICIES:
         raise ConfigurationError(
             f"unknown combining policy {combining!r}; options: {COMBINING_POLICIES}"
@@ -102,6 +104,9 @@ def validate_combining(combining: str) -> str:
 
 
 def validate_opportunistic(opportunistic: str) -> str:
+    """Validate an opportunistic overheard-capture policy: ``"accept"``
+    (combine donated windows as free evidence) or ``"ignore"`` (ablation
+    baseline, drops them bit-for-bit)."""
     if opportunistic not in OPPORTUNISTIC_POLICIES:
         raise ConfigurationError(
             f"unknown opportunistic policy {opportunistic!r}; "
@@ -846,6 +851,7 @@ class DecodeSession:
                     self.decoder,
                     first.n_samples,
                     combining=self.combining,
+                    # repro: allow[ablation-api] — combiner-internal antenna selection, not the deprecated session alias
                     antenna_index=self._antenna,
                 )
             refined = [

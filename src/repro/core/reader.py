@@ -136,6 +136,10 @@ class CaraokeReader:
 
         All detected tags are decoded as one batch from a single shared
         capture stream; the counting capture is the batch's first capture.
+        ``combining`` is ``"mrc"`` (default: maximum-ratio across every
+        antenna) or ``"single"`` (one-antenna ablation baseline);
+        ``antenna_index`` is the **deprecated** alias selecting
+        ``combining="single"`` on that antenna.
         """
         session = self.decode_session(
             query_fn, combining=combining, antenna_index=antenna_index

@@ -98,6 +98,7 @@ class Transponder:
     tx_power_dbm: float = 0.0
     sensitivity_dbm: float = -60.0
     min_trigger_s: float = 10e-6
+    # repro: allow[determinism] — per-tag OS-entropy default keeps ad-hoc tags' phases independent; every simulation-critical path (scenario.py, conftest, bench_helpers) passes a seeded rng
     rng: np.random.Generator = field(default_factory=lambda: as_rng(None), repr=False)
 
     def __post_init__(self) -> None:

@@ -215,7 +215,13 @@ class IdentificationStat:
 
 @dataclass
 class CorridorResult:
-    """Everything one :meth:`CityCorridor.run` produced."""
+    """Everything one :meth:`CityCorridor.run` produced.
+
+    ``scheduling`` echoes the run's MAC mode — ``"event"`` (§9
+    event-driven CSMA) or ``"rounds"`` (fixed round-robin baseline).
+    ``opportunistic`` echoes the stations' harvest policy — ``"accept"``,
+    ``"ignore"``, or ``"mixed"`` when stations disagree.
+    """
 
     scheduling: str
     duration_s: float
@@ -481,7 +487,7 @@ class CityCorridor:
                 # stream. Both policies pay it identically (it happens
                 # at construction), so accept/ignore stay aligned.
                 entropy = int(self.rng.integers(1 << 63))
-            self.overhear_rng = np.random.default_rng(entropy & ((1 << 63) - 1))
+            self.overhear_rng = as_rng(entropy & ((1 << 63) - 1))
         self.ledger = HandoffLedger() if ledger is None else ledger
         self.services: list[object] = []
         self.observations: list = []

@@ -176,7 +176,8 @@ class MeshResult:
     (``cross_redecodes``) — and, for entries at the entered corridor's
     *first* pole, how many decode queries that first sighting cost
     (``first_pole_queries``; 0 for a push hit, the burst size for a
-    re-decode). ``handoff`` records which policy ran.
+    re-decode). ``handoff`` records which policy ran: ``"push"``
+    (predictive push) or ``"pull"`` (on-demand directory lookup).
     """
 
     duration_s: float

@@ -45,6 +45,7 @@ class NtpClock:
     sync_sigma_s: float = NTP_SYNC_SIGMA_S
     sync_interval_s: float = 64.0
     drift_ppm: float = 2.0
+    # repro: allow[determinism] — interactive convenience default; the speed/TDoA sims and benches all construct NtpClock with an explicit seeded rng
     rng: np.random.Generator = field(default_factory=lambda: as_rng(None), repr=False)
 
     def __post_init__(self) -> None:

@@ -74,6 +74,7 @@ class PoissonArrivals:
     """Memoryless car arrivals at a stop line."""
 
     rate_per_s: float
+    # repro: allow[determinism] — interactive convenience default; mesh.py, the traffic benches and examples all pass a seeded rng
     rng: np.random.Generator = field(default_factory=lambda: as_rng(None), repr=False)
 
     def __post_init__(self) -> None:
@@ -119,6 +120,7 @@ class IntersectionSimulator:
     saturation_headway_s: float = 2.0
     clear_time_s: float = 4.0
     transponder_penetration: float = 1.0
+    # repro: allow[determinism] — interactive convenience default; simulation-critical constructions (benches, examples) pass a seeded rng
     rng: np.random.Generator = field(default_factory=lambda: as_rng(None), repr=False)
 
     def __post_init__(self) -> None:

@@ -1,0 +1,1 @@
+"""Developer tooling: `tools.analyze` (static analysis), link checker, lint shim."""

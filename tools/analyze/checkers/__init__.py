@@ -1,0 +1,7 @@
+"""Checker registry population: importing this package registers every rule."""
+
+from __future__ import annotations
+
+from . import ablation, determinism, imports, rng_policy, units  # noqa: F401
+
+__all__ = ["ablation", "determinism", "imports", "rng_policy", "units"]

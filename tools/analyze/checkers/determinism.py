@@ -1,0 +1,187 @@
+"""``determinism``: unseeded RNGs, legacy global state, wall clocks, stream discipline.
+
+The repo's reproducibility contract is that every stochastic draw
+descends from an explicit seed threaded through ``rng=`` parameters
+(see ``repro.utils.as_rng``) and that nothing in the library reads the
+wall clock. This checker flags the ways that contract silently breaks:
+
+* ``np.random.default_rng()`` / ``default_rng(None)`` / ``as_rng(None)``
+  — a generator seeded from OS entropy; two runs differ.
+* ``np.random.<fn>(...)`` legacy calls — the module-level global state
+  (``np.random.seed``, ``np.random.normal``, ``RandomState``…) is
+  process-wide and invisible to the seeding discipline.
+* stdlib ``random`` — same problem, different module.
+* ``time.time()``-family calls inside ``src/`` — library results must
+  not depend on when they were computed (benchmarks may time
+  themselves; the library may not).
+* **Stream discipline** — a function that *accepts* an ``rng``
+  parameter but internally mints a fresh generator. The caller thinks
+  it controls the randomness; it doesn't. (This is the exact bug class
+  the corridor's spawned ``overhear_rng`` was built to avoid.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..core import Checker, Finding, ModuleInfo, register
+from ._ast_utils import arg_names, call_name, walk_function_body
+
+#: np.random attributes that belong to the *new* Generator API and are
+#: fine to reference; everything else under np.random is legacy global
+#: state (or a seeding footgun like RandomState).
+_NEW_API = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """True for ``f()`` or ``f(None)`` — no reproducible seed supplied."""
+    if call.keywords:
+        return any(
+            kw.arg == "seed"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is None
+            for kw in call.keywords
+        )
+    if not call.args:
+        return True
+    first = call.args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+def _numpy_random_fn(name: str | None) -> str | None:
+    """The trailing attribute if ``name`` is an np.random.<fn> reference."""
+    if not name:
+        return None
+    for prefix in ("np.random.", "numpy.random."):
+        if name.startswith(prefix) and name.count(".") == 2:
+            return name[len(prefix):]
+    return None
+
+
+@register
+class DeterminismChecker(Checker):
+    name = "determinism"
+    description = (
+        "unseeded RNG construction, legacy np.random global state, stdlib "
+        "random, wall-clock reads in library code, rng stream discipline"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        yield from self._module_wide(module)
+        yield from self._stream_discipline(module)
+
+    def _module_wide(self, module: ModuleInfo) -> Iterator[Finding]:
+        stdlib_random_aliases: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        stdlib_random_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield module.finding(
+                        self.name,
+                        node,
+                        "imports from stdlib `random` (process-global state; "
+                        "use a seeded np.random.Generator via repro.utils.as_rng)",
+                    )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            leaf = name.rsplit(".", 1)[-1]
+
+            if leaf == "default_rng" and _is_unseeded(node):
+                yield module.finding(
+                    self.name,
+                    node,
+                    "`default_rng()` without a seed draws OS entropy — "
+                    "results are not reproducible; pass a seed or thread an rng through",
+                )
+            elif leaf == "as_rng" and _is_unseeded(node) and module.in_library():
+                yield module.finding(
+                    self.name,
+                    node,
+                    "`as_rng(None)` mints an unseeded generator — "
+                    "simulation-critical paths must receive an explicit seed",
+                )
+
+            legacy = _numpy_random_fn(name)
+            if legacy is not None and legacy not in _NEW_API:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"legacy `np.random.{legacy}` uses process-global RNG state; "
+                    "use a Generator from repro.utils.as_rng",
+                )
+
+            root = name.split(".", 1)[0]
+            if root in stdlib_random_aliases and "." in name:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"stdlib `{name}` uses process-global RNG state; "
+                    "use a seeded np.random.Generator via repro.utils.as_rng",
+                )
+
+            if module.in_library() and name in _WALL_CLOCK:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"wall-clock read `{name}()` in library code — results must "
+                    "not depend on when they are computed; take a time parameter",
+                )
+
+    def _stream_discipline(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if "rng" not in arg_names(node):
+                continue
+            for inner in walk_function_body(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                name = call_name(inner)
+                if name is None:
+                    continue
+                leaf = name.rsplit(".", 1)[-1]
+                minted = leaf == "default_rng" or (
+                    leaf == "as_rng"
+                    and inner.args
+                    and isinstance(inner.args[0], ast.Constant)
+                )
+                if minted:
+                    yield module.finding(
+                        self.name,
+                        inner,
+                        f"`{node.name}` accepts an `rng` parameter but mints a "
+                        f"fresh generator via `{leaf}` — callers lose control of "
+                        "the stream (spawn from the passed rng instead)",
+                    )

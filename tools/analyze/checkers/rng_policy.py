@@ -1,0 +1,135 @@
+"""``rng-policy``: every rng attribute/field routes through ``repro.utils.as_rng``.
+
+``as_rng`` is the single funnel that lets every component accept a
+seed, a Generator, or None interchangeably; an rng attribute assigned
+any other way re-introduces ad-hoc seeding semantics. Blessed
+constructions for ``self.rng`` / ``self.*_rng`` / dataclass ``rng``
+fields:
+
+* a call to ``as_rng(...)`` (any argument),
+* a child stream spawned from an existing generator
+  (``parent.spawn(n)[k]``),
+* a plain copy of another already-normalized rng attribute,
+* conditionals whose branches are themselves blessed,
+* a dataclass default of ``None`` or a ``field(...)`` whose
+  ``default_factory`` routes through ``as_rng`` (the ``__post_init__``
+  normalization is then checked at its own assignment site).
+
+Direct ``np.random.default_rng(...)`` construction is flagged even when
+seeded — the point is one auditable construction path, not many.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..core import Checker, Finding, ModuleInfo, register
+from ._ast_utils import call_name
+
+
+def _is_rng_name(identifier: str) -> bool:
+    return identifier == "rng" or identifier.endswith("_rng")
+
+
+def _blessed(value: ast.expr) -> bool:
+    """Whether an expression constructs its rng through an approved path."""
+    while isinstance(value, ast.Subscript):
+        value = value.value
+    if isinstance(value, (ast.Name, ast.Attribute)):
+        # Copying another rng attribute/variable keeps the stream intact.
+        ident = value.id if isinstance(value, ast.Name) else value.attr
+        return _is_rng_name(ident)
+    if isinstance(value, ast.IfExp):
+        return _blessed(value.body) and _blessed(value.orelse)
+    if isinstance(value, ast.Call):
+        name = call_name(value)
+        if name is None:
+            return False
+        leaf = name.rsplit(".", 1)[-1]
+        return leaf in ("as_rng", "spawn")
+    if isinstance(value, ast.Constant) and value.value is None:
+        return True
+    return False
+
+
+def _factory_blessed(field_call: ast.Call) -> bool:
+    """Whether a ``field(...)`` call's default_factory routes through as_rng."""
+    for kw in field_call.keywords:
+        if kw.arg != "default_factory":
+            continue
+        for node in ast.walk(kw.value):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name and name.rsplit(".", 1)[-1] == "as_rng":
+                    return True
+            elif isinstance(node, ast.Name) and node.id == "as_rng":
+                return True
+        return False
+    return False
+
+
+@register
+class RngPolicyChecker(Checker):
+    name = "rng-policy"
+    description = (
+        "rng attributes and dataclass rng fields must be constructed via "
+        "repro.utils.as_rng (or spawned from an existing stream)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.in_library():
+            return
+        yield from self._attribute_assignments(module)
+        yield from self._dataclass_fields(module)
+
+    def _attribute_assignments(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                if not _is_rng_name(target.attr):
+                    continue
+                if not _blessed(value):
+                    yield module.finding(
+                        self.name,
+                        node,
+                        f"`{target.attr}` is assigned outside the as_rng funnel — "
+                        "route construction through repro.utils.as_rng or spawn "
+                        "from an existing stream",
+                    )
+
+    def _dataclass_fields(self, module: ModuleInfo) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for stmt in cls.body:
+                if not isinstance(stmt, ast.AnnAssign) or stmt.value is None:
+                    continue
+                if not isinstance(stmt.target, ast.Name):
+                    continue
+                if not _is_rng_name(stmt.target.id):
+                    continue
+                value = stmt.value
+                if isinstance(value, ast.Constant) and value.value is None:
+                    continue
+                if isinstance(value, ast.Call):
+                    name = call_name(value)
+                    leaf = name.rsplit(".", 1)[-1] if name else ""
+                    if leaf == "field" and _factory_blessed(value):
+                        continue
+                    if leaf == "as_rng":
+                        continue
+                yield module.finding(
+                    self.name,
+                    stmt,
+                    f"dataclass field `{stmt.target.id}` defaults outside the "
+                    "as_rng funnel — use None (normalized in __post_init__) or "
+                    "a field(default_factory=...) that calls as_rng",
+                )

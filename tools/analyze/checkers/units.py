@@ -1,0 +1,168 @@
+"""``unit-suffix``: propagate the repo's unit-suffix naming through expressions.
+
+Quantities in this codebase carry their unit in the identifier —
+``duration_s``, ``carrier_hz``, ``range_m``, ``speed_mps``,
+``snr_db`` — which makes a whole class of physics bugs *visible in the
+AST*: adding metres to seconds, comparing Hz against kHz, or passing a
+``*_s`` value to a ``*_hz`` keyword are all cross-unit mixes that the
+checker flags without any type inference. Multiplication and division
+legitimately change units (``x_m / t_s`` is a speed), so only unit-
+preserving operations are checked:
+
+* ``+`` / ``-`` (and ``+=`` / ``-=``) between differently-suffixed names,
+* ordering/equality comparisons between differently-suffixed names,
+* keyword arguments: ``f(foo_hz=bar_s)``,
+* plain aliasing assignments: ``x_hz = y_s``.
+
+Same-dimension, different-scale pairs (``_s`` vs ``_ms``, ``_hz`` vs
+``_khz``) are deliberately *also* flagged: mixing them is exactly the
+missing-conversion bug the convention exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Checker, Finding, ModuleInfo, register
+
+#: Trailing two-token unit suffixes, checked before the single-token map
+#: (``speed_m_s`` is a speed, not seconds).
+_MULTI = {
+    ("m", "s"): "m/s",
+    ("m", "s2"): "m/s^2",
+    ("per", "s"): "1/s",
+    ("per", "m"): "1/m",
+}
+
+_SINGLE = {
+    "s": "s",
+    "ms": "ms",
+    "us": "us",
+    "ns": "ns",
+    "hz": "Hz",
+    "khz": "kHz",
+    "mhz": "MHz",
+    "ghz": "GHz",
+    "m": "m",
+    "km": "km",
+    "cm": "cm",
+    "mm": "mm",
+    "mps": "m/s",
+    "kph": "km/h",
+    "mph": "mi/h",
+    "db": "dB",
+    "dbm": "dBm",
+    "dbi": "dBi",
+    "w": "W",
+    "mw": "mW",
+    "ppm": "ppm",
+}
+
+
+def unit_of_name(identifier: str) -> str | None:
+    """The unit a suffixed identifier declares, or None."""
+    tokens = [t for t in identifier.lower().split("_") if t]
+    if len(tokens) < 2:
+        return None
+    if len(tokens) >= 3 and (tokens[-2], tokens[-1]) in _MULTI:
+        return _MULTI[(tokens[-2], tokens[-1])]
+    return _SINGLE.get(tokens[-1])
+
+
+def _identifier(node: ast.expr) -> str | None:
+    """The final identifier of a Name/Attribute (through subscripts), or None."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _unit(node: ast.expr) -> tuple[str, str] | None:
+    """(identifier, unit) when the expression is a unit-suffixed reference."""
+    ident = _identifier(node)
+    if ident is None:
+        return None
+    unit = unit_of_name(ident)
+    if unit is None:
+        return None
+    return ident, unit
+
+
+_ORDERED_CMP = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+@register
+class UnitSuffixChecker(Checker):
+    name = "unit-suffix"
+    description = (
+        "cross-unit mixing between _s/_hz/_m/_mps/_db-suffixed names in "
+        "add/sub, comparisons, keyword args and aliasing assignments"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._pair(
+                    module, node, node.left, node.right,
+                    "adds" if isinstance(node.op, ast.Add) else "subtracts",
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._pair(
+                    module, node, node.target, node.value, "accumulates"
+                )
+            elif isinstance(node, ast.Compare):
+                left = node.left
+                for op, comparator in zip(node.ops, node.comparators):
+                    if isinstance(op, _ORDERED_CMP):
+                        yield from self._pair(
+                            module, node, left, comparator, "compares"
+                        )
+                    left = comparator
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg is None:
+                        continue
+                    param_unit = unit_of_name(kw.arg)
+                    value = _unit(kw.value)
+                    if param_unit and value and value[1] != param_unit:
+                        ident, unit = value
+                        yield module.finding(
+                            self.name,
+                            kw.value,
+                            f"passes `{ident}` ({unit}) to parameter "
+                            f"`{kw.arg}` ({param_unit})",
+                        )
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                yield from self._alias(module, node, node.targets[0], node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield from self._alias(module, node, node.target, node.value)
+
+    def _pair(self, module, node, left, right, verb):
+        a, b = _unit(left), _unit(right)
+        if a and b and a[1] != b[1]:
+            yield module.finding(
+                self.name,
+                node,
+                f"{verb} `{a[0]}` ({a[1]}) and `{b[0]}` ({b[1]}) — "
+                "cross-unit arithmetic needs an explicit conversion",
+            )
+
+    def _alias(self, module, node, target, value):
+        # Only pure aliasing (`x_hz = y_s`) is checked: any arithmetic on
+        # the right-hand side may legitimately convert units.
+        if not isinstance(value, (ast.Name, ast.Attribute, ast.Subscript)):
+            return
+        a, b = _unit(target), _unit(value)
+        if a and b and a[1] != b[1]:
+            yield module.finding(
+                self.name,
+                node,
+                f"assigns `{b[0]}` ({b[1]}) to `{a[0]}` ({a[1]}) — "
+                "alias crosses units without a conversion",
+            )

@@ -2,23 +2,22 @@
 """Lint gate for `make check`: unused imports fail fast.
 
 Runs ``ruff check`` when ruff is installed (the full rule set); otherwise
-falls back to a built-in AST pass that flags unused imports — the class of
-rot this repo has actually accumulated (e.g. a dead exception import left
-behind by a refactor). The fallback is deliberately conservative:
-
-* ``__init__.py`` files are skipped (imports there are re-exports);
-* names listed in ``__all__`` are considered used;
-* ``import x as _`` / underscore-prefixed aliases are exempt;
-* a bare ``import a.b`` counts usage of the root name ``a``;
-* lines marked ``# noqa`` (bare, or with code F401) are skipped.
+falls back to the ``unused-import`` checker from the static analysis
+suite (``tools/analyze``), which absorbed the AST pass that used to live
+here — the class of rot this repo has actually accumulated (e.g. a dead
+exception import left behind by a refactor). The fallback keeps the
+original conservative behavior: ``__init__.py`` skipped, ``__all__``
+honored, underscore aliases exempt, ``# noqa``/F401 respected.
 
 Usage:  python tools/lint.py [paths...]   (defaults to the repo tree)
+
+This shim exists for backward compatibility; new checks belong in
+``tools/analyze`` (see docs/ANALYSIS.md). ``make analyze`` runs the full
+domain-aware suite.
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import shutil
 import subprocess
 import sys
@@ -28,103 +27,6 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "tools")
 
 
-def iter_python_files(paths: list[Path]):
-    for path in paths:
-        if path.is_file() and path.suffix == ".py":
-            yield path
-        elif path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-
-
-def exported_names(tree: ast.Module) -> set[str]:
-    """String entries of any top-level ``__all__`` literal."""
-    names: set[str] = set()
-    for node in tree.body:
-        targets = []
-        if isinstance(node, ast.Assign):
-            targets = node.targets
-        elif isinstance(node, ast.AugAssign):
-            targets = [node.target]
-        if not any(
-            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
-        ):
-            continue
-        for constant in ast.walk(node):
-            if isinstance(constant, ast.Constant) and isinstance(constant.value, str):
-                names.add(constant.value)
-    return names
-
-
-_NOQA = re.compile(r"#\s*noqa(?::\s*[A-Z0-9, ]*F401[A-Z0-9, ]*)?\s*(?:\(|$)", re.I)
-
-
-def unused_imports(path: Path) -> list[tuple[int, str]]:
-    """(line, name) for every import the module never references."""
-    source = path.read_text()
-    tree = ast.parse(source, filename=str(path))
-    exports = exported_names(tree)
-    lines = source.splitlines()
-
-    def suppressed(node: ast.stmt) -> bool:
-        for lineno in range(node.lineno, (node.end_lineno or node.lineno) + 1):
-            if _NOQA.search(lines[lineno - 1]):
-                return True
-        return False
-
-    imported: dict[str, int] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.Import, ast.ImportFrom)) and suppressed(node):
-            continue
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                name = alias.asname or alias.name.split(".")[0]
-                imported.setdefault(name, node.lineno)
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                name = alias.asname or alias.name
-                imported.setdefault(name, node.lineno)
-
-    used: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            root = node
-            while isinstance(root, ast.Attribute):
-                root = root.value
-            if isinstance(root, ast.Name):
-                used.add(root.id)
-
-    return sorted(
-        (line, name)
-        for name, line in imported.items()
-        if name not in used and name not in exports and not name.startswith("_")
-    )
-
-
-def run_fallback(paths: list[Path]) -> int:
-    failures = 0
-    for path in iter_python_files(paths):
-        if path.name == "__init__.py":
-            continue
-        try:
-            shown = path.relative_to(REPO_ROOT)
-        except ValueError:
-            shown = path
-        for line, name in unused_imports(path):
-            print(f"{shown}:{line}: unused import '{name}'")
-            failures += 1
-    if failures:
-        print(f"\nlint: {failures} unused import(s)")
-    else:
-        print("lint: ok (builtin unused-import check)")
-    return 1 if failures else 0
-
-
 def main(argv: list[str]) -> int:
     raw = argv or [str(REPO_ROOT / p) for p in DEFAULT_PATHS]
     paths = [Path(p).resolve() for p in raw]
@@ -132,7 +34,20 @@ def main(argv: list[str]) -> int:
     if ruff:
         result = subprocess.run([ruff, "check", *map(str, paths)], cwd=REPO_ROOT)
         return result.returncode
-    return run_fallback(paths)
+
+    sys.path.insert(0, str(REPO_ROOT))
+    from tools.analyze import run_analysis
+
+    report = run_analysis(paths, rules=["unused-import"])
+    for error in report.parse_errors:
+        print(f"parse error: {error}", file=sys.stderr)
+    for finding in report.new:
+        print(f"{finding.path}:{finding.line}: {finding.message}")
+    if report.new:
+        print(f"\nlint: {len(report.new)} unused import(s)")
+        return 1
+    print("lint: ok (builtin unused-import check)")
+    return 1 if report.parse_errors else 0
 
 
 if __name__ == "__main__":
