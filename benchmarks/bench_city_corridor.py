@@ -41,7 +41,7 @@ Set ``REPRO_BENCH_SCALE`` < 1 to shorten the simulations.
 
 import time
 
-from bench_helpers import population_simulator, write_bench_json
+from bench_helpers import population_simulator, timer, write_bench_json
 from conftest import bench_scale as _scale
 from repro.core.counting import CollisionCounter
 from repro.sim.city import CityCorridor
@@ -89,41 +89,44 @@ def bench_city_corridor(benchmark, report):
 
     def run_all():
         # -- 1: the 8-station, 100-car corridor (event-driven) ---------
-        city = corridor(
-            "event",
-            CORRIDOR_SEED,
-            n_cars=N_CARS,
-            entry="stream",
-            entry_window_s=0.75 * corridor_duration_s,
-            max_queries=32,
-        )
-        full = city.run(corridor_duration_s)
+        with timer.phase("mac"):
+            city = corridor(
+                "event",
+                CORRIDOR_SEED,
+                n_cars=N_CARS,
+                entry="stream",
+                entry_window_s=0.75 * corridor_duration_s,
+                max_queries=32,
+            )
+            full = city.run(corridor_duration_s)
 
         # -- 2: throughput at saturating cadence, both schedulers ------
         modes = {}
-        for mode in ("event", "rounds"):
-            modes[mode] = corridor(
-                mode,
-                THROUGHPUT_SEED,
-                n_cars=24,
-                entry="spread",
-                query_interval_s=6e-3,
-                jitter_s=0.5e-3,
-                max_queries=16,
-            ).run(throughput_duration_s)
+        with timer.phase("mac"):
+            for mode in ("event", "rounds"):
+                modes[mode] = corridor(
+                    mode,
+                    THROUGHPUT_SEED,
+                    n_cars=24,
+                    entry="spread",
+                    query_interval_s=6e-3,
+                    jitter_s=0.5e-3,
+                    max_queries=16,
+                ).run(throughput_duration_s)
 
         # -- 3: overheard responses on the dense deployment ------------
         policies = {}
-        for policy in ("accept", "ignore"):
-            policies[policy] = corridor(
-                "event",
-                OVERHEARD_SEED,
-                n_cars=N_CARS,
-                entry="spread",
-                pole_spacing_m=OVERHEARD_POLE_SPACING_M,
-                max_queries=32,
-                opportunistic=policy,
-            ).run(overheard_duration_s)
+        with timer.phase("decode"):
+            for policy in ("accept", "ignore"):
+                policies[policy] = corridor(
+                    "event",
+                    OVERHEARD_SEED,
+                    n_cars=N_CARS,
+                    entry="spread",
+                    pole_spacing_m=OVERHEARD_POLE_SPACING_M,
+                    max_queries=32,
+                    opportunistic=policy,
+                ).run(overheard_duration_s)
         return full, modes, policies
 
     full, modes, policies = benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -223,11 +226,12 @@ def bench_city_corridor(benchmark, report):
     ):
         counter.count(capture)  # warm-up
         best = float("inf")
-        for _ in range(3):
-            t0 = time.perf_counter()
-            for _ in range(10):
-                counter.count(capture)
-            best = min(best, (time.perf_counter() - t0) / 10)
+        with timer.phase("count"):
+            for _ in range(3):
+                t0 = time.perf_counter()
+                for _ in range(10):
+                    counter.count(capture)
+                best = min(best, (time.perf_counter() - t0) / 10)
         counter_ms[label] = best * 1e3
     report("")
     report(

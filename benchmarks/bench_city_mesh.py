@@ -30,7 +30,7 @@ Gates:
 Set ``REPRO_BENCH_SCALE`` < 1 to shorten the simulations.
 """
 
-from bench_helpers import write_bench_json
+from bench_helpers import timer, write_bench_json
 from conftest import bench_scale as _scale
 from repro.sim.city import CityMesh
 from repro.sim.traffic import TrafficLight
@@ -67,9 +67,10 @@ def bench_city_mesh(benchmark, report):
     duration_s = max(20.0, 45.0 * _scale())
 
     def run_both():
-        return {
-            mode: build_mesh(mode).run(duration_s) for mode in ("push", "pull")
-        }
+        with timer.phase("mac"):
+            return {
+                mode: build_mesh(mode).run(duration_s) for mode in ("push", "pull")
+            }
 
     results = benchmark.pedantic(run_both, rounds=1, iterations=1)
     push, pull = results["push"], results["pull"]

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import json
 import math
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -31,6 +33,57 @@ NOISE_W = thermal_noise_power_w(DEFAULT_SAMPLE_RATE_HZ)
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+class PhaseTimer:
+    """Wall-clock phase accounting for the bench suite.
+
+    The library itself never reads the wall clock (the determinism
+    checker enforces it); profiling therefore lives out here. Benches
+    wrap their hot sections in ``with timer.phase("count"):`` blocks and
+    :func:`write_bench_json` attaches the accumulated breakdown to every
+    ``BENCH_*.json`` as a ``timings`` key — per-phase seconds, call
+    counts, and share of the instrumented total — then resets, so one
+    pytest process writing several bench files never double-reports.
+
+    Wall-clock readings annotate the run; they never feed a gated
+    number, so the simulation results stay bit-identical regardless of
+    host speed.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Accumulate the block's wall time under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self._seconds[name] = self._seconds.get(name, 0.0) + dt
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def take(self) -> dict:
+        """The breakdown so far, JSON-friendly; resets the timer."""
+        total = sum(self._seconds.values())
+        phases = {
+            name: {
+                "seconds": self._seconds[name],
+                "count": self._counts[name],
+                "share": self._seconds[name] / total if total else 0.0,
+            }
+            for name in sorted(self._seconds)
+        }
+        self._seconds, self._counts = {}, {}
+        return {"total_s": total, "phases": phases}
+
+
+#: The suite-wide timer every bench module shares; write_bench_json
+#: drains it into the file it writes.
+timer = PhaseTimer()
+
+
 def write_bench_json(name: str, payload: dict) -> Path:
     """Persist a benchmark's headline numbers machine-readably.
 
@@ -38,9 +91,14 @@ def write_bench_json(name: str, payload: dict) -> Path:
     trajectory can be tracked across commits (the human-readable ``.txt``
     transcripts are free-form; this is the stable contract). Values must
     be JSON-serializable; numpy scalars are coerced and non-finite
-    floats become null (bare ``NaN`` is not valid JSON).
+    floats become null (bare ``NaN`` is not valid JSON). Every file
+    additionally carries the shared :data:`timer`'s ``timings``
+    breakdown (count/refine/decode/mac wall-clock shares) for the
+    phases the bench wrapped; the timer resets on write.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("timings", timer.take())
 
     def coerce(value):
         if isinstance(value, dict):

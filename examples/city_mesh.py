@@ -16,17 +16,24 @@ re-decode wherever they actually went.
 
 Run:  python examples/city_mesh.py    (about ten seconds of compute;
       set REPRO_MESH_DURATION_S to shorten/lengthen the simulation)
+
+Pass ``--trace trace.json`` and/or ``--metrics metrics.json`` to record
+the push run through ``repro.obs`` (see docs/OBSERVABILITY.md): the
+trace is Chrome trace_event JSON — load it at https://ui.perfetto.dev —
+and both files render via ``python -m repro.obs.report``.
 """
 
+import argparse
 import os
 
 from repro.apps import CarFinder
+from repro.obs import Obs
 from repro.sim.city import CityMesh
 from repro.sim.traffic import TrafficLight
 
 
-def build_mesh(handoff: str, seed: int = 7) -> CityMesh:
-    mesh = CityMesh(rng=seed, handoff=handoff)
+def build_mesh(handoff: str, seed: int = 7, obs: Obs | None = None) -> CityMesh:
+    mesh = CityMesh(rng=seed, handoff=handoff, obs=obs)
     mesh.add_node("u", light=TrafficLight(green_s=8.0, yellow_s=1.0, red_s=4.0))
     mesh.add_node(
         "v", light=TrafficLight(green_s=8.0, yellow_s=1.0, red_s=4.0, offset_s=3.0)
@@ -45,12 +52,32 @@ def build_mesh(handoff: str, seed: int = 7) -> CityMesh:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
+    parser.add_argument(
+        "--trace", metavar="PATH", help="write a Chrome trace_event JSON here"
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", help="write a metrics snapshot JSON here"
+    )
+    args = parser.parse_args()
+    obs = None
+    if args.trace or args.metrics:
+        obs = Obs(trace=bool(args.trace))
+
     duration_s = float(os.environ.get("REPRO_MESH_DURATION_S", "30"))
     print("=== 3-corridor / 2-intersection mesh, predictive push handoff ===")
-    mesh = build_mesh("push")
+    mesh = build_mesh("push", obs=obs)
     finder = mesh.subscribe(CarFinder())
     result = mesh.run(duration_s)
     ledger = result.ledger
+
+    if args.metrics:
+        obs.metrics.write(args.metrics)
+        n = sum(len(t) for t in obs.metrics.snapshot().values())
+        print(f"metrics: {n} series -> {args.metrics}")
+    if args.trace:
+        obs.tracer.write(args.trace)
+        print(f"trace: {len(obs.tracer.events)} events -> {args.trace}")
 
     print(
         f"{result.cars_injected} edge entries ({result.cars_transferred} "

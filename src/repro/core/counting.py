@@ -180,6 +180,9 @@ class CollisionCounter:
             captures -> same spectra -> same floor). Off reproduces the
             recompute-everything behavior, kept for the throughput
             ablation benchmark; the outputs are identical either way.
+        obs: nullable observability hook (see :mod:`repro.obs`): counts
+            passes by regime and spike verdicts by label. Never affects
+            the estimate.
     """
 
     min_snr_db: float = 15.0
@@ -208,6 +211,7 @@ class CollisionCounter:
     search_lo_hz: float = DEFAULT_SEARCH_LO_HZ
     search_hi_hz: float = DEFAULT_SEARCH_HI_HZ
     reuse_probe_spectra: bool = True
+    obs: object = None
 
     def __post_init__(self) -> None:
         if self.method not in ("coherence", "shift"):
@@ -247,7 +251,10 @@ class CollisionCounter:
         # Regime probe: the raw candidate count at a permissive threshold
         # cleanly separates sparse scenes (few tags + structured-floor
         # flukes) from dense ones (many tags, Gaussianized floor).
-        if self._probe_candidates(waves, shared) >= self.dense_trigger:
+        dense = self._probe_candidates(waves, shared) >= self.dense_trigger
+        if self.obs is not None:
+            self.obs.count("count.pass", regime="dense" if dense else "sparse")
+        if dense:
             return self._count_pass(waves, dense_thr, dense_mode=True, shared=shared)
         return self._count_pass(waves, self.min_snr_db, dense_mode=False, shared=shared)
 
@@ -361,6 +368,9 @@ class CollisionCounter:
                 )
             )
         count = sum(o.contributes for o in observations)
+        if self.obs is not None:
+            for obs_record in observations:
+                self.obs.count("count.spike", label=obs_record.label.value)
         return CountEstimate(
             count=count,
             observations=observations,

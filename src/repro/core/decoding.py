@@ -329,6 +329,7 @@ class MultiTargetCombiner:
         n_samples: int,
         combining: str = "mrc",
         antenna_index: int = 0,
+        obs=None,
     ):
         if n_samples <= 0:
             raise DecodingError("combiner needs a positive capture length")
@@ -336,6 +337,9 @@ class MultiTargetCombiner:
         self.n_samples = int(n_samples)
         self.combining = validate_combining(combining)
         self.antenna_index = int(antenna_index)
+        #: Nullable observability hook (see :mod:`repro.obs`): counts
+        #: demodulation attempts and CRC passes.
+        self.obs = obs
         self._tau = np.arange(self.n_samples) / decoder.sample_rate_hz
         self.cfos_hz = np.zeros(0, dtype=np.float64)
         self._phasors = np.zeros((0, self.n_samples), dtype=np.complex128)
@@ -737,6 +741,11 @@ class MultiTargetCombiner:
                 packet = self.decoder._try_demodulate(self._phasors[k] * reduced[i])
             else:
                 packet = self.decoder._try_demodulate(bits=bit_rows[i])
+            if self.obs is not None:
+                self.obs.count(
+                    "combiner.attempt",
+                    outcome="decoded" if packet is not None else "pending",
+                )
             if packet is not None:
                 self._results[k] = DecodeResult(
                     packet=packet,
@@ -788,6 +797,10 @@ class DecodeSession:
         refine: sub-bin refine each target's CFO on the first capture.
         antenna_index: **deprecated** alias — setting it selects
             ``combining="single"`` on that antenna.
+        obs: nullable observability hook (see :mod:`repro.obs`): counts
+            queries issued, seeded captures, and the CFAR probe's
+            accept/reject verdicts on donated windows. Never affects
+            decode results.
     """
 
     query_fn: object
@@ -802,6 +815,7 @@ class DecodeSession:
     _target_keys: dict[float, int] = field(default_factory=dict, repr=False)
     _donations: list = field(default_factory=list, repr=False)
     antenna_index: int | None = None
+    obs: object = None
 
     def __post_init__(self) -> None:
         if self.antenna_index is not None:
@@ -821,6 +835,8 @@ class DecodeSession:
             collision = self.query_fn(self._next_query_s)
             self._next_query_s += self.decoder.query_period_s
             self.captures.append(collision)
+            if self.obs is not None:
+                self.obs.count("decode.capture", kind="query")
 
     def readout_capture(self, index: int) -> Waveform:
         """The single waveform used for spike/CFO readout of one capture.
@@ -853,6 +869,7 @@ class DecodeSession:
                     combining=self.combining,
                     # repro: allow[ablation-api] — combiner-internal antenna selection, not the deprecated session alias
                     antenna_index=self._antenna,
+                    obs=self.obs,
                 )
             refined = [
                 self.decoder.refine_cfo(first, cfo) if self.refine else cfo
@@ -896,6 +913,8 @@ class DecodeSession:
         """
         self.captures.append(capture)
         self._next_query_s += self.decoder.query_period_s
+        if self.obs is not None:
+            self.obs.count("decode.capture", kind="seeded")
 
     def donate_capture(self, capture) -> bool:
         """Offer an *overheard* capture as free evidence (no air time).
@@ -915,8 +934,12 @@ class DecodeSession:
         kept.
         """
         if self.opportunistic != "accept":
+            if self.obs is not None:
+                self.obs.count("decode.donation", outcome="ignored")
             return False
         self._donations.append(capture)
+        if self.obs is not None:
+            self.obs.count("decode.donation", outcome="held")
         return True
 
     #: Half-width (in FFT bins) of the probe's local floor window, and
@@ -996,6 +1019,11 @@ class DecodeSession:
                 for k in pending
                 if self._spike_present(capture, k, rows=rows, spectra=spectra)
             ]
+            if self.obs is not None:
+                self.obs.count("decode.probe", n=len(accepted), outcome="accepted")
+                self.obs.count(
+                    "decode.probe", n=len(pending) - len(accepted), outcome="rejected"
+                )
             if accepted:
                 self._combiner.advance_extra(accepted, capture)
 

@@ -192,11 +192,15 @@ class ReaderMac:
             heard queries open. Enabling it models a conservative reader
             (every kind of energy restarts the 120 µs listen window) for
             the ablation benchmark.
+        obs: nullable observability hook (see :mod:`repro.obs`):
+            counts carrier-sense verdicts by outcome. Verdict counts are
+            a function of sim time and seeded state only.
     """
 
     listen_s: float = CSMA_LISTEN_S
     query_s: float = QUERY_DURATION_S
     defer_to_queries: bool = False
+    obs: object = None
 
     def can_transmit(self, now_s: float, state: CsmaState) -> bool:
         """Whether a reader may begin its query at ``now_s``.
@@ -209,6 +213,14 @@ class ReaderMac:
         queries — otherwise the reader would invite its tags to respond
         straight into a transmission it already knows is coming.
         """
+        verdict = self._can_transmit(now_s, state)
+        if self.obs is not None:
+            self.obs.count(
+                "mac.carrier_sense", outcome="allow" if verdict else "defer"
+            )
+        return verdict
+
+    def _can_transmit(self, now_s: float, state: CsmaState) -> bool:
         if self.defer_to_queries:
             return state.idle_since(now_s) >= self.listen_s
         if state.response_idle_since(now_s) < self.listen_s:

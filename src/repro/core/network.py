@@ -472,11 +472,19 @@ class ReaderNetwork:
 
         decode_results: dict[float, DecodeResult] = {}
         if unknown and self.decode:
+            # Stations configured through the deprecated alias forward it
+            # conditionally (the station __post_init__ already warned and
+            # pinned combining="single"); clean stations never touch it.
+            extra = (
+                {}
+                if station.antenna_index is None
+                else {"antenna_index": station.antenna_index}
+            )
             session = station.reader.decode_session(
                 lambda t: station.query_fn(timestamp_s + t),
                 combining=station.combining,
                 opportunistic=station.opportunistic,
-                antenna_index=station.antenna_index,
+                **extra,
             )
             # Reuse the measurement capture as the first decode capture
             # (the whole collision: MRC combines every antenna of it).

@@ -101,6 +101,7 @@ class CaraokeReader:
         combining: str = "mrc",
         opportunistic: str = "accept",
         antenna_index: int | None = None,
+        obs=None,
     ) -> DecodeSession:
         """Open a repeated-query decode session (§8).
 
@@ -115,14 +116,21 @@ class CaraokeReader:
                 ``"ignore"`` (donations dropped; the ablation baseline).
             antenna_index: **deprecated** alias selecting
                 ``combining="single"`` on that antenna.
+            obs: nullable observability hook (see :mod:`repro.obs`),
+                threaded into the session and its combiner.
         """
         decoder = CoherentDecoder(self.sample_rate_hz, self.query_period_s)
+        # The deprecated alias is forwarded only when actually set, so
+        # DecodeSession owns the single deprecation warning and clean
+        # callers never touch the legacy keyword.
+        extra = {} if antenna_index is None else {"antenna_index": antenna_index}
         return DecodeSession(
             query_fn=query_fn,
             decoder=decoder,
             combining=combining,
             opportunistic=opportunistic,
-            antenna_index=antenna_index,
+            obs=obs,
+            **extra,
         )
 
     def decode_all_in_range(
@@ -141,9 +149,8 @@ class CaraokeReader:
         ``antenna_index`` is the **deprecated** alias selecting
         ``combining="single"`` on that antenna.
         """
-        session = self.decode_session(
-            query_fn, combining=combining, antenna_index=antenna_index
-        )
+        extra = {} if antenna_index is None else {"antenna_index": antenna_index}
+        session = self.decode_session(query_fn, combining=combining, **extra)
         session._ensure_captures(1)
         estimate = self.counter.count(session.readout_capture(0))
         cfos = [float(c) for c in estimate.cfos_hz()]

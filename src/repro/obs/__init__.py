@@ -1,0 +1,104 @@
+"""repro.obs — deterministic observability for the city stack.
+
+The package bundles two sim-time instruments behind one facade:
+
+* :class:`MetricsRegistry` — labelled counters, gauges, and histograms
+  (``air.query{station=p3}``) that library code reports into.
+* :class:`SpanTracer` — a sim-time span recorder exporting Chrome
+  ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``)
+  plus a text timeline.
+
+The contract (see ``docs/OBSERVABILITY.md``):
+
+* **Nullable hook.** Library code takes ``obs=None`` and guards every
+  report with ``if obs is not None`` — disabled observability is a
+  no-op and must leave simulation results bit-identical.
+* **Deterministic.** Everything recorded derives from sim time and
+  seeded state only. Nothing in this package (or in any ``obs`` call
+  site under ``src/``) may read the wall clock; two same-seed runs
+  produce byte-identical snapshots and trace files. The ``obs-policy``
+  and ``determinism`` analyzers enforce this.
+* **No globals.** There is no module-level registry; an :class:`Obs`
+  is constructed at the entry point (example, benchmark, test) and
+  threaded through ``obs=`` parameters.
+
+``python -m repro.obs.report`` renders a run's exported metrics
+snapshot and trace (see :mod:`repro.obs.report`).
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import SpanTracer, TraceError
+
+__all__ = ["MetricsRegistry", "Obs", "SpanTracer", "TraceError"]
+
+
+class Obs:
+    """The nullable observability hook: registry + optional tracer.
+
+    An ``Obs`` may carry bound labels (``obs.labeled(station="p3")``)
+    that are merged into every metric it reports; the labelled view
+    shares the underlying registry and tracer, so a corridor can hand
+    each station a station-scoped hook while all evidence lands in one
+    snapshot.
+    """
+
+    __slots__ = ("metrics", "tracer", "_labels")
+
+    def __init__(self, *, metrics=None, tracer=None, trace=False, labels=None):
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        if tracer is None and trace:
+            tracer = SpanTracer()
+        self.tracer = tracer
+        self._labels = dict(labels) if labels else {}
+
+    # -- labelled views ------------------------------------------------
+    def labeled(self, **labels) -> "Obs":
+        """A view sharing this registry/tracer with ``labels`` bound."""
+        merged = dict(self._labels)
+        merged.update(labels)
+        return Obs(metrics=self.metrics, tracer=self.tracer, labels=merged)
+
+    @property
+    def labels(self) -> dict:
+        return dict(self._labels)
+
+    # -- metrics -------------------------------------------------------
+    def count(self, name: str, n: float = 1, **labels) -> None:
+        self.metrics.inc(name, n, **{**self._labels, **labels})
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        self.metrics.set_gauge(name, value, **{**self._labels, **labels})
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        self.metrics.observe(name, value, **{**self._labels, **labels})
+
+    # -- sim-time tracing ----------------------------------------------
+    def _track(self, track):
+        if track is not None:
+            return track
+        return str(self._labels.get("station", "sim"))
+
+    def span(self, name: str, start_s: float, end_s: float, *, track=None, **labels):
+        if self.tracer is not None:
+            self.tracer.span(
+                name, start_s, end_s, track=self._track(track),
+                **{**self._labels, **labels},
+            )
+
+    def begin(self, name: str, t_s: float, *, track=None, **labels) -> None:
+        if self.tracer is not None:
+            self.tracer.begin(
+                name, t_s, track=self._track(track), **{**self._labels, **labels}
+            )
+
+    def end(self, t_s: float, *, track=None) -> None:
+        if self.tracer is not None:
+            self.tracer.end(t_s, track=self._track(track))
+
+    def instant(self, name: str, t_s: float, *, track=None, **labels) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                name, t_s, track=self._track(track), **{**self._labels, **labels}
+            )

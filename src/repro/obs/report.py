@@ -1,0 +1,155 @@
+"""``python -m repro.obs.report`` — render a run's metrics and trace.
+
+Reads the files a run exported (``MetricsRegistry.write`` /
+``SpanTracer.write``, or ``examples/city_mesh.py --metrics/--trace``)
+and prints a metrics table and a text timeline. ``--check`` validates
+the Chrome ``trace_event`` schema and the snapshot shape instead of
+rendering — the CI trace smoke runs in that mode.
+
+Usage::
+
+    python -m repro.obs.report --metrics metrics.json --trace trace.json
+    python -m repro.obs.report --check --trace trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Phases a valid trace_event entry may carry (the subset the tracer
+#: emits: complete spans, instants, and thread-name metadata).
+_VALID_PHASES = {"X", "i", "M"}
+
+
+def validate_trace(doc) -> list[str]:
+    """Schema errors in a parsed Chrome trace document ([] = valid)."""
+    errors = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                errors.append(f"{where}: missing {field!r}")
+        ph = event.get("ph")
+        if ph not in _VALID_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+        if ph in ("X", "i") and not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+        if ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            errors.append(f"{where}: complete span missing numeric 'dur'")
+    return errors
+
+
+def validate_metrics(doc) -> list[str]:
+    """Shape errors in a parsed metrics snapshot ([] = valid)."""
+    if not isinstance(doc, dict):
+        return ["top level must be an object"]
+    errors = []
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            errors.append(f"missing {section!r} table")
+    return errors
+
+
+def render_metrics(doc, out) -> None:
+    for section in ("counters", "gauges"):
+        table = doc.get(section, {})
+        if not table:
+            continue
+        out.write(f"{section}:\n")
+        width = max(len(k) for k in table)
+        for key in sorted(table):
+            value = table[key]
+            shown = f"{value:g}" if isinstance(value, float) else str(value)
+            out.write(f"  {key:<{width}}  {shown}\n")
+    histograms = doc.get("histograms", {})
+    if histograms:
+        out.write("histograms:\n")
+        for key in sorted(histograms):
+            h = histograms[key]
+            out.write(
+                f"  {key}  count={h['count']} sum={h['sum']:g} "
+                f"min={h['min']:g} max={h['max']:g}\n"
+            )
+
+
+def render_trace(doc, out, max_rows: int) -> None:
+    events = [e for e in doc.get("traceEvents", []) if e.get("ph") in ("X", "i")]
+    tracks = {
+        e["tid"]: e["args"]["name"]
+        for e in doc.get("traceEvents", [])
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+    out.write(f"{len(events)} event(s) on {len(tracks)} track(s)\n")
+    events.sort(key=lambda e: (e["ts"], e["tid"], e["name"]))
+    clipped = len(events) - max_rows
+    for event in events[:max_rows]:
+        t_ms = event["ts"] / 1e3
+        track = tracks.get(event["tid"], str(event["tid"]))
+        suffix = (
+            f"  [{event['dur'] / 1e3:.3f} ms]" if event.get("ph") == "X" else ""
+        )
+        out.write(f"{t_ms:12.3f} ms  {track:>10}  {event['name']}{suffix}\n")
+    if clipped > 0:
+        out.write(f"... {clipped} more event(s)\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report", description=__doc__.split("\n\n")[0]
+    )
+    parser.add_argument("--metrics", help="metrics snapshot JSON to render")
+    parser.add_argument("--trace", help="Chrome trace_event JSON to render")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the file schemas instead of rendering",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=60, help="timeline rows to print"
+    )
+    args = parser.parse_args(argv)
+    if not args.metrics and not args.trace:
+        parser.error("nothing to do: pass --metrics and/or --trace")
+
+    failures = 0
+    if args.metrics:
+        with open(args.metrics) as fh:
+            metrics_doc = json.load(fh)
+        errors = validate_metrics(metrics_doc)
+        if args.check:
+            for err in errors:
+                sys.stderr.write(f"{args.metrics}: {err}\n")
+            failures += len(errors)
+            if not errors:
+                n = sum(len(metrics_doc[s]) for s in ("counters", "gauges", "histograms"))
+                print(f"{args.metrics}: valid metrics snapshot ({n} series)")
+        else:
+            render_metrics(metrics_doc, sys.stdout)
+    if args.trace:
+        with open(args.trace) as fh:
+            trace_doc = json.load(fh)
+        errors = validate_trace(trace_doc)
+        if args.check:
+            for err in errors:
+                sys.stderr.write(f"{args.trace}: {err}\n")
+            failures += len(errors)
+            if not errors:
+                n = len(trace_doc["traceEvents"])
+                print(f"{args.trace}: valid trace ({n} trace_event entries)")
+        else:
+            render_trace(trace_doc, sys.stdout, args.max_rows)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Sim-time span tracer with Chrome ``trace_event`` export.
+
+Spans are recorded against *simulation* time (seconds from the
+scheduler epoch) — the tracer never reads a wall clock, so two
+same-seed runs emit byte-identical trace files. Each ``track`` (one
+per station, plus ``sim`` for the scheduler) becomes a thread row in
+the exported JSON, which loads directly in Perfetto or
+``chrome://tracing``.
+
+Span discipline is LIFO per track: :meth:`begin`/:meth:`end` must nest
+properly (enforced — a mismatched end raises :class:`TraceError`), or
+use :meth:`span` for an already-closed interval and :meth:`instant`
+for zero-duration marks.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class TraceError(RuntimeError):
+    """Span discipline violation: unbalanced or time-reversed spans."""
+
+
+class SpanTracer:
+    def __init__(self):
+        #: Completed events in record order, already in trace_event form.
+        self._events: list[dict] = []
+        #: Open ``begin`` frames per track: (name, t_s, labels).
+        self._stacks: dict[str, list] = {}
+        #: track name -> tid, assigned in first-use order.
+        self._tracks: dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------
+    def _tid(self, track: str) -> int:
+        tid = self._tracks.get(track)
+        if tid is None:
+            tid = self._tracks[track] = len(self._tracks) + 1
+        return tid
+
+    def _event(self, ph, name, t_s, track, dur_s=None, labels=None) -> None:
+        event = {
+            "name": name,
+            "ph": ph,
+            "ts": round(t_s * 1e6, 3),  # trace_event timestamps are µs
+            "pid": 1,
+            "tid": self._tid(track),
+            "cat": track,
+        }
+        if dur_s is not None:
+            event["dur"] = round(dur_s * 1e6, 3)
+        if labels:
+            event["args"] = {k: labels[k] for k in sorted(labels)}
+        if ph == "i":
+            event["s"] = "t"  # instant scope: thread
+        self._events.append(event)
+
+    def begin(self, name: str, t_s: float, *, track: str = "sim", **labels) -> None:
+        self._stacks.setdefault(track, []).append((name, float(t_s), labels))
+
+    def end(self, t_s: float, *, track: str = "sim") -> None:
+        stack = self._stacks.get(track)
+        if not stack:
+            raise TraceError(f"end() on track {track!r} with no open span")
+        name, start_s, labels = stack.pop()
+        if t_s < start_s:
+            raise TraceError(
+                f"span {name!r} on {track!r} ends at {t_s} before start {start_s}"
+            )
+        self._event("X", name, start_s, track, dur_s=t_s - start_s, labels=labels)
+
+    def span(
+        self, name: str, start_s: float, end_s: float, *, track: str = "sim", **labels
+    ) -> None:
+        if end_s < start_s:
+            raise TraceError(
+                f"span {name!r} on {track!r} ends at {end_s} before start {start_s}"
+            )
+        self._event("X", name, start_s, track, dur_s=end_s - start_s, labels=labels)
+
+    def instant(self, name: str, t_s: float, *, track: str = "sim", **labels) -> None:
+        self._event("i", name, t_s, track, labels=labels)
+
+    # -- reading -------------------------------------------------------
+    def open_depth(self, track: str = "sim") -> int:
+        return len(self._stacks.get(track, ()))
+
+    @property
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+    def to_chrome(self) -> dict:
+        """The exported document: thread-name metadata + all events."""
+        for track, stack in self._stacks.items():
+            if stack:
+                raise TraceError(
+                    f"export with {len(stack)} unclosed span(s) on track {track!r}"
+                )
+        metadata = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+            for track, tid in sorted(self._tracks.items(), key=lambda kv: kv[1])
+        ]
+        return {"traceEvents": metadata + self._events, "displayTimeUnit": "ms"}
+
+    def to_json(self) -> str:
+        """Canonical serialization: byte-identical across same-seed runs."""
+        return json.dumps(self.to_chrome(), indent=2, sort_keys=True) + "\n"
+
+    def write(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    def timeline(self, max_rows: int = 60) -> str:
+        """A text rendering of the recorded spans, in time order."""
+        rows = []
+        for event in sorted(
+            self._events, key=lambda e: (e["ts"], e["tid"], e["name"])
+        ):
+            t_ms = event["ts"] / 1e3
+            track = event["cat"]
+            if event["ph"] == "X":
+                dur_ms = event.get("dur", 0.0) / 1e3
+                rows.append(
+                    f"{t_ms:12.3f} ms  {track:>10}  {event['name']}"
+                    f"  [{dur_ms:.3f} ms]"
+                )
+            else:
+                rows.append(f"{t_ms:12.3f} ms  {track:>10}  {event['name']}")
+        clipped = len(rows) - max_rows
+        if clipped > 0:
+            rows = rows[:max_rows] + [f"... {clipped} more event(s)"]
+        header = f"{len(self._events)} event(s) on {len(self._tracks)} track(s)"
+        return "\n".join([header] + rows)

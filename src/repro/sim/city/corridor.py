@@ -400,6 +400,16 @@ class CityCorridor:
             speed ratios). The mesh uses the hook to feed the
             :class:`~repro.sim.city.directory.IdentityDirectory` and
             trigger predictive pushes; None disables.
+        obs: nullable observability hook (see :mod:`repro.obs`). When
+            set, the corridor mirrors rounds, queries, deferrals,
+            corruption verdicts, handoffs and overheard-window fates
+            into the metrics registry (per-station labels) and — when
+            the hook carries a tracer — emits sim-time spans for every
+            measurement round and decode burst plus identification
+            instants. Also threaded into privately built infrastructure
+            (air log, pool, scheduler) and every decode session. Never
+            affects simulation behavior: recordings derive only from
+            sim time and seeded state.
     """
 
     def __init__(
@@ -424,6 +434,7 @@ class CityCorridor:
         ledger: HandoffLedger | None = None,
         interference_range_m: float | None = None,
         on_sighting=None,
+        obs=None,
     ):
         if scheduling not in ("event", "rounds"):
             raise ConfigurationError(f"unknown scheduling {scheduling!r}")
@@ -450,6 +461,19 @@ class CityCorridor:
             None if interference_range_m is None else float(interference_range_m)
         )
         self.on_sighting = on_sighting
+        self.obs = obs
+        # Per-station labeled views share the hook's registry/tracer, so
+        # every count lands with a station= label and every span on the
+        # station's own trace track; None when obs is off keeps the hot
+        # paths to a single identity check.
+        self._station_obs = {
+            s.name: None if obs is None else obs.labeled(station=s.name)
+            for s in self.stations
+        }
+        if obs is not None:
+            for station in self.stations:
+                if station.mac.obs is None:
+                    station.mac.obs = self._station_obs[station.name]
         # Sensing lookback must cover a whole synchronous decode burst:
         # burst queries sense up to max_queries periods past the event
         # clock, and later events still need everything in that window.
@@ -457,7 +481,7 @@ class CityCorridor:
             0.25, self.max_queries * QUERY_PERIOD_S + RESPONSE_DURATION_S + 0.05
         )
         if air is None:
-            self.air = AirLog(sense_slack_s=slack_s)
+            self.air = AirLog(sense_slack_s=slack_s, obs=obs)
         else:
             # Shared log (mesh): never shrink another corridor's slack.
             self.air = air
@@ -466,7 +490,7 @@ class CityCorridor:
         #: scan-back slack mirrors the air log's (bursts publish their
         #: future windows when the burst executes).
         if pool is None:
-            self.pool = ResponsePool(slack_s=self.air.sense_slack_s)
+            self.pool = ResponsePool(slack_s=self.air.sense_slack_s, obs=obs)
         else:
             self.pool = pool
             self.pool.slack_s = max(self.pool.slack_s, self.air.sense_slack_s)
@@ -612,7 +636,7 @@ class CityCorridor:
     def run(self, duration_s: float) -> CorridorResult:
         """Simulate the corridor for ``duration_s`` seconds."""
         if self.scheduling == "event":
-            scheduler = EventScheduler()
+            scheduler = EventScheduler(obs=self.obs)
             self.prime(scheduler, duration_s)
             scheduler.run_until(duration_s)
             return self.finish()
@@ -806,6 +830,9 @@ class CityCorridor:
                 )
                 if not station.mac.can_transmit(now, state):
                     station.queries_deferred += 1
+                    sobs = self._station_obs[station.name]
+                    if sobs is not None:
+                        sobs.count("mac.deferral", context="cadence")
                     retry = station.mac.next_opportunity(now, state)
                     retry += float(self.rng.uniform(0.0, 20e-6))
                     scheduler.schedule(
@@ -848,6 +875,9 @@ class CityCorridor:
         """
         station.rounds += 1
         station.queries_sent += 1
+        sobs = self._station_obs[station.name]
+        if sobs is not None:
+            sobs.count("corridor.query", kind="measurement")
         self.air.record_query(
             station.name, t_query, x_m=self._station_x[station.name]
         )
@@ -856,6 +886,9 @@ class CityCorridor:
         if not candidates:
             station.empty_rounds += 1
             end = t_query + QUERY_DURATION_S
+            if sobs is not None:
+                sobs.count("corridor.round", outcome="empty")
+                sobs.span("round", t_query, end, outcome="empty")
             if not sequential:
                 self._schedule_next(station, anchor, end, scheduler)
             return end
@@ -900,8 +933,12 @@ class CityCorridor:
             x_m=self._station_x[station.name],
             hear_range_m=self.interference_range_m,
         )
+        sobs = self._station_obs[station.name]
         if corrupted:
             station.corrupted_rounds += 1
+            if sobs is not None:
+                sobs.count("corridor.round", outcome="corrupted")
+                sobs.span("round", t_query, response_end, outcome="corrupted")
             # Tags still transmitted (the corruption is at the receivers,
             # where query energy steps on the window): publish the window
             # marked corrupted so overhearing poles account for it too.
@@ -926,8 +963,12 @@ class CityCorridor:
                 self.ledger.record_push_hit(
                     station.name, pushed[0], tag_id, t_query, cfo
                 )
+                if sobs is not None:
+                    sobs.count("corridor.resolution", kind="push")
             else:
                 self.ledger.record_own_hit(station.name, tag_id, t_query, cfo)
+                if sobs is not None:
+                    sobs.count("corridor.resolution", kind="own")
 
         # Neighbor handoff: a fingerprint the local cache misses may be
         # sitting one pole upstream — forward it instead of re-decoding.
@@ -951,6 +992,8 @@ class CityCorridor:
                 self.ledger.record_handoff(
                     station.name, donor.name, donor_id, t_query, cfo
                 )
+                if sobs is not None:
+                    sobs.count("corridor.resolution", kind="handoff")
         else:
             still_unknown = unknown
 
@@ -968,6 +1011,16 @@ class CityCorridor:
                 seed=collision,
             )
 
+        if sobs is not None:
+            sobs.count("corridor.round", outcome="clean")
+            sobs.span(
+                "round",
+                t_query,
+                busy_end,
+                outcome="clean",
+                spikes=len(cfos),
+                resolved=len(ids),
+            )
         self._emit_observations(station, report, ids, t_query, decode_results)
         if self.on_sighting is not None:
             # Every id resolved this round (cache hits, pushes, pulls,
@@ -1001,6 +1054,7 @@ class CityCorridor:
         seed=None,
     ) -> float:
         """Run one §12.4 batched decode over the shared capture stream."""
+        sobs = self._station_obs[station.name]
         worth_it = []
         for cfo in targets:
             snr = snr_by_cfo.get(cfo, float("inf"))
@@ -1023,8 +1077,12 @@ class CityCorridor:
                 )
                 if not station.mac.can_transmit(t_actual, heard):
                     station.queries_deferred += 1
+                    if sobs is not None:
+                        sobs.count("mac.deferral", context="burst")
                     t_actual = station.mac.next_opportunity(t_actual, heard)
             station.queries_sent += 1
+            if sobs is not None:
+                sobs.count("corridor.query", kind="decode")
             self.air.record_query(station.name, t_actual, x_m=station_x)
             self._note_own_window(station, t_actual)
             subset = self._tags_near(station, t_actual)
@@ -1061,11 +1119,20 @@ class CityCorridor:
                 )
             return collision
 
+        # Stations configured through the deprecated alias forward it
+        # conditionally (__post_init__ already warned and pinned
+        # combining="single"); clean stations never touch the keyword.
+        extra = (
+            {}
+            if station.antenna_index is None
+            else {"antenna_index": station.antenna_index}
+        )
         session = station.reader.decode_session(
             decode_query,
             combining=station.combining,
             opportunistic=station.opportunistic,
-            antenna_index=station.antenna_index,
+            obs=sobs,
+            **extra,
         )
         if seed is not None:
             # The measurement capture doubles as the burst's first decode
@@ -1096,12 +1163,18 @@ class CityCorridor:
                     n_queries=result.n_queries,
                     n_overheard=result.n_overheard,
                 )
+                if sobs is not None:
+                    sobs.count("corridor.resolution", kind="decode")
                 if tag_id not in self._identified:
                     self._identified[tag_id] = (
                         state["busy_end"],
                         result.n_queries,
                         result.n_overheard,
                     )
+                    if sobs is not None:
+                        sobs.instant(
+                            "identified", state["busy_end"], tag=str(tag_id)
+                        )
             else:
                 self.ledger.record_decode_failure(
                     station.name,
@@ -1110,6 +1183,15 @@ class CityCorridor:
                     n_queries=result.n_queries,
                     n_overheard=result.n_overheard,
                 )
+                if sobs is not None:
+                    sobs.count("corridor.decode_failure")
+        if sobs is not None and state["busy_end"] > response_end:
+            sobs.span(
+                "decode-burst",
+                response_end,
+                state["busy_end"],
+                targets=len(worth_it),
+            )
         return state["busy_end"]
 
     def _push_note_superseded(self, station: CorridorStation, tag_id: int) -> None:
@@ -1234,8 +1316,13 @@ class CityCorridor:
                     corrupted,
                 )
             )
+            sobs = self._station_obs[station.name]
             if corrupted:
+                if sobs is not None:
+                    sobs.count("corridor.overheard", outcome="corrupted")
                 continue
+            if sobs is not None:
+                sobs.count("corridor.overheard", outcome="donated")
             captures.append(
                 station.source.overhear(
                     audible,

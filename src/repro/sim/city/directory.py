@@ -75,6 +75,9 @@ class IdentityDirectory:
             everything".
         max_age_s: accounts unseen for longer are aged out (with their
             trails and speed anchors). Mandatory, same reason.
+        obs: nullable observability hook (see :mod:`repro.obs`):
+            mirrors reports, resolve hits/misses and evictions into the
+            metrics registry. Never affects resolution.
     """
 
     def __init__(
@@ -82,6 +85,7 @@ class IdentityDirectory:
         tolerance_hz: float = 3000.0,
         max_entries: int = 4096,
         max_age_s: float = 600.0,
+        obs=None,
     ) -> None:
         if max_entries is None or max_age_s is None:
             raise ConfigurationError(
@@ -106,6 +110,7 @@ class IdentityDirectory:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.obs = obs
 
     # -- writing ---------------------------------------------------------------
 
@@ -137,6 +142,8 @@ class IdentityDirectory:
         consistency contract interleaved corridor updates rely on.
         """
         self.reports += 1
+        if self.obs is not None:
+            self.obs.count("directory.report", station=station, corridor=corridor)
         if t_s >= self._next_prune_s:
             self._drop(self._index.prune_ids(t_s))
             self._next_prune_s = t_s + self._prune_interval_s
@@ -162,6 +169,8 @@ class IdentityDirectory:
             self._trails.pop(tag_id, None)
             self._speed.forget(tag_id)
             self.evictions += 1
+        if self.obs is not None and tag_ids:
+            self.obs.count("directory.eviction", n=len(tag_ids))
 
     def prune(self, now_s: float) -> int:
         """Age out stale accounts (index, trails and speed anchors
@@ -184,6 +193,10 @@ class IdentityDirectory:
             self.misses += 1
         else:
             self.hits += 1
+        if self.obs is not None:
+            self.obs.count(
+                "directory.resolve", outcome="miss" if tag_id is None else "hit"
+            )
         return tag_id
 
     def trail(self, tag_id: int) -> list[SightingFix]:

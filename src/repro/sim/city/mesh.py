@@ -266,6 +266,11 @@ class CityMesh:
             global axis.
         push_horizon_s: do not push for predicted arrivals further out
             than this (the entry would age toward uselessness first).
+        obs: nullable observability hook (see :mod:`repro.obs`),
+            threaded into the shared air log, response pool, scheduler,
+            the default-built directory and every edge corridor — one
+            registry and one tracer for the whole city. Never affects
+            simulation behavior.
     """
 
     def __init__(
@@ -278,6 +283,7 @@ class CityMesh:
         frame_gap_m: float = 1000.0,
         push_horizon_s: float = 60.0,
         max_queries: int = 32,
+        obs=None,
     ) -> None:
         if handoff not in ("push", "pull"):
             raise ConfigurationError(f"unknown handoff policy {handoff!r}")
@@ -288,7 +294,10 @@ class CityMesh:
             )
         self.rng = as_rng(rng)
         self.handoff = handoff
-        self.directory = directory if directory is not None else IdentityDirectory()
+        self.obs = obs
+        self.directory = (
+            directory if directory is not None else IdentityDirectory(obs=obs)
+        )
         self.interference_range_m = float(interference_range_m)
         self.frame_gap_m = float(frame_gap_m)
         self.push_horizon_s = float(push_horizon_s)
@@ -296,8 +305,8 @@ class CityMesh:
         slack_s = max(
             0.25, self.max_queries * QUERY_PERIOD_S + RESPONSE_DURATION_S + 0.05
         )
-        self.air = AirLog(sense_slack_s=slack_s)
-        self.pool = ResponsePool(slack_s=slack_s)
+        self.air = AirLog(sense_slack_s=slack_s, obs=obs)
+        self.pool = ResponsePool(slack_s=slack_s, obs=obs)
         self.ledger = HandoffLedger()
         self.nodes: dict[str, MeshNode] = {}
         self.edges: dict[str, MeshEdge] = {}
@@ -372,6 +381,7 @@ class CityMesh:
         )
         self._cursor_x_m = float(scene.road.x_max_m) + self.frame_gap_m
         corridor_kwargs.setdefault("max_queries", self.max_queries)
+        corridor_kwargs.setdefault("obs", self.obs)
         corridor = CityCorridor.build(
             scene,
             [],
@@ -451,7 +461,7 @@ class CityMesh:
         self._ran = True
         self._end_s = float(duration_s)
         self._predicted_next = self._turn_policy()
-        scheduler = EventScheduler()
+        scheduler = EventScheduler(obs=self.obs)
         self._scheduler = scheduler
         for edge in self.edges.values():
             for service in self.services:
@@ -555,6 +565,8 @@ class CityMesh:
         tag = MovingTag(transponder=car.transponder, trajectory=trajectory)
         edge.corridor.admit(tag, scheduler, now_s)
         self.cars_injected += 1
+        if self.obs is not None:
+            self.obs.count("mesh.car", kind="injected", edge=edge.name)
         t_exit = now_s + (edge.exit_x_m - edge.entry_x_m) / car.speed_m_s
         if t_exit <= self._end_s:
             scheduler.schedule(
@@ -575,11 +587,15 @@ class CityMesh:
         car.leg += 1
         if car.leg >= len(car.route):
             self.cars_departed += 1
+            if self.obs is not None:
+                self.obs.count("mesh.car", kind="departed", edge=edge.name)
             return
         node = self.nodes[edge.dst]
         depart_s = self._release(node, now_s)
         if depart_s <= self._end_s:
             self.cars_transferred += 1
+            if self.obs is not None:
+                self.obs.count("mesh.car", kind="transferred", edge=edge.name)
             scheduler.schedule(
                 depart_s,
                 self._make_entry(car),
@@ -634,6 +650,8 @@ class CityMesh:
         self.ledger.record_push(
             target.name, station.name, tag_id, t_s, cfo_hz, eta_s=eta_s
         )
+        if self.obs is not None:
+            self.obs.count("mesh.push", station=target.name)
 
     def _predict_target(
         self, edge: MeshEdge, station: CorridorStation, x_m: float

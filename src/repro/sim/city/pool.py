@@ -101,9 +101,12 @@ class ResponsePool:
     :class:`~repro.sim.medium.AirLog` it mirrors.
     """
 
-    def __init__(self, slack_s: float = 0.25) -> None:
+    def __init__(self, slack_s: float = 0.25, obs=None) -> None:
         self.slack_s = float(slack_s)
         self.windows: list[TriggerWindow] = []
+        #: Nullable observability hook (see :mod:`repro.obs`): counts
+        #: windows published and each harvest's kept/dropped verdicts.
+        self.obs = obs
 
     def __len__(self) -> int:
         return len(self.windows)
@@ -111,6 +114,12 @@ class ResponsePool:
     def publish(self, window: TriggerWindow) -> TriggerWindow:
         """Record one trigger window; returns it for chaining."""
         self.windows.append(window)
+        if self.obs is not None:
+            self.obs.count(
+                "pool.published",
+                origin=window.origin,
+                corrupted=str(window.corrupted).lower(),
+            )
         return window
 
     def windows_ending_in(
@@ -156,8 +165,10 @@ class ResponsePool:
         first.
         """
         out = []
+        dropped = {"own_window": 0, "out_of_range": 0}
         for window in self.windows_ending_in(lo_s, hi_s, exclude_origin=station):
             if any(window.overlaps(w_lo, w_hi) for w_lo, w_hi in own_windows):
+                dropped["own_window"] += 1
                 continue
             if window.corrupted:
                 # No phases to synthesize from — but an audible corrupted
@@ -168,8 +179,17 @@ class ResponsePool:
                     for tag in window.tags
                 ):
                     out.append((window, []))
+                else:
+                    dropped["out_of_range"] += 1
                 continue
             audible = window.audible_tags(pole_m, range_m)
             if audible:
                 out.append((window, audible))
+            else:
+                dropped["out_of_range"] += 1
+        if self.obs is not None:
+            self.obs.count("pool.harvested", n=len(out), station=station)
+            for reason, n in dropped.items():
+                if n:
+                    self.obs.count("pool.dropped", n=n, station=station, reason=reason)
         return out

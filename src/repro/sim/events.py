@@ -35,13 +35,17 @@ class EventScheduler:
     callbacks observe it via :attr:`now_s` and may call :meth:`schedule`.
     """
 
-    def __init__(self, start_s: float = 0.0):
+    def __init__(self, start_s: float = 0.0, obs=None):
         self.now_s = start_s
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live: set[int] = set()
         self._cancelled: set[int] = set()
         self.processed = 0
+        #: Nullable observability hook (see :mod:`repro.obs`): counts
+        #: scheduled/processed/cancelled events and, when a tracer is
+        #: attached, marks each processed event on the ``sim`` track.
+        self.obs = obs
 
     def schedule(
         self,
@@ -58,6 +62,8 @@ class EventScheduler:
         event = Event(time_s, priority, next(self._counter), callback, label)
         heapq.heappush(self._heap, event)
         self._live.add(event.sequence)
+        if self.obs is not None:
+            self.obs.count("scheduler.scheduled", kind=label or "event")
         return event
 
     def schedule_in(
@@ -81,6 +87,8 @@ class EventScheduler:
             return False
         self._live.discard(event.sequence)
         self._cancelled.add(event.sequence)
+        if self.obs is not None:
+            self.obs.count("scheduler.cancelled", kind=event.label or "event")
         return True
 
     @property
@@ -106,6 +114,11 @@ class EventScheduler:
         self.now_s = event.time_s
         event.callback(self)
         self.processed += 1
+        if self.obs is not None:
+            self.obs.count("scheduler.processed", kind=event.label or "event")
+            self.obs.instant(
+                event.label or "event", event.time_s, track="sim"
+            )
         return event
 
     def run_until(self, end_s: float, max_events: int = 1_000_000) -> int:

@@ -98,7 +98,7 @@ class AirLog:
     * :meth:`corrupted_responses` — every response some query stepped on.
     """
 
-    def __init__(self, sense_slack_s: float = 0.25) -> None:
+    def __init__(self, sense_slack_s: float = 0.25, obs=None) -> None:
         #: How far behind the newest sensing time a later call may look.
         #: Event engines process a decode burst synchronously, so
         #: sensing times run ahead of the event clock by up to the burst
@@ -116,12 +116,17 @@ class AirLog:
         # city's history each time.
         self._sorted_queries_cache: tuple[int, list[Transmission]] | None = None
         self._corrupted_cache: tuple[tuple[int, float | None], list[Transmission]] | None = None
+        #: Nullable observability hook (see :mod:`repro.obs`): counts
+        #: every recorded transmission by kind and source.
+        self.obs = obs
 
     def record(self, tx: Transmission) -> Transmission:
         """Append one transmission; returns it for chaining."""
         self.transmissions.append(tx)
         if tx.kind is TxKind.QUERY:
             self._queries.append(tx)
+        if self.obs is not None:
+            self.obs.count(f"air.{tx.kind.value}", source=tx.source)
         return tx
 
     def record_query(
@@ -330,13 +335,14 @@ class Medium:
     overlaps it.
     """
 
-    def __init__(self, n_tags: int = 3, rng=None):
+    def __init__(self, n_tags: int = 3, rng=None, obs=None):
         if n_tags < 0:
             raise SimulationError("n_tags must be non-negative")
         self.n_tags = n_tags
         self.rng = as_rng(rng)
         self.readers: list[ReaderNode] = []
-        self.air = AirLog()
+        self.obs = obs
+        self.air = AirLog(obs=obs)
         self.triggered_queries = 0
 
     @property
@@ -354,7 +360,7 @@ class Medium:
 
     def run(self, duration_s: float) -> dict:
         """Run the medium for a duration; returns summary statistics."""
-        scheduler = EventScheduler()
+        scheduler = EventScheduler(obs=self.obs)
         for reader in self.readers:
             first = float(self.rng.uniform(0.0, reader.query_interval_s))
             scheduler.schedule(first, self._make_attempt(reader), label=f"{reader.name}-first")
@@ -366,6 +372,8 @@ class Medium:
             now = scheduler.now_s
             if reader.use_csma and not reader.mac.can_transmit(now, self.air.heard_state(now)):
                 reader.queries_deferred += 1
+                if self.obs is not None:
+                    self.obs.count("mac.deferral", station=reader.name)
                 retry = reader.mac.next_opportunity(now, self.air.heard_state(now))
                 # Defer; small jitter avoids lock-step retries of two readers.
                 retry += float(self.rng.uniform(0.0, 20e-6))

@@ -269,6 +269,76 @@ class TestAblationApiChecker:
         assert check(good, "ablation-api") == []
 
 
+class TestObsPolicyChecker:
+    def test_obs_import_in_library_flagged(self):
+        found = check("from repro.obs import Obs\n", "obs-policy")
+        assert len(found) == 1
+        assert "import" in found[0].message
+
+    def test_obs_submodule_import_flagged(self):
+        assert check("from repro.obs.metrics import MetricsRegistry\n", "obs-policy")
+        assert check("import repro.obs.trace\n", "obs-policy")
+
+    def test_hook_construction_in_library_flagged(self):
+        bad = """\
+        class Corridor:
+            def __init__(self):
+                self.obs = Obs()
+        """
+        found = check(bad, "obs-policy")
+        assert len(found) == 1
+        assert "Obs" in found[0].message
+        assert check("registry = MetricsRegistry()\n", "obs-policy")
+        assert check("tracer = SpanTracer()\n", "obs-policy")
+
+    def test_nullable_hook_threading_clean(self):
+        good = """\
+        class Corridor:
+            def __init__(self, obs=None):
+                self.obs = obs
+            def step(self):
+                if self.obs is not None:
+                    self.obs.count("corridor.round", outcome="clean")
+        """
+        assert check(good, "obs-policy") == []
+
+    def test_obs_package_may_construct_and_import(self):
+        good = """\
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import SpanTracer
+        def make():
+            return MetricsRegistry(), SpanTracer()
+        """
+        assert check(good, "obs-policy", rel_path="src/repro/obs/__init__.py") == []
+
+    def test_non_library_code_exempt(self):
+        bad = "from repro.obs import Obs\nobs = Obs()\n"
+        for rel_path in (
+            "tests/test_fake.py",
+            "benchmarks/bench_fake.py",
+            "examples/fake.py",
+        ):
+            assert check(bad, "obs-policy", rel_path=rel_path) == []
+
+    def test_wall_clock_reference_in_obs_package_flagged(self):
+        # A mere reference — storing the clock as a default timer — is a
+        # breach even though no call happens at module import.
+        bad = """\
+        import time
+        DEFAULT_TIMER = time.perf_counter
+        """
+        found = check(bad, "obs-policy", rel_path="src/repro/obs/metrics.py")
+        assert len(found) == 1
+        assert "perf_counter" in found[0].message
+        # The same reference elsewhere in the library is this rule's
+        # non-problem (determinism owns call sites there).
+        assert check(bad, "obs-policy") == []
+
+    def test_pragma_suppresses(self):
+        src = "from repro.obs import Obs  # repro: allow[obs-policy] — demo\n"
+        assert check(src, "obs-policy") == []
+
+
 class TestUnusedImportChecker:
     def test_unused_import_flagged(self):
         assert len(check("import os\nimport sys\nprint(sys.argv)\n", "unused-import")) == 1
@@ -314,13 +384,14 @@ class TestPragmasAndBaseline:
         rerun = run_analysis([target], rules=["determinism"], baseline=baseline)
         assert rerun.new == [] and len(rerun.baselined) == 1
 
-    def test_registry_has_all_five_rules(self):
+    def test_registry_has_all_rules(self):
         assert set(all_checkers()) >= {
             "determinism",
             "unit-suffix",
             "rng-policy",
             "ablation-api",
             "unused-import",
+            "obs-policy",
         }
 
 

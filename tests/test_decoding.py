@@ -332,11 +332,14 @@ class TestDeprecatedAntennaIndexAlias:
         from repro.sim.city import CorridorStation
 
         with pytest.warns(DeprecationWarning, match="antenna_index"):
+            # repro: allow[ablation-api] — deprecation coverage exercises the alias on purpose
             DecodeSession(query_fn=None, decoder=CoherentDecoder(FS), antenna_index=0)
         with pytest.warns(DeprecationWarning, match="antenna_index"):
+            # repro: allow[ablation-api] — deprecation coverage exercises the alias on purpose
             ReaderStation(name="p", reader=None, query_fn=None, antenna_index=0)
         with pytest.warns(DeprecationWarning, match="antenna_index"):
             CorridorStation(
+                # repro: allow[ablation-api] — deprecation coverage exercises the alias on purpose
                 name="p", reader=None, source=None, cell=None, antenna_index=0
             )
 
@@ -350,6 +353,7 @@ class TestDeprecatedAntennaIndexAlias:
             query_fn=None, decoder=decoder, combining="single"
         )
         with pytest.warns(DeprecationWarning):
+            # repro: allow[ablation-api] — deprecation coverage exercises the alias on purpose
             aliased = DecodeSession(query_fn=None, decoder=decoder, antenna_index=0)
         assert aliased.combining == "single"
 

@@ -116,6 +116,7 @@ class TestCaraokeReader:
         for antenna_index in (1, 2):
             sim = scene.simulator(0, rng=20 + antenna_index)
             results = build_reader(scene).decode_all_in_range(
+                # repro: allow[ablation-api] — no non-deprecated API selects a nonzero antenna yet
                 lambda t: sim.query(t), max_queries=64, antenna_index=antenna_index
             )
             decoded = {r.packet.tag_id for r in results.values() if r.success}

@@ -2,6 +2,20 @@
 
 from __future__ import annotations
 
-from . import ablation, determinism, imports, rng_policy, units  # noqa: F401
+from . import (  # noqa: F401
+    ablation,
+    determinism,
+    imports,
+    obs_policy,
+    rng_policy,
+    units,
+)
 
-__all__ = ["ablation", "determinism", "imports", "rng_policy", "units"]
+__all__ = [
+    "ablation",
+    "determinism",
+    "imports",
+    "obs_policy",
+    "rng_policy",
+    "units",
+]

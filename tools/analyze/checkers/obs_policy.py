@@ -1,0 +1,132 @@
+"""``obs-policy``: instrumentation goes through the nullable ``obs`` hook.
+
+The observability contract (see ``src/repro/obs`` and
+``docs/OBSERVABILITY.md``): library code never *owns* instrumentation
+state — it receives a nullable hook via an ``obs=`` parameter and guards
+every recording with ``if obs is not None``. That keeps disabled runs
+zero-cost and bit-identical, and keeps metric/trace state out of module
+globals where two simulations in one process would share it. This
+checker flags the ways the contract breaks:
+
+* ``import repro.obs`` (or ``from repro.obs import ...``) in library
+  modules outside the obs package — instrumented code must stay
+  import-decoupled from the hook implementation (the hook is duck-typed
+  and arrives as a parameter, so ``repro.core`` / ``repro.sim`` never
+  gain a dependency on ``repro.obs``).
+* constructing ``Obs`` / ``MetricsRegistry`` / ``SpanTracer`` in library
+  code outside the obs package — the application layer (examples,
+  benches, tests) builds the hook; the library only threads it through.
+  A module-level construction would be a de-facto process-global
+  registry.
+* wall-clock *references* (not just calls) inside the obs package —
+  recordings must derive from sim time alone, so even storing
+  ``time.perf_counter`` as a default timer function is a contract
+  breach the determinism checker's call-site rule would miss.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..core import Checker, Finding, ModuleInfo, register
+from ._ast_utils import call_name, dotted_name
+
+#: The obs package — the one library location allowed to construct the
+#: instrumentation classes (it defines them) and to import itself.
+_OBS_PACKAGE = "src/repro/obs"
+
+#: Classes library code may not construct directly: the hook must be
+#: handed in, never minted where it is used.
+_HOOK_CLASSES = {"Obs", "MetricsRegistry", "SpanTracer"}
+
+#: Wall-clock reads the obs package may not even reference (the
+#: determinism rule flags calls across all of src/; references could
+#: still smuggle a clock in as a stored callable).
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+def _in_obs_package(module: ModuleInfo) -> bool:
+    return module.rel_path.startswith(_OBS_PACKAGE)
+
+
+@register
+class ObsPolicyChecker(Checker):
+    name = "obs-policy"
+    description = (
+        "library instrumentation must flow through the nullable obs= hook: "
+        "no repro.obs imports or hook construction outside the obs package, "
+        "no wall-clock references inside it"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.in_library():
+            return
+        if _in_obs_package(module):
+            yield from self._no_wall_clock_references(module)
+        else:
+            yield from self._no_obs_coupling(module)
+
+    def _no_obs_coupling(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                target = node.module or ""
+                if target == "repro.obs" or target.startswith("repro.obs."):
+                    yield module.finding(
+                        self.name,
+                        node,
+                        "library module imports `repro.obs` — the hook is "
+                        "duck-typed and must arrive via an `obs=` parameter, "
+                        "keeping instrumented code import-decoupled",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro.obs" or alias.name.startswith(
+                        "repro.obs."
+                    ):
+                        yield module.finding(
+                            self.name,
+                            node,
+                            "library module imports `repro.obs` — the hook is "
+                            "duck-typed and must arrive via an `obs=` "
+                            "parameter, keeping instrumented code "
+                            "import-decoupled",
+                        )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is None:
+                    continue
+                leaf = name.rsplit(".", 1)[-1]
+                if leaf in _HOOK_CLASSES:
+                    yield module.finding(
+                        self.name,
+                        node,
+                        f"library code constructs `{leaf}` — instrumentation "
+                        "state belongs to the caller; accept a nullable "
+                        "`obs=` hook instead of minting one",
+                    )
+
+    def _no_wall_clock_references(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            name = dotted_name(node)
+            if name in _WALL_CLOCK:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"obs package references wall clock `{name}` — "
+                    "recordings must derive from sim time and seeded state "
+                    "only (profiling lives in benchmarks/ and tools/)",
+                )
