@@ -216,9 +216,11 @@ def bench_city_corridor(benchmark, report):
 
     # -- 4: the per-occupied-round counting hot path -------------------
     # CollisionCounter.count dominates each occupied round; its probe
-    # and decision passes now share one set of spectra + CFAR floors.
-    # Outputs are identical either way — this times the saving.
-    capture = population_simulator(m=10, seed=77).query(0.0).antenna(0)
+    # and decision passes share one set of spectra + CFAR floors, and
+    # the refine/fit stages run batched across peaks and captures.
+    # Outputs are identical on every ablation — this times the savings.
+    sim = population_simulator(m=10, seed=77)
+    capture = sim.query(0.0).antenna(0)
     counter_ms = {}
     for label, counter in (
         ("shared", CollisionCounter()),
@@ -233,11 +235,32 @@ def bench_city_corridor(benchmark, report):
                     counter.count(capture)
                 best = min(best, (time.perf_counter() - t0) / 10)
         counter_ms[label] = best * 1e3
+    # A shared-t0 burst exercises the stacked multi-RHS lstsq; the
+    # batch_fit=False ablation is the pre-batching per-capture loop.
+    burst = [sim.query(0.0).antenna(0) for _ in range(4)]
+    for label, counter in (
+        ("burst_batched", CollisionCounter()),
+        ("burst_looped", CollisionCounter(batch_fit=False)),
+    ):
+        counter.count_multi(burst)  # warm-up
+        best = float("inf")
+        with timer.phase("count"):
+            for _ in range(3):
+                t0 = time.perf_counter()
+                for _ in range(5):
+                    counter.count_multi(burst)
+                best = min(best, (time.perf_counter() - t0) / 5)
+        counter_ms[label] = best * 1e3
     report("")
     report(
         f"Counting hot path (10-tag capture): shared probe spectra "
         f"{counter_ms['shared']:.2f} ms/count vs recompute "
         f"{counter_ms['recompute']:.2f} ms/count"
+    )
+    report(
+        f"  4-capture burst: stacked tone fit "
+        f"{counter_ms['burst_batched']:.2f} ms vs per-capture loop "
+        f"{counter_ms['burst_looped']:.2f} ms"
     )
 
     write_bench_json(
@@ -272,6 +295,10 @@ def bench_city_corridor(benchmark, report):
     assert counter_ms["shared"] <= counter_ms["recompute"] * 1.05, (
         "sharing probe spectra must not cost time: "
         f"{counter_ms['shared']:.2f} vs {counter_ms['recompute']:.2f} ms"
+    )
+    assert counter_ms["burst_batched"] <= counter_ms["burst_looped"] * 1.05, (
+        "stacking the burst tone fit must not cost time: "
+        f"{counter_ms['burst_batched']:.2f} vs {counter_ms['burst_looped']:.2f} ms"
     )
     # CSMA keeps bursts off each other, so synthesis-time corruption
     # verdicts already match the exact post-hoc re-check.

@@ -64,6 +64,18 @@ class PhaseTimer:
             self._seconds[name] = self._seconds.get(name, 0.0) + dt
             self._counts[name] = self._counts.get(name, 0) + 1
 
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's accumulated phases into this one.
+
+        Worker shards time their own hot sections; the coordinator
+        merges shard timers (in sorted-label order, so repeated merges
+        of the same shards are deterministic) before ``take`` writes
+        the breakdown.
+        """
+        for name in sorted(other._seconds):
+            self._seconds[name] = self._seconds.get(name, 0.0) + other._seconds[name]
+            self._counts[name] = self._counts.get(name, 0) + other._counts[name]
+
     def take(self) -> dict:
         """The breakdown so far, JSON-friendly; resets the timer."""
         total = sum(self._seconds.values())

@@ -17,10 +17,28 @@ re-decode wherever they actually went.
 Run:  python examples/city_mesh.py    (about ten seconds of compute;
       set REPRO_MESH_DURATION_S to shorten/lengthen the simulation)
 
+``--workers N`` (N >= 2) runs the city through the sharded engine
+(`repro.sim.city.parallel.run_sharded`): interference-closed edge
+groups in forked worker processes, rendezvousing at sync barriers for
+directory replay and push delivery. **Determinism note:** the sharded
+engine is worker-count invariant — any N produces bit-for-bit the same
+result — but it is *not* bit-identical to the serial run (``--workers
+1``, the default, which runs ``CityMesh.run`` untouched): the serial
+mesh interleaves one RNG stream across all corridors in global event
+order, which sharding by design does not reproduce. Compare sharded
+runs with sharded runs, serial with serial. See docs/PERFORMANCE.md.
+
+``--grid ROWSxCOLS`` swaps the 3-corridor demo for a generated downtown
+(`repro.sim.city.mesh.downtown_grid`) — e.g. ``--grid 10x10 --workers
+4`` for the 100-corridor benchmark city (the pull ablation and the
+find-my-car service are skipped in grid mode to keep the run short).
+
 Pass ``--trace trace.json`` and/or ``--metrics metrics.json`` to record
 the push run through ``repro.obs`` (see docs/OBSERVABILITY.md): the
 trace is Chrome trace_event JSON — load it at https://ui.perfetto.dev —
-and both files render via ``python -m repro.obs.report``.
+and both files render via ``python -m repro.obs.report``. Sim-time
+tracing requires the serial path (``--workers 1``); metrics work under
+both (per-shard registries merge in deterministic order).
 """
 
 import argparse
@@ -28,7 +46,7 @@ import os
 
 from repro.apps import CarFinder
 from repro.obs import Obs
-from repro.sim.city import CityMesh
+from repro.sim.city import CityMesh, downtown_grid, run_sharded
 from repro.sim.traffic import TrafficLight
 
 
@@ -51,6 +69,14 @@ def build_mesh(handoff: str, seed: int = 7, obs: Obs | None = None) -> CityMesh:
     return mesh
 
 
+def parse_grid(text: str) -> tuple[int, int]:
+    try:
+        rows, cols = (int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise SystemExit(f"--grid wants ROWSxCOLS (e.g. 10x10), got {text!r}")
+    return rows, cols
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
     parser.add_argument(
@@ -59,16 +85,61 @@ def main() -> None:
     parser.add_argument(
         "--metrics", metavar="PATH", help="write a metrics snapshot JSON here"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="1 (default): the serial CityMesh.run reference; >= 2: the "
+        "sharded engine, worker-count invariant but not bit-identical "
+        "to serial (see the docstring)",
+    )
+    parser.add_argument(
+        "--grid",
+        metavar="ROWSxCOLS",
+        help="run a generated downtown grid of corridors instead of the "
+        "3-corridor demo (e.g. 10x10)",
+    )
     args = parser.parse_args()
+    if args.workers < 1:
+        parser.error("--workers wants a positive count")
+    if args.trace and args.workers > 1:
+        parser.error("sim-time tracing needs the serial path (--workers 1)")
     obs = None
     if args.trace or args.metrics:
         obs = Obs(trace=bool(args.trace))
 
     duration_s = float(os.environ.get("REPRO_MESH_DURATION_S", "30"))
-    print("=== 3-corridor / 2-intersection mesh, predictive push handoff ===")
-    mesh = build_mesh("push", obs=obs)
-    finder = mesh.subscribe(CarFinder())
-    result = mesh.run(duration_s)
+    finder = None
+    if args.grid:
+        rows, cols = parse_grid(args.grid)
+        print(
+            f"=== {rows}x{cols} downtown grid ({rows * cols} corridors), "
+            f"predictive push handoff, workers={args.workers} ==="
+        )
+
+        def fresh_mesh(handoff: str) -> CityMesh:
+            return downtown_grid(rows, cols, rng=7, handoff=handoff, obs=obs)
+
+    else:
+        print(
+            "=== 3-corridor / 2-intersection mesh, predictive push handoff, "
+            f"workers={args.workers} ==="
+        )
+        fresh_mesh = lambda handoff: build_mesh(handoff, obs=obs)  # noqa: E731
+
+    mesh = fresh_mesh("push")
+    if args.workers == 1:
+        if not args.grid:
+            finder = mesh.subscribe(CarFinder())
+        result = mesh.run(duration_s)
+    else:
+        result = run_sharded(
+            mesh,
+            duration_s,
+            workers=args.workers,
+            shard_obs_factory=Obs if obs is not None else None,
+        )
     ledger = result.ledger
 
     if args.metrics:
@@ -101,23 +172,37 @@ def main() -> None:
         f"cost {result.mean_first_pole_queries:.2f} decode queries on average"
     )
     print(f"directory: {result.directory}")
-
-    print("\nlast known positions (find-my-car, city-wide):")
-    for tag_id in finder.known_tags()[:5]:
-        fix = finder.locate(tag_id)
+    if args.workers > 1:
+        shards = len(result.groups)
+        events = sum(result.events_processed.values())
         print(
-            f"  account {tag_id}: x={fix.position_m[0]:7.1f} m at "
-            f"t={fix.timestamp_s:5.2f} s via {fix.station}"
+            f"shards: {shards} interference-closed groups across "
+            f"{result.workers} workers, {events} scheduler events, "
+            f"sync quantum {result.sync_quantum_s * 1e3:.0f} ms"
         )
 
-    print("\n--- the same world under pull-at-sighting (the ablation) ---")
-    pull = build_mesh("pull").run(duration_s)
-    print(
-        f"pull: {100 * pull.cross_resolution_rate:.0f}% of "
-        f"{pull.cross_entries} cross-corridor entries resolved; first pole "
-        f"costs {pull.mean_first_pole_queries:.2f} decode queries "
-        f"(vs {result.mean_first_pole_queries:.2f} with push)"
-    )
+    if finder is not None:
+        print("\nlast known positions (find-my-car, city-wide):")
+        for tag_id in finder.known_tags()[:5]:
+            fix = finder.locate(tag_id)
+            print(
+                f"  account {tag_id}: x={fix.position_m[0]:7.1f} m at "
+                f"t={fix.timestamp_s:5.2f} s via {fix.station}"
+            )
+
+    if not args.grid:
+        print("\n--- the same world under pull-at-sighting (the ablation) ---")
+        pull_mesh = fresh_mesh("pull")
+        if args.workers == 1:
+            pull = pull_mesh.run(duration_s)
+        else:
+            pull = run_sharded(pull_mesh, duration_s, workers=args.workers)
+        print(
+            f"pull: {100 * pull.cross_resolution_rate:.0f}% of "
+            f"{pull.cross_entries} cross-corridor entries resolved; first pole "
+            f"costs {pull.mean_first_pole_queries:.2f} decode queries "
+            f"(vs {result.mean_first_pole_queries:.2f} with push)"
+        )
 
 
 if __name__ == "__main__":

@@ -38,7 +38,10 @@ class AntennaPair:
         object.__setattr__(self, "second_m", np.asarray(self.second_m, dtype=np.float64))
         if self.first_m.shape != (3,) or self.second_m.shape != (3,):
             raise ConfigurationError("antenna positions must be 3-vectors")
-        if np.allclose(self.first_m, self.second_m):
+        # Absolute tolerance only: the default relative tolerance would
+        # scale with the world coordinate, declaring a genuinely spaced
+        # pair "coincident" on a pole kilometers down the avenue.
+        if np.allclose(self.first_m, self.second_m, rtol=0.0, atol=1e-9):
             raise ConfigurationError("antenna elements must not coincide")
 
     @property

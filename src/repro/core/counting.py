@@ -53,12 +53,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..dsp.peaks import band_floors, find_peaks_in_magnitudes
+from ..dsp.sfft import sparse_fft_peaks
 from ..dsp.spectrum import fft_spectrum
 from ..errors import ConfigurationError
 from ..phy.waveform import Waveform
+from ..utils import as_rng
 from .cfo import DEFAULT_SEARCH_HI_HZ, DEFAULT_SEARCH_LO_HZ
 
 __all__ = ["BinClass", "BinObservation", "CountEstimate", "CollisionCounter"]
+
+# In-band sFFT tones weaker than this fraction of the strongest one are
+# treated as data sidelobes, not carriers (see _sfft_probe_candidates).
+_SFFT_STRONG_RATIO = 0.3
 
 
 class BinClass(enum.Enum):
@@ -180,6 +186,26 @@ class CollisionCounter:
             captures -> same spectra -> same floor). Off reproduces the
             recompute-everything behavior, kept for the throughput
             ablation benchmark; the outputs are identical either way.
+        probe: how the density probe counts band crowding —
+            ``"dense"`` (default: CFAR peak detection on the averaged
+            magnitude spectrum at ``probe_snr_db``, the bit-exact
+            baseline) or ``"sfft"`` (the paper's §10 sparse-FFT
+            recovery on the first capture: aliasing bucketization +
+            phase-offset location, sub-linear in the capture length).
+            The probe only picks the regime (sparse vs dense detection
+            threshold); the decision pass itself is identical under
+            both, so the two probes disagree only when their candidate
+            counts straddle ``dense_trigger``.
+        sfft_max_tones / sfft_seed: the sparse probe's recovery budget
+            and its dedicated shift-randomness seed (a fresh seeded
+            stream per probe call keeps ``count_multi`` deterministic
+            and stateless).
+        batch_fit: solve the per-burst joint tone fit as one stacked
+            multi-column least squares when the captures share a time
+            base (they do whenever a burst re-queries the same scene),
+            instead of one ``lstsq`` per capture. Bit-exact either way
+            (LAPACK solves multi-RHS columns independently); off is the
+            per-capture loop, kept for the throughput ablation.
         obs: nullable observability hook (see :mod:`repro.obs`): counts
             passes by regime and spike verdicts by label. Never affects
             the estimate.
@@ -211,11 +237,17 @@ class CollisionCounter:
     search_lo_hz: float = DEFAULT_SEARCH_LO_HZ
     search_hi_hz: float = DEFAULT_SEARCH_HI_HZ
     reuse_probe_spectra: bool = True
+    probe: str = "dense"
+    sfft_max_tones: int = 24
+    sfft_seed: int = 2015
+    batch_fit: bool = True
     obs: object = None
 
     def __post_init__(self) -> None:
         if self.method not in ("coherence", "shift"):
             raise ConfigurationError(f"unknown method {self.method!r}")
+        if self.probe not in ("dense", "sfft"):
+            raise ConfigurationError(f"unknown probe {self.probe!r}")
         if self.n_subwindows < 3:
             raise ConfigurationError("need at least 3 sub-windows")
         if self.dense_snr_db > self.min_snr_db:
@@ -270,6 +302,8 @@ class CollisionCounter:
 
     def _probe_candidates(self, waves: list[Waveform], shared=None) -> int:
         """Candidate spike count at the permissive probe threshold."""
+        if self.probe == "sfft":
+            return self._sfft_probe_candidates(waves)
         spectra, avg_mag, floors = (
             shared if shared is not None else self._spectral_state(waves)
         )
@@ -282,6 +316,56 @@ class CollisionCounter:
             floors=floors,
         )
         return len(peaks)
+
+    def _sfft_probe_candidates(self, waves: list[Waveform]) -> int:
+        """Band crowding via §10 sparse-FFT recovery on the first capture.
+
+        The probe only has to rank the scene against ``dense_trigger``,
+        so it runs the exactly-sparse recovery with a bounded tone
+        budget and counts how many recovered tones land inside the CFO
+        search band. Shift randomness comes from a stream seeded fresh
+        per call (``sfft_seed``): deterministic, and no draw ever leaks
+        into the burst's main rng stream.
+        """
+        wave = waves[0]
+        n = wave.n_samples
+        n_buckets = 8
+        while n_buckets < 8 * self.sfft_max_tones:
+            n_buckets *= 2
+        n_buckets = min(n_buckets, n)
+        usable = (n // n_buckets) * n_buckets
+        if usable == 0:
+            return 0
+        tones = sparse_fft_peaks(
+            wave.samples[:usable],
+            max_tones=self.sfft_max_tones,
+            n_buckets=n_buckets,
+            rng=as_rng(self.sfft_seed),
+            # A density probe only ranks the scene against dense_trigger:
+            # no full-FFT widening fallback, and a raised bucket floor
+            # (tones this weak cannot clear _SFFT_STRONG_RATIO anyway)
+            # keeps the candidate set — and so the verification cost —
+            # proportional to the real carrier population.
+            widen=False,
+            magnitude_floor_ratio=0.15,
+            probe_samples=None,
+        )
+        in_band = []
+        for tone in tones:
+            freq_hz = tone.freq_hz(wave.sample_rate_hz, usable)
+            if freq_hz > wave.sample_rate_hz / 2.0:
+                freq_hz -= wave.sample_rate_hz
+            if self.search_lo_hz <= freq_hz <= self.search_hi_hz:
+                in_band.append(abs(tone.amplitude))
+        if not in_band:
+            return 0
+        # Each tag's OOK data spectrum puts sinc sidelobes around its
+        # carrier; the recovered tone list includes the strongest of
+        # them. Carriers are mutually comparable while sidelobes sit
+        # well below, so only tones within _SFFT_STRONG_RATIO of the
+        # strongest in-band tone count toward the density estimate.
+        top = max(in_band)
+        return sum(1 for a in in_band if a >= _SFFT_STRONG_RATIO * top)
 
     # -- one detection/classification pass ----------------------------------------
 
@@ -305,9 +389,12 @@ class CollisionCounter:
                 count=0, observations=[], dense_mode=dense_mode, n_captures=len(waves)
             )
 
+        refined_freqs = self._refine_multi_batch(
+            waves, np.array([p.freq_hz for p in raw_peaks]), bin_hz / 2.0
+        )
         refined = [
-            (self._refine_multi(waves, p.freq_hz, bin_hz / 2.0), p.snr, p.floor)
-            for p in raw_peaks
+            (float(freq), p.snr, p.floor)
+            for freq, p in zip(refined_freqs, raw_peaks)
         ]
         refined = self._merge_candidates(refined, bin_hz)
         freqs = np.array([r[0] for r in refined])
@@ -322,7 +409,7 @@ class CollisionCounter:
         # tone on the neighbour-cancelled residual removes the bias.
         freqs = self._joint_refine(waves[0], freqs, bin_hz)
 
-        per_capture = [self._fit_tones(w, freqs) for w in waves]
+        per_capture = self._fit_tones_burst(waves, freqs)
         # Sub-window values per capture, other tones cancelled, phases
         # aligned on each capture's own fitted amplitude.
         aligned_values = self._aligned_subwindow_values(waves, freqs, per_capture)
@@ -423,14 +510,19 @@ class CollisionCounter:
         """One coordinate-descent pass of neighbour-cancelled refinement."""
         if freqs.size < 2:
             return freqs
-        amplitudes, probes = self._fit_tones(wave, freqs)
-        t = wave.times()
+        # Only peaks with a close neighbour re-refine; the joint fit that
+        # feeds the cancellation is deferred until the first one, so
+        # well-separated scenes (most occupied rounds) skip the tone
+        # fit entirely.
+        amplitudes = probes = None
         refined = freqs.copy()
         for k in range(freqs.size):
             # Only bother when a neighbour sits close enough to bias us.
             gaps = np.abs(np.delete(freqs, k) - freqs[k])
             if gaps.min() > 6.0 * bin_hz:
                 continue
+            if amplitudes is None:
+                amplitudes, probes = self._fit_tones(wave, freqs)
             others = np.delete(np.arange(freqs.size), k)
             residual = wave.samples - (amplitudes[others][:, None] * probes[others].conj()).sum(axis=0)
             residual_wave = Waveform(residual, wave.sample_rate_hz, wave.t0_s)
@@ -438,29 +530,54 @@ class CollisionCounter:
         return refined
 
     def _refine_multi(self, waves: list[Waveform], freq_hz: float, span_hz: float) -> float:
-        """Refine a tone frequency on the summed |DFT|^2 across captures.
+        """Refine one tone frequency on the summed |DFT|^2 across captures."""
+        return float(
+            self._refine_multi_batch(waves, np.array([float(freq_hz)]), span_hz)[0]
+        )
+
+    def _refine_multi_batch(
+        self, waves: list[Waveform], freqs_hz: np.ndarray, span_hz: float
+    ) -> np.ndarray:
+        """Refine every candidate's frequency in one vectorized sweep.
 
         As in :func:`~repro.core.cfo.refine_frequency`, each iteration's
         three probe frequencies share two complex exponentials
-        (``probe(f +- span) = probe(f) * probe(+-span)``), so a capture
-        costs two exps instead of nine over the three iterations' probes.
+        (``probe(f +- span) = probe(f) * probe(+-span)``); on top of
+        that, all P candidates iterate in lockstep (the span schedule is
+        frequency-independent), so one iteration costs a single
+        ``(P, N)`` demodulation per capture plus one shared shift
+        exponential — instead of P separate Python-loop passes.
+        Arithmetic is element-for-element the per-peak recursion, so the
+        refined frequencies are bit-identical to the scalar loop; a
+        candidate whose curvature denominator hits zero freezes (the
+        scalar loop's ``break``) while the others keep iterating.
         """
-        f = float(freq_hz)
+        f = np.array(freqs_hz, dtype=np.float64)
+        if f.size == 0:
+            return f
         span = float(span_hz)
         times = [wave.times() for wave in waves]
+        active = np.ones(f.size, dtype=bool)
         for _ in range(3):
-            mags = [0.0, 0.0, 0.0]
+            mags = np.zeros((3, f.size))
             for wave, t in zip(waves, times):
-                y = wave.samples * np.exp(-2j * np.pi * f * t)
+                y = wave.samples[None, :] * np.exp(
+                    -2j * np.pi * f[:, None] * t[None, :]
+                )
                 shift = np.exp(-2j * np.pi * span * t)
-                mags[0] += abs(np.mean(y * np.conj(shift))) ** 2
-                mags[1] += abs(np.mean(y)) ** 2
-                mags[2] += abs(np.mean(y * shift)) ** 2
+                # Builtin abs (C hypot), not np.abs (npy_cabs): the two
+                # differ by one ulp on some inputs, and bit-identity with
+                # the per-peak recursion requires the former. P is small,
+                # so the Python-level loop costs nothing next to the
+                # (P, N) demodulation above.
+                mags[0] += _abs_sq(np.mean(y * np.conj(shift)[None, :], axis=1))
+                mags[1] += _abs_sq(np.mean(y, axis=1))
+                mags[2] += _abs_sq(np.mean(y * shift[None, :], axis=1))
             denom = mags[0] - 2.0 * mags[1] + mags[2]
-            if denom == 0.0:
-                break
-            offset = 0.5 * (mags[0] - mags[2]) / denom
-            f += float(np.clip(offset, -1.0, 1.0)) * span
+            active = active & (denom != 0.0)
+            offset = np.zeros(f.size)
+            offset[active] = 0.5 * (mags[0, active] - mags[2, active]) / denom[active]
+            f = f + np.where(active, np.clip(offset, -1.0, 1.0) * span, 0.0)
             span /= 2.0
         return f
 
@@ -495,6 +612,45 @@ class CollisionCounter:
         basis = probes.conj().T  # (N, m)
         amplitudes, *_ = np.linalg.lstsq(basis, wave.samples, rcond=None)
         return amplitudes, probes
+
+    def _fit_tones_burst(
+        self, waves: list[Waveform], freqs: np.ndarray
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """:meth:`_fit_tones` for a whole burst, one stacked solve.
+
+        Captures of one burst re-query the same static scene, so they
+        share the time base (length, rate, start offset) and therefore
+        the probe basis. Stacking their samples as the columns of a
+        single multi-RHS least squares replaces K ``lstsq`` calls (and
+        K basis constructions — the dominant cost, ``m*N`` complex
+        exponentials each) with one. Up to 25 tones LAPACK's ``gelsd``
+        solves multi-RHS columns through the same code path as a lone
+        RHS, so each capture's amplitudes are bit-identical to its own
+        per-capture solve; at 26+ columns the divide-and-conquer kernel
+        (SMLSIZ = 25) blocks the RHS application differently and drifts
+        by an ulp, so wider bases — and bursts whose captures disagree
+        on the time base, or ``batch_fit=False``, the ablation — fall
+        back to the per-capture loop.
+        """
+        first = waves[0]
+        if (
+            not self.batch_fit
+            or len(waves) == 1
+            or freqs.size > 25
+            or any(
+                w.n_samples != first.n_samples
+                or w.sample_rate_hz != first.sample_rate_hz
+                or w.t0_s != first.t0_s
+                for w in waves[1:]
+            )
+        ):
+            return [self._fit_tones(w, freqs) for w in waves]
+        t = first.times()
+        probes = np.exp(-2j * np.pi * freqs[:, None] * t[None, :])
+        basis = probes.conj().T  # (N, m)
+        stacked = np.stack([w.samples for w in waves], axis=1)  # (N, K)
+        amplitudes, *_ = np.linalg.lstsq(basis, stacked, rcond=None)
+        return [(amplitudes[:, k], probes) for k in range(len(waves))]
 
     def _aligned_subwindow_values(
         self,
@@ -629,16 +785,24 @@ class CollisionCounter:
         return BinClass.MULTIPLE, _stats(np.nan, 0.0, 1.0, worst)
 
 
+def _abs_sq(values: np.ndarray) -> np.ndarray:
+    """``abs(v) ** 2`` per element via the builtin (C ``hypot``) path."""
+    return np.array([abs(v) ** 2 for v in values])
+
+
 def _parabolic_refine(wave: Waveform, freq_hz: float, span_hz: float) -> float:
     """Iterated parabolic |DFT| maximization (local copy avoids the
     counting -> cfo -> counting import cycle for this one helper)."""
     t = wave.times()
     f, span = float(freq_hz), float(span_hz)
     for _ in range(3):
-        mags = [
-            abs(np.mean(wave.samples * np.exp(-2j * np.pi * (f + df) * t)))
-            for df in (-span, 0.0, span)
-        ]
+        # One (3, N) demodulation instead of three 1-D passes; builtin
+        # abs keeps each probe magnitude bit-identical to the scalar
+        # form (same hypot path, see _abs_sq).
+        probes = np.exp(
+            -2j * np.pi * (f + np.array([-span, 0.0, span]))[:, None] * t[None, :]
+        )
+        mags = [abs(v) for v in np.mean(wave.samples[None, :] * probes, axis=1)]
         denom = mags[0] - 2.0 * mags[1] + mags[2]
         if denom == 0.0:
             break

@@ -90,34 +90,15 @@ def _probe_indices(n: int, rng, n_sub: int = 4096) -> np.ndarray:
     return (start + step * np.arange(n_sub)) % n
 
 
-def _probe_amplitude(
-    x: np.ndarray, indices: np.ndarray, k: float, n: int
-) -> complex:
-    """Unbiased amplitude estimate of the tone at fractional bin k."""
-    return complex(np.mean(x[indices] * np.exp(-2j * np.pi * k * indices / n)))
-
-
-def _probe_refine(x: np.ndarray, indices: np.ndarray, k: float, n: int) -> float:
-    """One parabolic refinement of a candidate bin via subsampled probes."""
-    span = 0.5
-    for _ in range(2):
-        mags = [abs(_probe_amplitude(x, indices, k + dk, n)) for dk in (-span, 0.0, span)]
-        denom = mags[0] - 2.0 * mags[1] + mags[2]
-        if denom != 0.0:
-            k += float(np.clip(0.5 * (mags[0] - mags[2]) / denom, -1.0, 1.0)) * span
-        span /= 2.0
-    return k % n
-
-
-def _scalloping_factor(offset_buckets: float, n_buckets: int) -> complex:
-    """Complex Dirichlet response of a tone ``offset_buckets`` off a
-    bucket center: magnitude loss *and* phase rotation."""
-    delta = offset_buckets
-    if abs(delta) < 1e-9:
-        return 1.0 + 0.0j
+def _scalloping_factors(offset_buckets: np.ndarray, n_buckets: int) -> np.ndarray:
+    """Complex Dirichlet response of tones ``offset_buckets`` off their
+    bucket centers: magnitude loss *and* phase rotation, elementwise."""
+    delta = np.asarray(offset_buckets, dtype=np.float64)
     magnitude = np.sin(np.pi * delta) / (n_buckets * np.sin(np.pi * delta / n_buckets))
     phase = -np.pi * delta * (n_buckets - 1) / n_buckets
-    return complex(magnitude * np.exp(1j * phase))
+    return np.where(
+        np.abs(delta) < 1e-9, 1.0 + 0.0j, magnitude * np.exp(1j * phase)
+    )
 
 
 def sparse_fft_peaks(
@@ -127,6 +108,8 @@ def sparse_fft_peaks(
     n_shifts: int = 3,
     magnitude_floor_ratio: float = 0.05,
     rng=None,
+    widen: bool = True,
+    probe_samples: int | None = None,
 ) -> list[SparseTone]:
     """Recover the dominant tones of a frequency-sparse signal.
 
@@ -139,6 +122,16 @@ def sparse_fft_peaks(
         magnitude_floor_ratio: buckets weaker than this fraction of the
             strongest bucket are treated as empty.
         rng: seedable randomness for the shift choices.
+        widen: when fewer than ``max_tones`` tones survive, retry with
+            doubled bucket counts (guaranteed recovery, up to a full FFT
+            at B == N). Callers that only need the dominant tones of a
+            scene *sparser* than ``max_tones`` — e.g. a density probe —
+            pass ``False`` to keep the call strictly sub-linear.
+        probe_samples: sample budget of the parabolic *refinement*
+            probes (default 4096, i.e. the whole capture for N <= 4096).
+            Smaller budgets keep the refinement sub-linear; the final
+            amplitude estimate — which downstream ranking leans on —
+            always probes at the full default budget.
 
     Returns:
         Recovered tones sorted by descending magnitude.
@@ -198,88 +191,141 @@ def sparse_fft_peaks(
             taus.append(tau)
             tau *= 2
         z_shifted = {t: _bucketize(x, pass_stride, n_buckets, base + t) for t in taus}
-        for b in occupied:
-            if abs(z0[b]) == 0.0:
-                continue
+        # The whole candidate chain — coarse phase-ratio estimate,
+        # multi-scale refinement, aliasing consistency, scalloping
+        # correction — runs vectorized over the occupied buckets; a
+        # bucket failing any gate is masked out instead of `continue`d
+        # (its k stops mattering once masked, so the masked updates are
+        # equivalent to the per-bucket early exit).
+        z0o = z0[occupied]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            ratio = z_shifted[1][occupied] / z0o
+            mag_ratio = np.abs(ratio)
+            ok = (np.abs(z0o) != 0.0) & (0.5 < mag_ratio) & (mag_ratio < 2.0)
             # Scale 1 gives the coarse, ambiguity-free estimate.
-            ratio = z_shifted[1][b] / z0[b]
-            if not 0.5 < abs(ratio) < 2.0:
-                continue
-            k = (float(np.angle(ratio)) / (2.0 * np.pi) * n) % n
+            k = (np.angle(ratio) / (2.0 * np.pi) * n) % n
             # Successive refinement: each scale corrects k within its
             # unambiguous window N / (2 tau).
-            ok = True
             for t in taus[1:]:
-                measured = float(np.angle(z_shifted[t][b] / z0[b]))
+                measured = np.angle(z_shifted[t][occupied] / z0o)
                 predicted = 2.0 * np.pi * k * t / n
                 delta = (measured - predicted + np.pi) % (2.0 * np.pi) - np.pi
                 correction = delta * n / (2.0 * np.pi * t)
-                if abs(correction) > n / (2.0 * t):
-                    ok = False
-                    break
-                k = (k + correction) % n
-            if not ok:
-                continue
+                ok &= np.abs(correction) <= n / (2.0 * t)
+                k = np.where(ok, (k + correction) % n, k)
             # Consistency: a tone at k must alias into bucket b under this
             # pass's folding (modulo fs/stride, binned to n_buckets).
             folded = ((k * pass_stride / n) % 1.0) * n_buckets
-            signed_offset = (folded - b + n_buckets / 2.0) % n_buckets - n_buckets / 2.0
-            if abs(signed_offset) > 1.0:
-                continue
-            factor = _scalloping_factor(signed_offset, n_buckets)
-            if abs(factor) < 0.2:
-                continue
-            amplitude = z0[b] * np.exp(-2j * np.pi * k * base / n) / factor
-            votes.append((k, complex(amplitude)))
+            signed_offset = (
+                folded - occupied + n_buckets / 2.0
+            ) % n_buckets - n_buckets / 2.0
+            ok &= np.abs(signed_offset) <= 1.0
+            factor = _scalloping_factors(signed_offset, n_buckets)
+            ok &= np.abs(factor) >= 0.2
+            amplitude = z0o * np.exp(-2j * np.pi * k * base / n) / factor
+        for i in np.flatnonzero(ok):
+            votes.append((float(k[i]), complex(amplitude[i])))
 
-    # Cluster votes within one full-FFT bin of each other.
+    # Cluster votes within one full-FFT bin of each other. Strongest
+    # first; each vote merges into the first (oldest) cluster within
+    # reach, with centers compared vectorized against the whole cluster
+    # list at once.
     votes.sort(key=lambda item: -abs(item[1]))
-    clusters: list[list[float | complex | int]] = []  # [bin, amplitude, votes]
+    centers = np.empty(len(votes))
+    amps = np.empty(len(votes), dtype=np.complex128)
+    weights = np.zeros(len(votes), dtype=np.int64)
+    n_clusters = 0
     for k, amplitude in votes:
-        merged = False
-        for cluster in clusters:
-            distance = min(abs(cluster[0] - k), n - abs(cluster[0] - k))
-            if distance <= 1.5:
-                weight = cluster[2]
-                cluster[0] = (cluster[0] * weight + k) / (weight + 1)
-                cluster[1] = (cluster[1] * weight + amplitude) / (weight + 1)
-                cluster[2] = weight + 1
-                merged = True
-                break
-        if not merged:
-            clusters.append([k, amplitude, 1])
+        hit = -1
+        if n_clusters:
+            d = np.abs(centers[:n_clusters] - k)
+            hits = np.flatnonzero(np.minimum(d, n - d) <= 1.5)
+            if hits.size:
+                hit = int(hits[0])
+        if hit >= 0:
+            w = weights[hit]
+            centers[hit] = (centers[hit] * w + k) / (w + 1)
+            amps[hit] = (amps[hit] * w + amplitude) / (w + 1)
+            weights[hit] = w + 1
+        else:
+            centers[n_clusters] = k
+            amps[n_clusters] = amplitude
+            weights[n_clusters] = 1
+            n_clusters += 1
+    clusters: list[list[float | complex | int]] = [
+        [float(centers[i]), complex(amps[i]), int(weights[i])]
+        for i in range(n_clusters)
+    ]
 
     # Verification + estimation: every surviving candidate's frequency is
     # touched up and its amplitude re-estimated with *subsampled* probes
     # (random arithmetic progressions, O(n_sub) each) — unbiased at a
     # known frequency, and near-zero at a ghost's frequency (ghosts come
     # from partially collided buckets whose phase-ratio estimate points
-    # at empty spectrum).
-    indices = _probe_indices(n, rng)
+    # at empty spectrum). All candidates refine in lockstep: one
+    # (3, C, n_sub) probe tensor per parabolic round instead of a
+    # Python loop of single probes.
+    refine_indices = _probe_indices(n, rng, n_sub=probe_samples or 4096)
+    indices = (
+        refine_indices
+        if probe_samples is None
+        else _probe_indices(n, rng, n_sub=4096)
+    )
     tones: list[SparseTone] = []
-    for freq_bin, amplitude, vote_count in clusters[: 4 * max_tones]:
-        k = _probe_refine(x, indices, float(freq_bin) % n, n)
-        probed = _probe_amplitude(x, indices, k, n)
-        if abs(probed) < 0.4 * abs(amplitude):
-            continue  # ghost: the spectrum is empty there
-        tones.append(SparseTone(k, probed, int(vote_count)))
+    cand = clusters[: 4 * max_tones]
+    if cand:
+        # Clusters below the magnitude floor are bucket-noise ghosts;
+        # probing them would dominate the verification cost (and they
+        # could not survive the relative-magnitude filter below anyway).
+        top_coarse = max(abs(c[1]) for c in cand)
+        cand = [c for c in cand if abs(c[1]) >= magnitude_floor_ratio * top_coarse]
+    if cand:
+        ks = np.array([float(c[0]) % n for c in cand])
+        coarse_amp = np.array([complex(c[1]) for c in cand])
+        vote_counts = np.array([int(c[2]) for c in cand])
+        xr = x[refine_indices]
+        xi = x[indices]
+        span = 0.5
+        for _ in range(2):
+            kk = ks[None, :, None] + np.array([-span, 0.0, span])[:, None, None]
+            probes = np.exp(-2j * np.pi * kk * refine_indices[None, None, :] / n)
+            mags = np.abs(np.mean(xr[None, None, :] * probes, axis=2))
+            denom = mags[0] - 2.0 * mags[1] + mags[2]
+            moved = denom != 0.0
+            offset = np.zeros(ks.size)
+            offset[moved] = 0.5 * (mags[0, moved] - mags[2, moved]) / denom[moved]
+            ks = ks + np.clip(offset, -1.0, 1.0) * span
+            span /= 2.0
+        ks %= n
+        probed = np.mean(
+            xi[None, :] * np.exp(-2j * np.pi * ks[:, None] * indices[None, :] / n),
+            axis=1,
+        )
+        # Ghosts: the spectrum is empty at the candidate's frequency.
+        keep = np.abs(probed) >= 0.4 * np.abs(coarse_amp)
+        for i in np.flatnonzero(keep):
+            tones.append(
+                SparseTone(float(ks[i]), complex(probed[i]), int(vote_counts[i]))
+            )
 
     # Drop ghosts (validated amplitude collapses) and duplicates.
     if tones:
         strongest = max(abs(tone.amplitude) for tone in tones)
         tones = [t_ for t_ in tones if abs(t_.amplitude) >= 0.1 * strongest]
     deduped: list[SparseTone] = []
+    kept_bins = np.empty(len(tones))
     for tone in sorted(tones, key=lambda t_: -abs(t_.amplitude)):
-        if all(
-            min(abs(tone.freq_bin - other.freq_bin), n - abs(tone.freq_bin - other.freq_bin)) > 1.0
-            for other in deduped
-        ):
-            deduped.append(tone)
+        if deduped:
+            d = np.abs(kept_bins[: len(deduped)] - tone.freq_bin)
+            if float(np.minimum(d, n - d).min()) <= 1.0:
+                continue
+        kept_bins[len(deduped)] = tone.freq_bin
+        deduped.append(tone)
 
     # Fallback: if bucket collisions swallowed tones, retry with more
     # buckets (collision probability shrinks as 1/B; at B == N this is a
     # full FFT, so termination is guaranteed).
-    if len(deduped) < max_tones and n_buckets < n:
+    if widen and len(deduped) < max_tones and n_buckets < n:
         wider = sparse_fft_peaks(
             x,
             max_tones=max_tones,
@@ -287,6 +333,7 @@ def sparse_fft_peaks(
             n_shifts=n_shifts,
             magnitude_floor_ratio=magnitude_floor_ratio,
             rng=rng,
+            probe_samples=probe_samples,
         )
         for tone in wider:
             if all(

@@ -52,6 +52,16 @@ class _Histogram:
         self.max = value if self.max is None else max(self.max, value)
         self.buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
 
+    def merge(self, other: "_Histogram") -> None:
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+
     def summary(self) -> dict:
         out = {
             "count": self.count,
@@ -90,6 +100,30 @@ class MetricsRegistry:
         if hist is None:
             hist = self._histograms[key] = _Histogram()
         hist.observe(value)
+
+    # -- aggregation ---------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one, in place.
+
+        Worker shards each record into their own registry; the
+        coordinator merges them after the run. Semantics per kind:
+        counters and histograms add (series keys are already
+        label-sorted tuples, so the union is order-independent);
+        gauges are last-writer-wins, and merging shards in a fixed
+        order keeps that deterministic — callers must sort shards
+        before merging. The merged snapshot of shard registries
+        equals the snapshot one shared registry would have produced,
+        up to counter float-add ordering.
+        """
+        for key in sorted(other._counters):
+            self._counters[key] = self._counters.get(key, 0) + other._counters[key]
+        for key in sorted(other._gauges):
+            self._gauges[key] = other._gauges[key]
+        for key in sorted(other._histograms):
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = _Histogram()
+            hist.merge(other._histograms[key])
 
     # -- reading -------------------------------------------------------
     def counter(self, name: str, **labels) -> float:

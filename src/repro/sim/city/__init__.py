@@ -39,7 +39,8 @@ from .moving import MovingCollisionSource, MovingTag, TagWaveformBank
 from .pool import ResponsePool, TriggerWindow
 from .corridor import CityCorridor, CorridorResult, CorridorStation
 from .directory import IdentityDirectory, SightingFix
-from .mesh import CityMesh, MeshEdge, MeshNode, MeshResult
+from .mesh import CityMesh, MeshEdge, MeshNode, MeshResult, downtown_grid
+from .parallel import ShardedMeshResult, interference_groups, run_sharded
 
 __all__ = [
     "StationCell",
@@ -61,4 +62,8 @@ __all__ = [
     "MeshEdge",
     "MeshNode",
     "MeshResult",
+    "downtown_grid",
+    "ShardedMeshResult",
+    "interference_groups",
+    "run_sharded",
 ]

@@ -1,0 +1,829 @@
+"""Sharded mesh execution: interference-closed edge groups in workers.
+
+:class:`~repro.sim.city.mesh.CityMesh` runs every corridor on one
+shared :class:`~repro.sim.events.EventScheduler`. That is the reference
+semantics, but it serializes the whole city onto one core. This module
+scales the hot path out by exploiting two structural facts the mesh
+already guarantees:
+
+* **The ether partitions.** Mesh layout enforces
+  ``frame_gap_m > interference_range_m + 2 * READER_RANGE_M``, so
+  carrier sensing, corruption and overhearing — all gated by
+  along-city distance — can never couple two edges.
+  :func:`interference_groups` recovers the partition from the scene
+  geometry (it does not assume it): edges whose frames come within
+  radio reach of each other land in one group and must share a shard.
+* **Car motion is radio-free.** A routed car's every entry/exit time
+  depends only on its draw (route, speed, lane), the intersection
+  signals, and the release headway — never on what the readers decoded.
+  The coordinator therefore *precomputes the complete itinerary*
+  (replaying the serial mesh's arrival/transfer logic event-for-event,
+  consuming ``mesh.rng`` exactly as :meth:`CityMesh.run` would) and
+  hands each shard its admissions up front.
+
+What cannot be sharded exactly is the *coupling that remains*: the
+city-wide :class:`~repro.sim.city.directory.IdentityDirectory` (bounded
+and aging — eviction couples tags globally) and the predictive push
+handoff (a sighting on one edge plants a cache entry on another). Both
+run on the coordinator at **rendezvous barriers**: simulation advances
+in fixed sync quanta; at each barrier every shard surrenders the
+sightings of its quantum, the coordinator replays them into the one
+true directory in canonical order — ``(t_s, group, arrival index)`` —
+computes push intents with the serial mesh's own prediction logic, and
+delivers them to the target shards for the next quantum. A push
+therefore lands up to one quantum later than in the serial mesh (the
+quantum is chosen well below the seconds a car needs to reach the next
+pole, so in practice the entry is still planted ahead of arrival).
+
+**The determinism contract** (see ``docs/PERFORMANCE.md``): the serial
+mesh shares one RNG stream across every corridor, interleaved in global
+event order — a sharded run cannot reproduce that interleaving, so
+``run_sharded`` is *not* bit-identical to :meth:`CityMesh.run` (which
+remains untouched, golden-pinned reference semantics). What it *is* is
+**worker-count invariant**: every worker count — and the in-process
+debug mode — executes the identical per-group protocol (per-edge RNG
+streams seeded from ``mesh.rng`` in sorted edge order, identical quanta,
+identical barrier replay), so ``workers=1``, ``workers=2`` and
+``workers=8`` produce bit-for-bit the same merged ledger, directory,
+metrics snapshot and :meth:`MeshResult.summary`.
+
+Merged results are canonical, not concatenated: sighting records from
+all shards are replayed into one fresh
+:class:`~repro.sim.city.handoff.HandoffLedger` in global time order so
+``decode`` vs ``redecode`` is re-classified with *city-wide* knowledge
+(a shard alone cannot know a tag was first decoded two corridors away);
+per-group metrics registries merge in sorted group order.
+
+This module is the **only** place in ``src/`` allowed to import
+``multiprocessing`` (the ``parallel-policy`` analyzer enforces it).
+Workers are forked, so shard objects cross by memory inheritance and
+only plain tuples (reports, push intents) and the final per-group
+payloads travel the pipes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...constants import READER_RANGE_M
+from ...errors import ConfigurationError
+from ..events import EventScheduler
+from ..medium import AirLog
+from ..mobility import ConstantSpeedTrajectory
+from .handoff import (
+    DECODE,
+    DECODE_DEFERRED,
+    DECODE_FAILED,
+    HANDOFF,
+    OWN_HIT,
+    PUSH,
+    REDECODE,
+    HandoffLedger,
+)
+from .mesh import CityMesh, MeshResult
+from .moving import MovingTag
+from .pool import ResponsePool
+
+__all__ = ["interference_groups", "run_sharded", "ShardedMeshResult"]
+
+#: Default rendezvous quantum: directory replay and push delivery happen
+#: at this cadence. Well below the seconds a car needs between poles
+#: (~40 m at city speeds), so a one-quantum push delay still plants the
+#: entry ahead of arrival; identical for every worker count by
+#: construction, so it never breaks invariance — only fidelity to the
+#: serial push timing.
+DEFAULT_SYNC_QUANTUM_S = 0.25
+
+
+# -- partitioning ----------------------------------------------------------
+
+
+def interference_groups(mesh: CityMesh) -> list[list[str]]:
+    """Partition edges into interference-closed groups, from geometry.
+
+    Two edges couple when their road frames come within
+    ``interference_range_m`` plus radio slack (``2 * READER_RANGE_M``,
+    the same margin the mesh layout validator uses) of each other on
+    the global city axis; groups are the connected components. With
+    the standard mesh layout every group is a singleton — but the
+    partition is *derived*, so a future layout that packs frames
+    closer degrades to fewer, larger shards instead of silently
+    wrong radio semantics.
+
+    Returns groups as lists of edge names (mesh insertion order within
+    a group), sorted by each group's first edge name.
+    """
+    names = list(mesh.edges)
+    spans = [
+        (mesh.edges[name].entry_x_m, mesh.edges[name].exit_x_m) for name in names
+    ]
+    reach = mesh.interference_range_m + 2.0 * READER_RANGE_M
+    parent = list(range(len(names)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    by_x = sorted(range(len(names)), key=lambda i: spans[i][0])
+    for a, b in zip(by_x, by_x[1:]):
+        if spans[b][0] - spans[a][1] <= reach:
+            parent[find(a)] = find(b)
+    components: dict[int, list[str]] = {}
+    for i, name in enumerate(names):
+        components.setdefault(find(i), []).append(name)
+    return sorted(components.values(), key=lambda group: group[0])
+
+
+# -- the itinerary (coordinator-side car motion) ---------------------------
+
+
+@dataclass(frozen=True)
+class _Admission:
+    """One car entering one edge: everything the shard needs to admit it."""
+
+    t_s: float
+    transponder: object
+    speed_m_s: float
+    lane_y_m: float
+
+
+def _plan_itinerary(
+    mesh: CityMesh, duration_s: float
+) -> dict[str, list[_Admission]]:
+    """Precompute every edge admission of the run, serially and exactly.
+
+    Replays the serial mesh's car machinery — ``_draw_cars`` (the only
+    RNG consumer, called here so ``mesh.rng`` advances exactly as in
+    :meth:`CityMesh.run`), entry/exit scheduling, and intersection
+    release via :meth:`CityMesh._release` — on a private ghost
+    scheduler that touches no corridor. Event tie-breaking matches the
+    serial run: car events all carry priority 0 and their relative
+    sequence order is preserved (corridor events interleave between
+    them in the serial heap but never mutate car state). The mesh's
+    ``cars_injected`` / ``cars_transferred`` / ``cars_departed``
+    counters and ``mesh.car`` obs counts are produced here, exactly as
+    the serial callbacks would.
+    """
+    admissions: dict[str, list[_Admission]] = {name: [] for name in mesh.edges}
+    ghost = EventScheduler()
+
+    def make_entry(car):
+        def enter(scheduler: EventScheduler) -> None:
+            now_s = scheduler.now_s
+            edge = mesh.edges[car.route[car.leg]]
+            admissions[edge.name].append(
+                _Admission(now_s, car.transponder, car.speed_m_s, car.lane_y_m)
+            )
+            mesh.cars_injected += 1
+            if mesh.obs is not None:
+                mesh.obs.count("mesh.car", kind="injected", edge=edge.name)
+            t_exit = now_s + (edge.exit_x_m - edge.entry_x_m) / car.speed_m_s
+            if t_exit <= duration_s:
+                scheduler.schedule(
+                    t_exit,
+                    make_exit(car, edge),
+                    label=f"car{car.transponder.tag_id}-exit-{edge.name}",
+                )
+
+        return enter
+
+    def make_exit(car, edge):
+        def exit_edge(scheduler: EventScheduler) -> None:
+            car.leg += 1
+            if car.leg >= len(car.route):
+                mesh.cars_departed += 1
+                if mesh.obs is not None:
+                    mesh.obs.count("mesh.car", kind="departed", edge=edge.name)
+                return
+            node = mesh.nodes[edge.dst]
+            depart_s = mesh._release(node, scheduler.now_s)
+            if depart_s <= duration_s:
+                mesh.cars_transferred += 1
+                if mesh.obs is not None:
+                    mesh.obs.count("mesh.car", kind="transferred", edge=edge.name)
+                scheduler.schedule(
+                    depart_s,
+                    make_entry(car),
+                    label=f"car{car.transponder.tag_id}-enter-{car.route[car.leg]}",
+                )
+
+        return exit_edge
+
+    for car, t_arrival in mesh._draw_cars(duration_s):
+        ghost.schedule(
+            t_arrival, make_entry(car), label=f"car{car.transponder.tag_id}-enter"
+        )
+    ghost.run_until(duration_s)
+    return admissions
+
+
+# -- shards ----------------------------------------------------------------
+
+
+class _ShardGroup:
+    """One interference-closed group: own scheduler, ether, and ledger.
+
+    Built by the coordinator *before* forking, so workers inherit the
+    fully-wired shard by memory. Rewires every member corridor off the
+    mesh's shared services onto shard-local ones:
+
+    * fresh :class:`AirLog` / :class:`ResponsePool` (radio locality is
+      guaranteed by the partition, so local logs are semantically
+      identical to slices of the shared one);
+    * a fresh :class:`HandoffLedger` (globally re-classified at merge);
+    * a per-edge RNG stream (one ``Generator`` shared by the corridor,
+      its waveform bank and every station source — mirroring how the
+      serial mesh shares one stream, just scoped to the edge);
+    * an injected shard-local obs hook (minted by the caller's
+      ``shard_obs_factory`` — the obs-policy contract forbids the
+      library minting its own) whose registry merges into the
+      coordinator's after the run; sim-time tracing is not supported
+      in sharded runs;
+    * an ``on_sighting`` hook that *buffers* instead of reporting —
+      the directory lives with the coordinator.
+    """
+
+    def __init__(
+        self,
+        mesh: CityMesh,
+        edge_names: list[str],
+        edge_seeds: dict[str, int],
+        duration_s: float,
+        obs=None,
+    ) -> None:
+        self.key = edge_names[0]
+        self.edge_names = list(edge_names)
+        self.interference_range_m = mesh.interference_range_m
+        self.obs = obs
+        self.ledger = HandoffLedger()
+        self.air = AirLog(sense_slack_s=mesh.air.sense_slack_s, obs=self.obs)
+        self.pool = ResponsePool(slack_s=mesh.pool.slack_s, obs=self.obs)
+        self.scheduler = EventScheduler(obs=self.obs)
+        self.outbox: list[tuple] = []
+        self._stations: dict[str, object] = {}
+        self._edges = [mesh.edges[name] for name in edge_names]
+        for edge in self._edges:
+            corridor = edge.corridor
+            rng = np.random.default_rng(edge_seeds[edge.name])
+            corridor.rng = rng
+            corridor.air = self.air
+            corridor.pool = self.pool
+            corridor.ledger = self.ledger
+            corridor.obs = self.obs
+            corridor._station_obs = {
+                s.name: None if self.obs is None else self.obs.labeled(station=s.name)
+                for s in corridor.stations
+            }
+            corridor.on_sighting = self._buffer_sighting
+            for station in corridor.stations:
+                station.source.rng = rng
+                station.source.bank.rng = rng
+                if self.obs is not None:
+                    station.mac.obs = corridor._station_obs[station.name]
+                self._stations[station.name] = station
+            corridor.prime(self.scheduler, duration_s)
+
+    def schedule_admissions(self, admissions: dict[str, list[_Admission]]) -> None:
+        for edge in self._edges:
+            for adm in admissions[edge.name]:
+                self.scheduler.schedule(
+                    adm.t_s,
+                    self._make_entry(edge, adm),
+                    label=f"car{adm.transponder.tag_id}-enter",
+                )
+
+    def _make_entry(self, edge, adm: _Admission):
+        def enter(scheduler: EventScheduler) -> None:
+            # Mirrors CityMesh._enter_edge: same trajectory, same admit.
+            trajectory = ConstantSpeedTrajectory(
+                start_m=np.array([edge.entry_x_m, adm.lane_y_m, 1.0]),
+                velocity_m_s=np.array([adm.speed_m_s, 0.0, 0.0]),
+                t0_s=scheduler.now_s,
+            )
+            tag = MovingTag(transponder=adm.transponder, trajectory=trajectory)
+            edge.corridor.admit(tag, scheduler, scheduler.now_s)
+
+        return enter
+
+    def _buffer_sighting(
+        self, corridor, station, tag_id, cfo_hz, t_s, x_m, localized
+    ) -> None:
+        # (t_s, edge, station, tag, cfo, x, localized, arrival index) —
+        # the index is the canonical within-group tie-breaker the
+        # coordinator sorts replays by.
+        self.outbox.append(
+            (
+                float(t_s),
+                corridor.name,
+                station.name,
+                int(tag_id),
+                float(cfo_hz),
+                float(x_m),
+                bool(localized),
+                len(self.outbox),
+            )
+        )
+
+    def advance(self, t_s: float, intents: list[tuple]) -> list[tuple]:
+        """One quantum: apply delivered pushes, run, surrender sightings."""
+        self.apply_intents(intents)
+        self.scheduler.run_until(t_s)
+        reports, self.outbox = self.outbox, []
+        return reports
+
+    def apply_intents(self, intents: list[tuple]) -> None:
+        """Plant coordinator-computed pushes, with the serial skip rule.
+
+        The "already knows / already pushed" check runs *here*, against
+        the live shard caches — the coordinator's copies are stale by
+        up to a quantum. Accepted pushes land exactly as in
+        ``CityMesh._on_sighting``: cache store at the original push
+        time, a ledger push record, and a ``mesh.push`` count.
+        """
+        for t_s, target_name, from_station, tag_id, cfo_hz, eta_s in intents:
+            station = self._stations[target_name]
+            if tag_id in station.identities or tag_id in station.pushed:
+                continue
+            station.receive_push(cfo_hz, tag_id, from_station=from_station, now_s=t_s)
+            self.ledger.record_push(
+                target_name, from_station, tag_id, t_s, cfo_hz, eta_s=eta_s
+            )
+            if self.obs is not None:
+                self.obs.count("mesh.push", station=target_name)
+
+    def finish_payload(self) -> dict:
+        """Everything the coordinator's merge needs, pickle-friendly."""
+        return {
+            "key": self.key,
+            "edges": {e.name: e.corridor.finish() for e in self._edges},
+            "ledger": self.ledger,
+            "pushed": {
+                station.name: dict(station.pushed)
+                for edge in self._edges
+                for station in edge.corridor.stations
+            },
+            "responses": len(self.air.responses()),
+            "corrupted": len(
+                self.air.corrupted_responses(self.interference_range_m)
+            ),
+            "metrics": None if self.obs is None else self.obs.metrics,
+            "events_processed": self.scheduler.processed,
+        }
+
+
+# -- workers ---------------------------------------------------------------
+
+
+def _worker_main(groups: list[_ShardGroup], conn) -> None:
+    """Worker loop: lockstep with the coordinator over one pipe."""
+    try:
+        while True:
+            msg = conn.recv()
+            if msg[0] == "advance":
+                _, t_s, intents_by_group = msg
+                reports = []
+                for group in groups:
+                    out = group.advance(t_s, intents_by_group.get(group.key, []))
+                    reports.extend((group.key,) + r for r in out)
+                conn.send(("reports", reports))
+            elif msg[0] == "apply":
+                _, intents_by_group = msg
+                for group in groups:
+                    group.apply_intents(intents_by_group.get(group.key, []))
+                conn.send(("ok",))
+            elif msg[0] == "finish":
+                conn.send(("result", [g.finish_payload() for g in groups]))
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown message {msg[0]!r}")
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+
+
+class _ForkedHost:
+    """N groups hosted in a forked process, driven over a pipe."""
+
+    def __init__(self, ctx, groups: list[_ShardGroup]) -> None:
+        self.groups = groups
+        self.conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main, args=(groups, child), daemon=True
+        )
+        self.process.start()
+        child.close()
+
+    def send(self, msg) -> None:
+        self.conn.send(msg)
+
+    def recv(self):
+        reply = self.conn.recv()
+        if reply[0] == "error":
+            self.process.join()
+            raise RuntimeError(f"shard worker failed:\n{reply[1]}")
+        return reply
+
+    def close(self) -> None:
+        self.process.join()
+        self.conn.close()
+
+
+class _LocalHost:
+    """The same protocol without a fork — debugging / no-fork platforms.
+
+    Runs its groups inline in the coordinator process. Identical
+    results by construction: shards are isolated objects and the
+    message sequence is the same.
+    """
+
+    def __init__(self, groups: list[_ShardGroup]) -> None:
+        self.groups = groups
+        self._reply = None
+
+    def send(self, msg) -> None:
+        if msg[0] == "advance":
+            _, t_s, intents_by_group = msg
+            reports = []
+            for group in self.groups:
+                out = group.advance(t_s, intents_by_group.get(group.key, []))
+                reports.extend((group.key,) + r for r in out)
+            self._reply = ("reports", reports)
+        elif msg[0] == "apply":
+            _, intents_by_group = msg
+            for group in self.groups:
+                group.apply_intents(intents_by_group.get(group.key, []))
+            self._reply = ("ok",)
+        elif msg[0] == "finish":
+            self._reply = ("result", [g.finish_payload() for g in self.groups])
+
+    def recv(self):
+        reply, self._reply = self._reply, None
+        return reply
+
+    def close(self) -> None:
+        pass
+
+
+# -- the coordinator -------------------------------------------------------
+
+
+@dataclass
+class ShardedMeshResult(MeshResult):
+    """A :class:`MeshResult` plus how the sharded run was shaped.
+
+    ``summary()`` is inherited unchanged — worker-count invariance is
+    asserted on it — so the engine shape rides alongside:
+    ``events_processed`` (per group, a deterministic work proxy the
+    bench scales by) and the partition itself.
+    """
+
+    workers: int = 1
+    sync_quantum_s: float = DEFAULT_SYNC_QUANTUM_S
+    groups: tuple = ()
+    events_processed: dict = field(default_factory=dict)
+
+
+def _quantum_boundaries(duration_s: float, quantum_s: float) -> list[float]:
+    ts = []
+    k = 1
+    while k * quantum_s < duration_s - 1e-9:
+        ts.append(k * quantum_s)
+        k += 1
+    ts.append(float(duration_s))
+    return ts
+
+
+def run_sharded(
+    mesh: CityMesh,
+    duration_s: float,
+    *,
+    workers: int = 2,
+    sync_quantum_s: float = DEFAULT_SYNC_QUANTUM_S,
+    in_process: bool = False,
+    shard_obs_factory=None,
+) -> ShardedMeshResult:
+    """Run a built (un-run) mesh via interference-closed shard groups.
+
+    Results are worker-count invariant (see the module docstring for
+    the exact contract and what differs from the serial
+    :meth:`CityMesh.run`). The mesh instance is consumed, exactly like
+    a serial run — build a fresh mesh per run.
+
+    Args:
+        mesh: a fully built :class:`CityMesh` that has not run.
+        duration_s: simulated seconds.
+        workers: forked worker processes; groups are dealt round-robin.
+            Capped at the number of groups. ``workers=1`` still runs
+            the sharded protocol (the serial golden path is
+            ``mesh.run``, not this).
+        sync_quantum_s: rendezvous cadence for directory replay and
+            push delivery. Must be identical across runs being
+            compared; changing it changes push timing (not safety).
+        in_process: host every group in the coordinator process —
+            same protocol, same results, no fork (debugging, or
+            platforms without ``fork``).
+        shard_obs_factory: zero-arg callable minting one fresh obs hook
+            per shard group (e.g. ``Obs``). Library code may not
+            construct hooks itself (the obs-policy contract), so
+            per-shard instrumentation is opt-in: without a factory the
+            shards run unobserved and only coordinator-side series
+            (directory, car counts) land in ``mesh.obs``. With one,
+            shard registries merge into ``mesh.obs.metrics`` after the
+            run, in sorted group order — invariant across worker
+            counts. Ignored when ``mesh.obs`` is None. Sim-time
+            tracing is not supported in sharded runs either way.
+    """
+    if mesh._ran:
+        raise ConfigurationError("a CityMesh instance runs once; build a fresh one")
+    if not mesh.edges:
+        raise ConfigurationError("a mesh needs at least one edge")
+    if mesh.services:
+        raise ConfigurationError(
+            "subscribe() services need the single shared timeline — "
+            "run serial (mesh.run) or drop the services"
+        )
+    if workers < 1:
+        raise ConfigurationError("need at least one worker")
+    if sync_quantum_s <= 0:
+        raise ConfigurationError("the sync quantum must be positive")
+    duration_s = float(duration_s)
+    mesh._ran = True
+    mesh._end_s = duration_s
+    mesh._predicted_next = mesh._turn_policy()
+
+    # Serial-equivalent preamble: the itinerary consumes mesh.rng exactly
+    # as CityMesh.run's _draw_cars would; per-edge stream seeds are drawn
+    # after it, in sorted edge order — both independent of worker count.
+    admissions = _plan_itinerary(mesh, duration_s)
+    edge_seeds = {
+        name: int(mesh.rng.integers(np.iinfo(np.int64).max))
+        for name in sorted(mesh.edges)
+    }
+    groups = [
+        _ShardGroup(
+            mesh,
+            edge_names,
+            edge_seeds,
+            duration_s,
+            obs=None
+            if mesh.obs is None or shard_obs_factory is None
+            else shard_obs_factory(),
+        )
+        for edge_names in interference_groups(mesh)
+    ]
+    for group in groups:
+        group.schedule_admissions(admissions)
+    station_group = {
+        name: group.key for group in groups for name in group._stations
+    }
+    station_by_name = {
+        station.name: (edge, station)
+        for edge in mesh.edges.values()
+        for station in edge.corridor.stations
+    }
+
+    workers = min(int(workers), len(groups))
+    if in_process:
+        hosts = [_LocalHost(groups)]
+    else:
+        ctx = multiprocessing.get_context("fork")
+        # workers is capped at len(groups), so every host gets >= 1 group.
+        hosts = [
+            _ForkedHost(ctx, [g for i, g in enumerate(groups) if i % workers == w])
+            for w in range(workers)
+        ]
+
+    def replay(reports: list[tuple]) -> dict[str, list[tuple]]:
+        """Feed one quantum's sightings to the directory, in canonical
+        order, and compute the push intents they trigger — the exact
+        decision sequence of CityMesh._on_sighting, with the live-cache
+        skip check deferred to the owning shard."""
+        intents: dict[str, list[tuple]] = {}
+        reports.sort(key=lambda r: (r[1], r[0], r[8]))
+        for _, t_s, edge_name, stn_name, tag_id, cfo_hz, x_m, localized, _ in reports:
+            edge = mesh.edges[edge_name]
+            estimate = mesh.directory.report(
+                tag_id, cfo_hz, stn_name, edge_name, x_m, t_s, localized=localized
+            )
+            if mesh.handoff != "push" or estimate is None:
+                continue
+            if estimate.speed_m_s <= 0.5:
+                continue
+            _, station = station_by_name[stn_name]
+            target, distance_m = mesh._predict_target(edge, station, x_m)
+            if target is None:
+                continue
+            eta_s = t_s + max(distance_m, 0.0) / estimate.speed_m_s
+            if eta_s - t_s > mesh.push_horizon_s:
+                continue
+            intents.setdefault(station_group[target.name], []).append(
+                (t_s, target.name, stn_name, tag_id, cfo_hz, eta_s)
+            )
+        return intents
+
+    try:
+        intents_by_group: dict[str, list[tuple]] = {}
+        for t_s in _quantum_boundaries(duration_s, sync_quantum_s):
+            for host in hosts:
+                host.send(("advance", t_s, intents_by_group))
+            reports = []
+            for host in hosts:
+                reports.extend(host.recv()[1])
+            intents_by_group = replay(reports)
+        # Pushes triggered by the final quantum's sightings are still
+        # sent (they become push misses in the sweep, as in serial).
+        for host in hosts:
+            host.send(("apply", intents_by_group))
+        for host in hosts:
+            host.recv()
+        for host in hosts:
+            host.send(("finish",))
+        payloads = {}
+        for host in hosts:
+            for payload in host.recv()[1]:
+                payloads[payload["key"]] = payload
+    finally:
+        for host in hosts:
+            host.close()
+
+    return _merge(mesh, payloads, duration_s, workers, sync_quantum_s, groups)
+
+
+def _merge(
+    mesh: CityMesh,
+    payloads: dict[str, dict],
+    duration_s: float,
+    workers: int,
+    sync_quantum_s: float,
+    groups: list[_ShardGroup],
+) -> ShardedMeshResult:
+    """Rebuild the mesh-wide result from per-group payloads, canonically.
+
+    The merged ledger is a *replay*, not a concatenation: sighting
+    records stream in global ``(t_s, group, local index)`` order through
+    a fresh ledger so decode/redecode classification sees city-wide
+    knowledge, exactly as the serial shared ledger did. The push-miss
+    sweep then mirrors ``CityMesh._finish`` (edge order, station order,
+    sorted tag ids). Every per-edge result is re-pointed at the merged
+    ledger — in the serial mesh all edge results reference the one
+    shared ledger, and downstream consumers rely on that.
+    """
+    merged = HandoffLedger()
+    ordered_keys = sorted(payloads)
+
+    records = []
+    for key in ordered_keys:
+        for idx, rec in enumerate(payloads[key]["ledger"].records):
+            records.append((rec.t_s, key, idx, rec))
+    records.sort(key=lambda item: item[:3])
+    for _, _, _, rec in records:
+        if rec.kind in (DECODE, REDECODE):
+            merged.record_decode(
+                rec.station,
+                rec.tag_id,
+                rec.t_s,
+                rec.cfo_hz,
+                n_queries=rec.n_queries,
+                n_overheard=rec.n_overheard,
+            )
+        elif rec.kind == OWN_HIT:
+            merged.record_own_hit(rec.station, rec.tag_id, rec.t_s, rec.cfo_hz)
+        elif rec.kind == HANDOFF:
+            merged.record_handoff(
+                rec.station, rec.from_station, rec.tag_id, rec.t_s, rec.cfo_hz
+            )
+        elif rec.kind == PUSH:
+            merged.record_push_hit(
+                rec.station, rec.from_station, rec.tag_id, rec.t_s, rec.cfo_hz
+            )
+        elif rec.kind == DECODE_FAILED:
+            merged.record_decode_failure(
+                rec.station,
+                rec.t_s,
+                rec.cfo_hz,
+                n_queries=rec.n_queries,
+                n_overheard=rec.n_overheard,
+            )
+        elif rec.kind == DECODE_DEFERRED:
+            merged.record_decode_deferred(rec.station, rec.t_s, rec.cfo_hz)
+
+    def gather(attr):
+        out = []
+        for key in ordered_keys:
+            out.extend(
+                (item.t_s, key, idx, item)
+                for idx, item in enumerate(getattr(payloads[key]["ledger"], attr))
+            )
+        out.sort(key=lambda item: item[:3])
+        return [item[3] for item in out]
+
+    merged.pushes.extend(gather("pushes"))
+    merged.push_misses.extend(gather("push_misses"))
+    for attr in ("cell_entries", "cell_exits"):
+        rows = []
+        for key in ordered_keys:
+            rows.extend(getattr(payloads[key]["ledger"], attr))
+        getattr(merged, attr).extend(sorted(rows))
+
+    # The speculative-push sweep, in the serial _finish order.
+    group_of_edge = {
+        name: group.key for group in groups for name in group.edge_names
+    }
+    for edge_name, edge in mesh.edges.items():
+        pushed = payloads[group_of_edge[edge_name]]["pushed"]
+        for station in edge.corridor.stations:
+            leftovers = pushed.get(station.name, {})
+            for tag_id in sorted(leftovers):
+                from_station, cfo_hz, t_push = leftovers[tag_id]
+                merged.record_push_miss(
+                    station.name, from_station, tag_id, t_push, cfo_hz
+                )
+
+    edges = {}
+    for edge_name in mesh.edges:
+        result = payloads[group_of_edge[edge_name]]["edges"][edge_name]
+        result.ledger = merged
+        edges[edge_name] = result
+
+    if mesh.obs is not None:
+        for key in ordered_keys:
+            metrics = payloads[key]["metrics"]
+            if metrics is not None:
+                mesh.obs.metrics.merge(metrics)
+
+    station_edge = {
+        station.name: edge.name
+        for edge in mesh.edges.values()
+        for station in edge.corridor.stations
+    }
+    result = ShardedMeshResult(
+        duration_s=duration_s,
+        handoff=mesh.handoff,
+        edges=edges,
+        ledger=merged,
+        directory=mesh.directory.summary(),
+        station_edge=station_edge,
+        cars_injected=mesh.cars_injected,
+        cars_transferred=mesh.cars_transferred,
+        cars_departed=mesh.cars_departed,
+        responses=sum(payloads[key]["responses"] for key in ordered_keys),
+        corrupted_responses=sum(
+            payloads[key]["corrupted"] for key in ordered_keys
+        ),
+        workers=workers,
+        sync_quantum_s=sync_quantum_s,
+        groups=tuple(tuple(group.edge_names) for group in groups),
+        events_processed={
+            key: payloads[key]["events_processed"] for key in ordered_keys
+        },
+    )
+    mesh.ledger = merged
+    mesh.cross_corridor_stats(result, station_edge)
+    return result
+
+
+# -- CI smoke --------------------------------------------------------------
+
+
+def _smoke(workers: int, duration_s: float) -> int:  # pragma: no cover
+    """Tiny invariance check for CI: sharded protocol, 1 worker vs N."""
+    from .mesh import downtown_grid
+
+    summaries = []
+    for n in (1, workers):
+        mesh = downtown_grid(2, 2, rng=7, rate_per_s=0.5)
+        result = run_sharded(mesh, duration_s, workers=n)
+        summaries.append(result.summary())
+    # Compare as canonical JSON text: short runs legitimately carry NaN
+    # means (no cross-corridor entries yet), and NaN != NaN would fail a
+    # plain dict comparison even on identical results.
+    canon = [json.dumps(s, sort_keys=True) for s in summaries]
+    if canon[0] != canon[-1]:
+        print("FAIL: worker-count invariance broken")
+        return 1
+    ledger = summaries[0]["handoff_ledger"]
+    print(
+        f"ok: workers 1 == {workers} "
+        f"(sightings={ledger['sightings']}, pushes={ledger['pushes_sent']}, "
+        f"cars={summaries[0]['cars_injected']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(description="sharded mesh smoke test")
+    parser.add_argument("--smoke", action="store_true", help="run the CI smoke")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--duration", type=float, default=12.0)
+    args = parser.parse_args()
+    if args.smoke:
+        raise SystemExit(_smoke(args.workers, args.duration))
+    parser.error("nothing to do (pass --smoke)")

@@ -339,6 +339,54 @@ class TestObsPolicyChecker:
         assert check(src, "obs-policy") == []
 
 
+class TestParallelPolicyChecker:
+    def test_multiprocessing_import_in_library_flagged(self):
+        found = check("import multiprocessing\n", "parallel-policy")
+        assert len(found) == 1
+        assert "sharding engine" in found[0].message
+
+    def test_concurrent_futures_flagged_in_every_form(self):
+        assert check("import concurrent.futures\n", "parallel-policy")
+        assert check("from concurrent import futures\n", "parallel-policy")
+        assert check(
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            "parallel-policy",
+        )
+        assert check("import threading\n", "parallel-policy")
+
+    def test_engine_module_exempt(self):
+        good = "import multiprocessing\nfrom concurrent import futures\n"
+        assert (
+            check(
+                good,
+                "parallel-policy",
+                rel_path="src/repro/sim/city/parallel.py",
+            )
+            == []
+        )
+
+    def test_non_library_code_exempt(self):
+        bad = "import multiprocessing\n"
+        for rel_path in (
+            "tests/test_fake.py",
+            "benchmarks/bench_fake.py",
+            "examples/fake.py",
+            "tools/fake.py",
+        ):
+            assert check(bad, "parallel-policy", rel_path=rel_path) == []
+
+    def test_innocent_imports_clean(self):
+        good = """\
+        import itertools
+        from dataclasses import dataclass
+        """
+        assert check(good, "parallel-policy") == []
+
+    def test_pragma_suppresses(self):
+        src = "import threading  # repro: allow[parallel-policy] — demo\n"
+        assert check(src, "parallel-policy") == []
+
+
 class TestUnusedImportChecker:
     def test_unused_import_flagged(self):
         assert len(check("import os\nimport sys\nprint(sys.argv)\n", "unused-import")) == 1

@@ -160,3 +160,63 @@ class TestEstimateAccounting:
             sim = build_simulator(cfos, seed=500 + seed)
             counts.append(CollisionCounter().count(sim.query(0.0).antenna(0)).count)
         assert np.mean(counts) == pytest.approx(10.0, abs=1.0)
+
+
+class TestSfftProbeParity:
+    """The sparse-probe ablation must be a pure regime-picker swap.
+
+    ``probe="sfft"`` replaces only the density probe's candidate scan
+    (sub-linear bucketized recovery instead of the dense spectrum
+    sweep); refinement, classification and the joint tone fit run the
+    identical full-precision code after it — so on the paper's Fig-5
+    style workloads the two probes must agree on the count, the CFOs,
+    and the dense-regime flag.
+    """
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    @pytest.mark.parametrize("m", [2, 10])
+    def test_sparse_scenes_bit_equal(self, m, seed):
+        rng = np.random.default_rng(seed)
+        cfos = rng.uniform(20e3, 1.19e6, size=m)
+        capture = build_simulator(cfos, seed=seed).query(0.0).antenna(0)
+        dense = CollisionCounter(probe="dense").count(capture)
+        sfft = CollisionCounter(probe="sfft").count(capture)
+        assert sfft.count == dense.count
+        assert sfft.dense_mode == dense.dense_mode
+        assert np.array_equal(sfft.cfos_hz(), dense.cfos_hz())
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_dense_scene_bit_equal(self, seed):
+        """35 tags crowd the band past the dense trigger: both probes
+        must hand the same regime decision to the same dense-detection
+        pass."""
+        rng = np.random.default_rng(seed + 7)
+        cfos = rng.uniform(20e3, 1.19e6, size=35)
+        capture = build_simulator(cfos, seed=seed).query(0.0).antenna(0)
+        dense = CollisionCounter(probe="dense").count(capture)
+        sfft = CollisionCounter(probe="sfft").count(capture)
+        assert sfft.dense_mode == dense.dense_mode
+        assert sfft.count == dense.count
+        assert np.array_equal(sfft.cfos_hz(), dense.cfos_hz())
+
+    def test_unknown_probe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CollisionCounter(probe="fancy")
+
+
+class TestBatchedToneFit:
+    def test_burst_stacked_fit_bit_exact(self):
+        """``batch_fit`` solves the per-burst joint tone fit as one
+        stacked least-squares; it must reproduce the per-capture loop
+        observation-for-observation."""
+        rng = np.random.default_rng(7)
+        cfos = rng.uniform(20e3, 1.19e6, size=6)
+        sim = build_simulator(cfos, seed=7)
+        burst = [sim.query(0.0).antenna(0) for _ in range(4)]
+        batched = CollisionCounter(batch_fit=True).count_multi(burst)
+        looped = CollisionCounter(batch_fit=False).count_multi(burst)
+        assert batched.count == looped.count
+        assert len(batched.observations) == len(looped.observations)
+        for b, l in zip(batched.observations, looped.observations):
+            assert str(b) == str(l)

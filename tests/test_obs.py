@@ -92,6 +92,97 @@ class TestMetricsRegistry:
         reg.write(path)
         assert json.loads(path.read_text())["counters"] == {"x": 3}
 
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("air.query", 2, station="p0")
+        b.inc("air.query", 3, station="p0")
+        b.inc("air.query", station="p1")
+        a.observe("round.duration_s", 0.001)
+        b.observe("round.duration_s", 2.0)
+        b.observe("round.duration_s", 0.004)
+        a.merge(b)
+        assert a.counter("air.query", station="p0") == 5
+        assert a.counter("air.query", station="p1") == 1
+        (summary,) = a.snapshot()["histograms"].values()
+        assert summary["count"] == 3
+        assert summary["min"] == 0.001
+        assert summary["max"] == 2.0
+        assert sum(summary["buckets"].values()) == 3
+
+    def test_merge_gauges_last_writer_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("pool.depth", 3)
+        b.set_gauge("pool.depth", 7)
+        a.merge(b)
+        assert a.snapshot()["gauges"] == {"pool.depth": 7}
+
+    def test_merge_of_shards_matches_shared_registry(self):
+        # The worker-aggregation contract: shard registries merged in a
+        # fixed order snapshot identically to one shared registry.
+        shared = MetricsRegistry()
+        shards = [MetricsRegistry() for _ in range(3)]
+        for i, shard in enumerate(shards):
+            for reg in (shard, shared):
+                reg.inc("air.query", i + 1, station=f"p{i}")
+                reg.observe("round.duration_s", 0.001 * (i + 1), station=f"p{i}")
+        merged = MetricsRegistry()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.snapshot_json() == shared.snapshot_json()
+
+    def test_merge_into_empty_is_a_copy(self):
+        src = MetricsRegistry()
+        src.inc("x", 2)
+        src.set_gauge("g", 1.5)
+        src.observe("h", 0.5)
+        dst = MetricsRegistry()
+        dst.merge(src)
+        assert dst.snapshot_json() == src.snapshot_json()
+
+
+class TestPhaseTimerMerge:
+    """PhaseTimer lives in the bench harness (the library never reads
+    the wall clock), so load it by path rather than via the package."""
+
+    @pytest.fixture
+    def phase_timer_cls(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "benchmarks" / "bench_helpers.py"
+        spec = importlib.util.spec_from_file_location("_bench_helpers_for_test", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod.PhaseTimer
+
+    def test_merge_adds_seconds_and_counts(self, phase_timer_cls):
+        a, b = phase_timer_cls(), phase_timer_cls()
+        a._seconds, a._counts = {"count": 1.0}, {"count": 2}
+        b._seconds, b._counts = {"count": 0.5, "decode": 2.0}, {"count": 1, "decode": 3}
+        a.merge(b)
+        taken = a.take()
+        assert taken["phases"]["count"] == {
+            "seconds": 1.5,
+            "count": 3,
+            "share": 1.5 / 3.5,
+        }
+        assert taken["phases"]["decode"]["count"] == 3
+
+    def test_merge_order_independent(self, phase_timer_cls):
+        shards = []
+        for i in range(3):
+            t = phase_timer_cls()
+            t._seconds = {"count": float(i + 1), f"phase{i}": 0.25}
+            t._counts = {"count": i + 1, f"phase{i}": 1}
+            shards.append(t)
+        merged = phase_timer_cls()
+        for t in shards:
+            merged.merge(t)
+        reversed_merge = phase_timer_cls()
+        for t in reversed(shards):
+            reversed_merge.merge(t)
+        assert merged.take() == reversed_merge.take()
+
 
 class TestObsFacade:
     def test_labeled_view_shares_registry(self):

@@ -7,6 +7,7 @@ from . import (  # noqa: F401
     determinism,
     imports,
     obs_policy,
+    parallel_policy,
     rng_policy,
     units,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "determinism",
     "imports",
     "obs_policy",
+    "parallel_policy",
     "rng_policy",
     "units",
 ]
