@@ -182,6 +182,23 @@ class ParkingBill:
 
 
 @dataclass
+class _ParkSession:
+    """One open parking session, with re-home confirmation state.
+
+    ``pending`` holds the one foreign fix seen since the car was last
+    confirmed at its spot — a single mis-localized sighting must not
+    close (and re-open) a session, so re-homing waits for a second
+    consecutive fix away from the spot to confirm the car really moved.
+    """
+
+    spot_index: int
+    start_s: float
+    last_at_spot_s: float
+    last_seen_s: float
+    pending: tuple[int | None, float] | None = None
+
+
+@dataclass
 class ParkingBillingService:
     """Smart street parking (§1): park anywhere, get billed automatically.
 
@@ -189,6 +206,15 @@ class ParkingBillingService:
     after ``absence_timeout_s`` without a sighting (the car left; e-toll
     tags answer whether the car is on or off, §3, so a parked car keeps
     responding to every query).
+
+    One sighting near a *different* spot does not move a session: §6
+    fixes jitter, and a transient mis-localized fix used to close the
+    session and immediately re-open it — fragmenting one park into
+    several bills. A session re-homes (old one closed, new one opened)
+    only after a *second consecutive* sighting away from its spot
+    confirms the car actually moved; a fix back at the spot cancels the
+    pending move. Closed sessions bill through the last fix confirmed
+    *at the spot* — never through the away-fix that ended them.
 
     Attributes:
         spot_positions_m: {spot index: (x, y)} road-plane spot centers.
@@ -203,7 +229,7 @@ class ParkingBillingService:
     rate_per_hour: float = 2.0
     match_radius_m: float = 3.0
     absence_timeout_s: float = 120.0
-    _open: dict[int, tuple[int, float, float]] = field(default_factory=dict)
+    _open: dict[int, _ParkSession] = field(default_factory=dict)
     bills: list[ParkingBill] = field(default_factory=list)
 
     def _nearest_spot(self, position_m: np.ndarray) -> int | None:
@@ -217,47 +243,67 @@ class ParkingBillingService:
     def observe(self, observation: TagObservation) -> None:
         """Feed one sighting of a (possibly parked) tag."""
         spot = self._nearest_spot(observation.position_m)
+        t_s = observation.timestamp_s
         session = self._open.get(observation.tag_id)
         if session is not None:
-            spot_index, start_s, _ = session
-            if spot == spot_index:
-                self._open[observation.tag_id] = (
-                    spot_index,
-                    start_s,
-                    observation.timestamp_s,
+            session.last_seen_s = max(session.last_seen_s, t_s)
+            if spot == session.spot_index:
+                # Back at (or still at) its spot: any pending move was a
+                # transient mis-fix, not a departure.
+                session.pending = None
+                session.last_at_spot_s = max(session.last_at_spot_s, t_s)
+                return
+            if session.pending is None:
+                # First foreign fix: remember it, keep the session open.
+                session.pending = (spot, t_s)
+                return
+            # Second consecutive foreign fix: the car really left. Bill
+            # only the time it was confirmed at the spot, then fall
+            # through to (maybe) open the new session.
+            pending_spot, pending_t_s = session.pending
+            self._close(observation.tag_id, session.last_at_spot_s)
+            if spot is not None and spot == pending_spot:
+                # Both foreign fixes agree: the park at the new spot
+                # started when it was first seen there.
+                self._open[observation.tag_id] = _ParkSession(
+                    spot, pending_t_s, t_s, t_s
                 )
                 return
-            self._close(observation.tag_id, observation.timestamp_s)
         if spot is not None:
-            self._open[observation.tag_id] = (
-                spot,
-                observation.timestamp_s,
-                observation.timestamp_s,
-            )
+            self._open[observation.tag_id] = _ParkSession(spot, t_s, t_s, t_s)
 
     def sweep(self, now_s: float) -> list[ParkingBill]:
         """Close sessions whose cars have not been seen recently."""
         closed = []
-        for tag_id, (_, _, last_seen) in list(self._open.items()):
-            if now_s - last_seen >= self.absence_timeout_s:
-                closed.append(self._close(tag_id, last_seen))
+        for tag_id, session in list(self._open.items()):
+            if now_s - session.last_seen_s >= self.absence_timeout_s:
+                closed.append(self._close(tag_id, session.last_at_spot_s))
         return closed
 
     def _close(self, tag_id: int, end_s: float) -> ParkingBill:
-        spot_index, start_s, _ = self._open.pop(tag_id)
+        session = self._open.pop(tag_id)
         bill = ParkingBill(
             tag_id=tag_id,
-            spot_index=spot_index,
-            start_s=start_s,
+            spot_index=session.spot_index,
+            start_s=session.start_s,
             end_s=end_s,
             rate_per_hour=self.rate_per_hour,
         )
         self.bills.append(bill)
         return bill
 
-    def occupancy(self) -> dict[int, int]:
-        """{spot: tag id} for currently open sessions."""
-        return {spot: tag for tag, (spot, _, _) in self._open.items()}
+    def occupancy(self) -> dict[int, list[int]]:
+        """{spot: sorted tag ids} for currently open sessions.
+
+        Collision-safe: two open sessions can legitimately map to the
+        same spot index (a mis-localized neighbor, or a spot briefly
+        double-claimed during a swap) — both are reported instead of one
+        silently shadowing the other.
+        """
+        out: dict[int, list[int]] = {}
+        for tag_id, session in self._open.items():
+            out.setdefault(session.spot_index, []).append(tag_id)
+        return {spot: sorted(tags) for spot, tags in sorted(out.items())}
 
 
 @dataclass

@@ -1,0 +1,155 @@
+"""The sharded account store toll charges post against.
+
+A city deployment bills against an account population far larger than
+any working set a service instance should hold hot: a million
+registered transponders, of which only the cars on the road this minute
+have live activity. The store therefore keeps **active** account rows
+(balance, charge count, last charge time) sharded by account id, and
+**settles** cold rows into per-shard aggregates when a shard outgrows
+its bound — the row's money moves into ``settled_cents``; the account's
+next charge simply re-opens a fresh row.
+
+Money is integer cents throughout, so conservation is exact and
+checkable at any instant: every cent ever charged is either in an
+active row or in a shard's settled aggregate —
+:meth:`ShardedAccountStore.check_consistent` asserts precisely that,
+and the nightly billing bench gates on it at the end of a
+million-account replay.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+
+__all__ = ["ShardedAccountStore"]
+
+
+class _Shard:
+    """One shard: active rows plus the settled aggregate they drain to."""
+
+    __slots__ = ("rows", "settled_cents", "settled_charges", "settled_rows")
+
+    def __init__(self) -> None:
+        # account id -> [balance_cents, n_charges, last_charge_s]
+        self.rows: dict[int, list] = {}
+        self.settled_cents = 0
+        self.settled_charges = 0
+        self.settled_rows = 0
+
+
+class ShardedAccountStore:
+    """Bounded, sharded ledger of toll charges.
+
+    Attributes:
+        n_shards: how many shards the id space hashes across.
+        max_active_per_shard: active-row bound per shard; exceeding it
+            settles the coldest half (by last charge time) into the
+            shard's aggregate — amortized, so the hot path stays O(1).
+        total_charged_cents: every cent ever posted (active + settled).
+        peak_active: high-water mark of active rows across all shards —
+            the number the bench's memory gate bounds.
+    """
+
+    def __init__(self, n_shards: int = 16, max_active_per_shard: int = 65536) -> None:
+        if n_shards < 1:
+            raise ConfigurationError("need at least one shard")
+        if max_active_per_shard < 2:
+            raise ConfigurationError("a shard must hold at least two rows")
+        self.n_shards = int(n_shards)
+        self.max_active_per_shard = int(max_active_per_shard)
+        self._shards = [_Shard() for _ in range(self.n_shards)]
+        self.total_charged_cents = 0
+        self.total_charges = 0
+        self.evictions = 0
+        self.peak_active = 0
+        self._active = 0
+
+    def _shard_of(self, account_id: int) -> _Shard:
+        return self._shards[int(account_id) % self.n_shards]
+
+    def charge(self, account_id: int, amount_cents: int, t_s: float) -> int:
+        """Post a charge; returns the account's new active balance."""
+        amount_cents = int(amount_cents)
+        if amount_cents < 0:
+            raise ConfigurationError("charges are non-negative")
+        shard = self._shard_of(account_id)
+        row = shard.rows.get(int(account_id))
+        if row is None:
+            row = [0, 0, float(t_s)]
+            shard.rows[int(account_id)] = row
+            self._active += 1
+            if self._active > self.peak_active:
+                self.peak_active = self._active
+        row[0] += amount_cents
+        row[1] += 1
+        row[2] = max(row[2], float(t_s))
+        self.total_charged_cents += amount_cents
+        self.total_charges += 1
+        if len(shard.rows) > self.max_active_per_shard:
+            self._settle_coldest(shard)
+        return row[0]
+
+    def _settle_coldest(self, shard: _Shard) -> None:
+        # Settling half the shard keeps the resize amortized: the next
+        # overflow is at least max_active_per_shard/2 charges away.
+        victims = sorted(shard.rows.items(), key=lambda item: (item[1][2], item[0]))
+        for account_id, row in victims[: len(victims) // 2]:
+            shard.settled_cents += row[0]
+            shard.settled_charges += row[1]
+            shard.settled_rows += 1
+            del shard.rows[account_id]
+            self._active -= 1
+            self.evictions += 1
+
+    def balance_cents(self, account_id: int) -> int | None:
+        """The account's *active* balance (None once settled/never seen)."""
+        row = self._shard_of(account_id).rows.get(int(account_id))
+        return None if row is None else row[0]
+
+    @property
+    def active_rows(self) -> int:
+        return self._active
+
+    def check_consistent(self) -> None:
+        """Exact conservation: charged == active + settled, to the cent.
+
+        Raises :class:`~repro.errors.ConfigurationError` on violation —
+        a cent lost (or minted) by eviction is a billing bug, not a
+        rounding artifact.
+        """
+        active_cents = sum(
+            row[0] for shard in self._shards for row in shard.rows.values()
+        )
+        settled_cents = sum(shard.settled_cents for shard in self._shards)
+        if active_cents + settled_cents != self.total_charged_cents:
+            raise ConfigurationError(
+                f"conservation violated: {active_cents} active + "
+                f"{settled_cents} settled != {self.total_charged_cents} charged"
+            )
+        active_charges = sum(
+            row[1] for shard in self._shards for row in shard.rows.values()
+        )
+        settled_charges = sum(shard.settled_charges for shard in self._shards)
+        if active_charges + settled_charges != self.total_charges:
+            raise ConfigurationError(
+                f"charge-count conservation violated: {active_charges} + "
+                f"{settled_charges} != {self.total_charges}"
+            )
+        n_rows = sum(len(shard.rows) for shard in self._shards)
+        if n_rows != self._active:
+            raise ConfigurationError(
+                f"active-row counter drifted: {n_rows} rows, "
+                f"counter says {self._active}"
+            )
+
+    def summary(self) -> dict:
+        """Headline numbers, JSON-friendly."""
+        return {
+            "n_shards": self.n_shards,
+            "active_rows": self._active,
+            "peak_active": self.peak_active,
+            "settled_rows": sum(s.settled_rows for s in self._shards),
+            "evictions": self.evictions,
+            "total_charges": self.total_charges,
+            "total_charged_cents": self.total_charged_cents,
+        }

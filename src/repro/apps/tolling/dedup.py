@@ -1,0 +1,108 @@
+"""The windowed dedup stage: many reads, one toll event per crossing.
+
+A car crossing one gantry is read many times — every pole of the edge
+sights it each query round, a pushed entry resolves it before arrival,
+a neighbor handoff re-sights it, an overheard-window decode lands late.
+Charging per *read* would bill a crossing five times over; the dedup
+stage collapses all reads of one ``(tag, zone)`` inside one time window
+into a single admitted event.
+
+Windows are fixed ``window_s`` bins of the sim clock
+(``index = floor(t / window_s)``): a second read in the same bin is a
+duplicate; a read in the next bin is a new crossing (a car genuinely
+circling back through the gantry is a new toll). The table is bounded:
+entries whose window can no longer receive a duplicate — the stream's
+watermark has moved a full window past them — are swept out, amortized,
+so memory tracks *concurrent* crossings, not history length.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+
+__all__ = ["TollDedup"]
+
+
+class TollDedup:
+    """Windowed first-read filter over the (tag, zone) sighting stream.
+
+    Relies on the stream being time-ordered, which both feeds
+    guarantee: the serial mesh's taps fire in scheduler order and the
+    sharded coordinator replays sightings in canonical
+    ``(t_s, group, arrival)`` order. A read older than the watermark by
+    more than a window would be unjudgeable (its window may have been
+    swept) and raises instead of guessing.
+
+    Attributes:
+        window_s: dedup window length.
+        events: admitted first reads (one per toll event).
+        duplicates: reads suppressed as repeats.
+        peak_entries: high-water mark of the live table — the number the
+            memory gate in ``benchmarks/bench_billing.py`` bounds.
+    """
+
+    def __init__(self, window_s: float = 5.0) -> None:
+        if window_s <= 0:
+            raise ConfigurationError("the dedup window must be positive")
+        self.window_s = float(window_s)
+        self._live: dict[tuple[int, str], tuple[int, int]] = {}
+        self._watermark_s = float("-inf")
+        self._next_sweep_s = float("-inf")
+        self.events = 0
+        self.duplicates = 0
+        self.peak_entries = 0
+
+    def admit(self, tag_id: int, zone: str, t_s: float) -> bool:
+        """True when this read opens a new toll event; False for a
+        duplicate of one already admitted this window."""
+        t_s = float(t_s)
+        if t_s < self._watermark_s - self.window_s:
+            raise ConfigurationError(
+                f"read at t={t_s:.3f}s arrived more than a window behind "
+                f"the stream watermark ({self._watermark_s:.3f}s) — the "
+                "billing stream must be (near) time-ordered"
+            )
+        self._watermark_s = max(self._watermark_s, t_s)
+        if t_s >= self._next_sweep_s:
+            self._sweep()
+            self._next_sweep_s = t_s + self.window_s
+        index = int(t_s // self.window_s)
+        key = (int(tag_id), zone)
+        entry = self._live.get(key)
+        if entry is not None and entry[0] == index:
+            self._live[key] = (index, entry[1] + 1)
+            self.duplicates += 1
+            return False
+        self._live[key] = (index, 1)
+        self.events += 1
+        if len(self._live) > self.peak_entries:
+            self.peak_entries = len(self._live)
+        return True
+
+    def reads_in_window(self, tag_id: int, zone: str) -> int:
+        """How many reads the (tag, zone)'s current window has seen
+        (0 once swept or never seen)."""
+        entry = self._live.get((int(tag_id), zone))
+        return 0 if entry is None else entry[1]
+
+    def _sweep(self) -> None:
+        # An entry in window w can only receive duplicates while the
+        # clock is inside w; once the watermark is a full window past
+        # its end, no admissible read can match it.
+        horizon = int((self._watermark_s - self.window_s) // self.window_s)
+        stale = [key for key, (index, _) in self._live.items() if index < horizon]
+        for key in stale:
+            del self._live[key]
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def summary(self) -> dict:
+        """Headline numbers, JSON-friendly."""
+        return {
+            "window_s": self.window_s,
+            "events": self.events,
+            "duplicates": self.duplicates,
+            "live_entries": len(self._live),
+            "peak_entries": self.peak_entries,
+        }

@@ -82,7 +82,7 @@ from ...utils import as_rng
 from ..events import EventScheduler
 from ..medium import AirLog
 from .cells import StationCell, carve_cells
-from .handoff import HandoffLedger
+from .handoff import HANDOFF, OWN_HIT, PUSH, HandoffLedger
 from .moving import MovingCollisionSource, MovingTag, TagWaveformBank
 from .pool import ResponsePool, TriggerWindow
 
@@ -392,12 +392,17 @@ class CityCorridor:
             the right setting for one street — means everything on the
             shared log is heard everywhere.
         on_sighting: ``hook(corridor, station, tag_id, cfo_hz, t_s,
-            x_m, localized)`` called for every resolved sighting
-            (own/push/handoff hits and fresh decodes); ``x_m`` is the
-            sighting's §6 localized fix when the round produced one
-            (``localized=True``), else the pole position as a coarse
+            x_m, localized, kind, n_queries)`` called for every resolved
+            sighting (own/push/handoff hits and fresh decodes); ``x_m``
+            is the sighting's §6 localized fix when the round produced
+            one (``localized=True``), else the pole position as a coarse
             stand-in (``localized=False`` — good for audit, not for
-            speed ratios). The mesh uses the hook to feed the
+            speed ratios). ``kind`` is the resolution provenance (a
+            :mod:`~repro.sim.city.handoff` kind: ``own``/``push``/
+            ``handoff``/``decode``/``redecode``) and ``n_queries`` the
+            decode queries that sighting itself put on the air (zero for
+            cache hits) — what a billing plane needs to price a read.
+            The mesh uses the hook to feed the
             :class:`~repro.sim.city.directory.IdentityDirectory` and
             trigger predictive pushes; None disables.
         obs: nullable observability hook (see :mod:`repro.obs`). When
@@ -954,6 +959,10 @@ class CityCorridor:
             float(o.cfo_hz): float(o.snr) for o in report.count.observations
         }
         ids, unknown = resolve_cached_ids(station.identities, cfos, now_s=t_query)
+        # How each resolved cfo was won this round: (resolution kind,
+        # decode queries spent) — provenance the city layer (directory,
+        # billing plane) consumes alongside the sighting itself.
+        kinds: dict[float, tuple[str, int]] = {}
         for cfo, tag_id in sorted(ids.items()):
             pushed = station.pushed.pop(tag_id, None)
             if pushed is not None:
@@ -963,10 +972,12 @@ class CityCorridor:
                 self.ledger.record_push_hit(
                     station.name, pushed[0], tag_id, t_query, cfo
                 )
+                kinds[cfo] = (PUSH, 0)
                 if sobs is not None:
                     sobs.count("corridor.resolution", kind="push")
             else:
                 self.ledger.record_own_hit(station.name, tag_id, t_query, cfo)
+                kinds[cfo] = (OWN_HIT, 0)
                 if sobs is not None:
                     sobs.count("corridor.resolution", kind="own")
 
@@ -987,6 +998,7 @@ class CityCorridor:
                     continue
                 station.identities.store(cfo, donor_id, now_s=t_query)
                 ids[cfo] = donor_id
+                kinds[cfo] = (HANDOFF, 0)
                 claimed.add(donor_id)
                 self._push_note_superseded(station, donor_id)
                 self.ledger.record_handoff(
@@ -1009,6 +1021,7 @@ class CityCorridor:
                 ids,
                 decode_results,
                 seed=collision,
+                kinds=kinds,
             )
 
         if sobs is not None:
@@ -1037,8 +1050,10 @@ class CityCorridor:
                     x_m = float(hint[0][0])
                 else:
                     x_m = float(station.pole_position_m[0])
+                kind, n_queries = kinds.get(cfo, (OWN_HIT, 0))
                 self.on_sighting(
-                    self, station, tag_id, cfo, t_query, x_m, localized
+                    self, station, tag_id, cfo, t_query, x_m, localized,
+                    kind, n_queries,
                 )
         return busy_end
 
@@ -1052,6 +1067,7 @@ class CityCorridor:
         ids: dict[float, int],
         decode_results: dict | None = None,
         seed=None,
+        kinds: dict[float, tuple[str, int]] | None = None,
     ) -> float:
         """Run one §12.4 batched decode over the shared capture stream."""
         sobs = self._station_obs[station.name]
@@ -1155,7 +1171,7 @@ class CityCorridor:
                 ids[cfo] = tag_id
                 station.identities.store(cfo, tag_id, now_s=t_query)
                 self._push_note_superseded(station, tag_id)
-                self.ledger.record_decode(
+                decode_kind = self.ledger.record_decode(
                     station.name,
                     tag_id,
                     t_query,
@@ -1163,6 +1179,8 @@ class CityCorridor:
                     n_queries=result.n_queries,
                     n_overheard=result.n_overheard,
                 )
+                if kinds is not None:
+                    kinds[cfo] = (decode_kind, result.n_queries)
                 if sobs is not None:
                     sobs.count("corridor.resolution", kind="decode")
                 if tag_id not in self._identified:

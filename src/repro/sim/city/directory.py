@@ -106,6 +106,11 @@ class IdentityDirectory:
         # spike.
         self._prune_interval_s = float(max_age_s) / 8.0
         self._next_prune_s = float("-inf")
+        # The last-reported clock: the latest timestamp any writer or
+        # reader has shown the directory. Aging always consults it, so a
+        # resolve arriving with a skewed (stale) clock can never
+        # resurrect a fingerprint a fresher report already expired.
+        self._clock_s = float("-inf")
         self.reports = 0
         self.hits = 0
         self.misses = 0
@@ -144,8 +149,9 @@ class IdentityDirectory:
         self.reports += 1
         if self.obs is not None:
             self.obs.count("directory.report", station=station, corridor=corridor)
+        self._clock_s = max(self._clock_s, float(t_s))
         if t_s >= self._next_prune_s:
-            self._drop(self._index.prune_ids(t_s))
+            self._drop(self._index.prune_ids(self._clock_s))
             self._next_prune_s = t_s + self._prune_interval_s
         self._drop(self._index.store(cfo_hz, tag_id, now_s=t_s))
         fix = SightingFix(station, corridor, float(x_m), float(t_s))
@@ -181,14 +187,39 @@ class IdentityDirectory:
 
     # -- reading ---------------------------------------------------------------
 
-    def resolve(self, cfo_hz: float, now_s: float | None = None) -> int | None:
+    def resolve(self, cfo_hz: float, now_s: float) -> int | None:
         """City-wide fingerprint resolution: nearest account within
-        tolerance, or None. Passing ``now_s`` ages out stale accounts
-        first, so an expired fingerprint can never claim a fresh spike.
+        tolerance, or None.
+
+        ``now_s`` is mandatory — resolution without a clock silently
+        skipped aging, letting an expired fingerprint claim a fresh
+        spike (exactly the mis-attribution the bounds exist to prevent).
+        Aging runs against ``max(now_s, last-reported clock)`` so a
+        reader with a skewed clock cannot resurrect an entry a fresher
+        report already expired, and it runs *exactly* for the candidate
+        match: the amortized full sweep stays on its batched schedule
+        (O(accounts) is too dear per lookup at city scale), but any
+        candidate the index nominates has its own age checked — and is
+        evicted, with its trail and speed anchor — before it may claim
+        the spike. The next-nearest live fingerprint is then considered,
+        so one dead neighbor never shadows a valid match.
         """
-        if now_s is not None:
-            self.prune(now_s)
-        tag_id = self._index.lookup(cfo_hz)
+        now = max(float(now_s), self._clock_s)
+        self._clock_s = now
+        if now >= self._next_prune_s:
+            self._drop(self._index.prune_ids(now))
+            self._next_prune_s = now + self._prune_interval_s
+        max_age_s = self._index.max_age_s
+        while True:
+            tag_id = self._index.lookup(cfo_hz)
+            if tag_id is None:
+                break
+            seen_s = self._index.last_seen_s(tag_id)
+            if seen_s is not None and now - seen_s > max_age_s:
+                self._index.evict(tag_id)
+                self._drop([tag_id])
+                continue
+            break
         if tag_id is None:
             self.misses += 1
         else:

@@ -173,9 +173,11 @@ class HandoffLedger:
         cfo_hz: float,
         n_queries: int = 0,
         n_overheard: int = 0,
-    ) -> None:
+    ) -> str:
         """A successful full decode; classified as a re-decode when some
-        other station already knew this id."""
+        other station already knew this id. Returns the kind it was
+        classified as (``decode`` or ``redecode``) so the caller can
+        tag the sighting's provenance without re-deriving it."""
         known_elsewhere = self._stations_knowing.get(tag_id, set()) - {station}
         kind = REDECODE if known_elsewhere else DECODE
         self._append(
@@ -189,6 +191,7 @@ class HandoffLedger:
                 n_overheard=n_overheard,
             )
         )
+        return kind
 
     def record_decode_failure(
         self,

@@ -311,6 +311,7 @@ class CityMesh:
         self.nodes: dict[str, MeshNode] = {}
         self.edges: dict[str, MeshEdge] = {}
         self.services: list[object] = []
+        self.sighting_taps: list = []
         self._sources: list[_TrafficSource] = []
         self._cursor_x_m = 0.0
         self._node_next_free: dict[str, float] = {}
@@ -443,6 +444,23 @@ class CityMesh:
         """Fan every corridor's observations into ``service.observe``."""
         self.services.append(service)
         return service
+
+    def add_sighting_tap(self, tap) -> object:
+        """Feed every resolved sighting, with provenance, to ``tap``.
+
+        ``tap(t_s, edge, station, tag_id, cfo_hz, x_m, localized, kind,
+        n_queries)`` is called once per resolved sighting, *after* the
+        directory report — ``edge``/``station`` are names (strings),
+        ``kind`` a :mod:`~repro.sim.city.handoff` resolution kind and
+        ``n_queries`` the decode queries that sighting itself spent.
+        This is the raw feed a billing plane dedups and charges from.
+        Unlike :meth:`subscribe` services, taps also work under
+        :func:`~repro.sim.city.parallel.run_sharded`: the coordinator
+        replays the merged sighting stream through them in canonical
+        order. Returns ``tap`` for chaining.
+        """
+        self.sighting_taps.append(tap)
+        return tap
 
     def _edge(self, name: str) -> MeshEdge:
         edge = self.edges.get(name)
@@ -624,6 +642,8 @@ class CityMesh:
         t_s: float,
         x_m: float,
         localized: bool,
+        kind: str = "own",
+        n_queries: int = 0,
     ) -> None:
         """Corridor hook: audit the sighting; maybe push ahead of it.
 
@@ -636,6 +656,11 @@ class CityMesh:
         estimate = self.directory.report(
             tag_id, cfo_hz, station.name, edge.name, x_m, t_s, localized=localized
         )
+        for tap in self.sighting_taps:
+            tap(
+                t_s, edge.name, station.name, tag_id, cfo_hz, x_m, localized,
+                kind, n_queries,
+            )
         if self.handoff != "push" or estimate is None:
             return
         if estimate.speed_m_s <= 0.5:

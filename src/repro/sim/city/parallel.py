@@ -313,11 +313,20 @@ class _ShardGroup:
         return enter
 
     def _buffer_sighting(
-        self, corridor, station, tag_id, cfo_hz, t_s, x_m, localized
+        self,
+        corridor,
+        station,
+        tag_id,
+        cfo_hz,
+        t_s,
+        x_m,
+        localized,
+        kind="own",
+        n_queries=0,
     ) -> None:
-        # (t_s, edge, station, tag, cfo, x, localized, arrival index) —
-        # the index is the canonical within-group tie-breaker the
-        # coordinator sorts replays by.
+        # (t_s, edge, station, tag, cfo, x, localized, kind, n_queries,
+        # arrival index) — the index is the canonical within-group
+        # tie-breaker the coordinator sorts replays by.
         self.outbox.append(
             (
                 float(t_s),
@@ -327,6 +336,8 @@ class _ShardGroup:
                 float(cfo_hz),
                 float(x_m),
                 bool(localized),
+                str(kind),
+                int(n_queries),
                 len(self.outbox),
             )
         )
@@ -546,7 +557,9 @@ def run_sharded(
     if mesh.services:
         raise ConfigurationError(
             "subscribe() services need the single shared timeline — "
-            "run serial (mesh.run) or drop the services"
+            "run serial (mesh.run), drop the services, or consume the "
+            "merged sighting stream via mesh.add_sighting_tap() instead "
+            "(taps replay coordinator-side, in canonical order)"
         )
     if workers < 1:
         raise ConfigurationError("need at least one worker")
@@ -600,17 +613,35 @@ def run_sharded(
         ]
 
     def replay(reports: list[tuple]) -> dict[str, list[tuple]]:
-        """Feed one quantum's sightings to the directory, in canonical
-        order, and compute the push intents they trigger — the exact
-        decision sequence of CityMesh._on_sighting, with the live-cache
-        skip check deferred to the owning shard."""
+        """Feed one quantum's sightings to the directory — and any
+        registered sighting taps — in canonical order, and compute the
+        push intents they trigger: the exact decision sequence of
+        CityMesh._on_sighting, with the live-cache skip check deferred
+        to the owning shard."""
         intents: dict[str, list[tuple]] = {}
-        reports.sort(key=lambda r: (r[1], r[0], r[8]))
-        for _, t_s, edge_name, stn_name, tag_id, cfo_hz, x_m, localized, _ in reports:
+        reports.sort(key=lambda r: (r[1], r[0], r[10]))
+        for (
+            _,
+            t_s,
+            edge_name,
+            stn_name,
+            tag_id,
+            cfo_hz,
+            x_m,
+            localized,
+            kind,
+            n_queries,
+            _,
+        ) in reports:
             edge = mesh.edges[edge_name]
             estimate = mesh.directory.report(
                 tag_id, cfo_hz, stn_name, edge_name, x_m, t_s, localized=localized
             )
+            for tap in mesh.sighting_taps:
+                tap(
+                    t_s, edge_name, stn_name, tag_id, cfo_hz, x_m, localized,
+                    kind, n_queries,
+                )
             if mesh.handoff != "push" or estimate is None:
                 continue
             if estimate.speed_m_s <= 0.5:

@@ -132,7 +132,7 @@ class TestParkingBilling:
     def test_occupancy_tracking(self, service):
         service.observe(obs(1, 6.0, -10.0, 0.0))
         service.observe(obs(2, 12.0, -10.0, 0.0))
-        assert service.occupancy() == {1: 1, 2: 2}
+        assert service.occupancy() == {1: [1], 2: [2]}
 
     def test_driving_past_spots_opens_then_closes(self, service):
         """A car cruising along the curb must not accumulate charges."""
@@ -145,6 +145,44 @@ class TestParkingBilling:
     def test_far_from_spots_ignored(self, service):
         service.observe(obs(4, 100.0, 5.0, 0.0))
         assert service.occupancy() == {}
+
+    def test_transient_misfix_does_not_fragment_the_session(self, service):
+        """Regression: one mis-localized fix near a neighboring spot
+        used to close the session and immediately reopen it, splitting
+        one park into two bills (double-billing the minimum/overhead and
+        resetting the meter). §6 fixes jitter; a single outlier must be
+        forgiven once the car is seen back at its spot."""
+        service.observe(obs(1, 6.0, -10.0, 0.0))
+        service.observe(obs(1, 11.5, -10.0, 600.0))  # one outlier near spot 2
+        service.observe(obs(1, 6.0, -10.0, 1200.0))  # back at spot 1
+        assert service.bills == []  # nothing closed mid-park
+        assert service.occupancy() == {1: [1]}
+        bills = service.sweep(now_s=1200.0 + 200.0)
+        assert len(bills) == 1
+        assert bills[0].duration_s == pytest.approx(1200.0)  # one continuous park
+
+    def test_two_foreign_fixes_confirm_a_rehome(self, service):
+        """Two consecutive sightings at the same other spot really are a
+        move: close the old session (billed through the last fix *at*
+        the old spot) and open the new one at the first foreign fix."""
+        service.observe(obs(1, 6.0, -10.0, 0.0))
+        service.observe(obs(1, 12.0, -10.0, 900.0))
+        service.observe(obs(1, 12.0, -10.0, 960.0))
+        assert len(service.bills) == 1
+        assert service.bills[0].spot_index == 1
+        assert service.bills[0].end_s == pytest.approx(0.0)  # last fix at spot 1
+        assert service.occupancy() == {2: [1]}
+        bills = service.sweep(now_s=960.0 + 200.0)
+        assert bills[0].spot_index == 2
+        assert bills[0].start_s == pytest.approx(900.0)
+
+    def test_occupancy_keeps_colliding_sessions(self, service):
+        """Regression: two open sessions mapping to the same spot index
+        (a mis-localized neighbor during a swap) used to shadow each
+        other in occupancy() — the dict comprehension kept only one."""
+        service.observe(obs(1, 6.0, -10.0, 0.0))
+        service.observe(obs(2, 6.4, -10.0, 1.0))  # neighbor mis-fixed onto spot 1
+        assert service.occupancy() == {1: [1, 2]}
 
     def test_bad_position_shape_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -15,8 +15,8 @@ class TestResolution:
     def test_report_then_resolve(self):
         directory = IdentityDirectory()
         report(directory, 7, 500e3, 1.0)
-        assert directory.resolve(500.4e3) == 7
-        assert directory.resolve(900e3) is None
+        assert directory.resolve(500.4e3, now_s=1.0) == 7
+        assert directory.resolve(900e3, now_s=1.0) is None
         assert directory.summary()["hits"] == 1
         assert directory.summary()["misses"] == 1
         assert 7 in directory
@@ -124,6 +124,60 @@ class TestBoundsUnderConcurrentCorridorUpdates:
         assert report(directory, 7, 500e3, 25.0, station="B/pole-1", corridor="B") is None
         assert len(directory.trail(7)) == 1
 
+class TestResolveAging:
+    """Regression: resolve() used to accept a call with no clock, which
+    silently skipped the aging prune — an expired fingerprint could
+    claim a fresh spike, the exact mis-attribution the bounds promise to
+    prevent."""
+
+    def test_resolve_requires_a_clock(self):
+        directory = IdentityDirectory()
+        report(directory, 7, 500e3, 0.0)
+        with pytest.raises(TypeError):
+            directory.resolve(500e3)
+
+    def test_stale_account_cannot_steal_a_fresh_spike(self):
+        """Tag 7's fingerprint expired *between* batched sweeps; a fresh
+        spike at the same CFO must still resolve to nothing — the
+        targeted per-candidate age check is all that stands between the
+        corpse and the spike."""
+        directory = IdentityDirectory(max_age_s=80.0)  # sweep interval: 10 s
+        report(directory, 7, 500e3, 0.0)
+        report(directory, 8, 600e3, 79.0)  # sweeps at 79; 7 survives (79 <= 80)
+        # Next batched sweep is due at t=89; tag 7 expires at t=80.
+        assert directory.resolve(500e3, now_s=85.0) is None
+        assert 7 not in directory
+        assert directory.trail(7) == []
+        assert directory.speed_estimate(7) is None
+        directory.check_consistent()
+
+    def test_dead_neighbor_never_shadows_a_live_match(self):
+        """The index nominates the *nearest* fingerprint; when that one
+        is expired, resolve must fall through to the next-nearest live
+        entry rather than reporting a miss."""
+        directory = IdentityDirectory(tolerance_hz=3000.0, max_age_s=80.0)
+        report(directory, 7, 500e3, 0.0)  # will expire
+        report(directory, 8, 502e3, 79.0)  # fresh, further from the spike
+        assert directory.resolve(500.5e3, now_s=85.0) == 8
+        assert 7 not in directory
+
+    def test_skewed_reader_clock_cannot_resurrect(self):
+        """A resolve carrying an old timestamp (reader clock skew) must
+        age against the newest clock the directory has seen, not travel
+        back in time."""
+        directory = IdentityDirectory(max_age_s=80.0)  # sweep interval: 10 s
+        report(directory, 7, 500e3, 0.0)
+        report(directory, 8, 600e3, 79.0)  # sweeps at 79; next due at 89
+        # A miss elsewhere advances the directory clock past 7's expiry
+        # (t=80) without running the batched sweep (85 < 89).
+        assert directory.resolve(900e3, now_s=85.0) is None
+        # The skewed reader says t=5 — when 7 would look fresh. The
+        # directory must age against its own clock (85) instead.
+        assert directory.resolve(500e3, now_s=5.0) is None
+        assert 7 not in directory
+
+
+class TestBoundsEdgeCases:
     def test_eviction_forgets_speed_anchor(self):
         directory = IdentityDirectory(max_entries=1)
         report(directory, 7, 500e3, 0.0, station="A/pole-0", x_m=0.0)

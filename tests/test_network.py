@@ -208,7 +208,7 @@ class TestReaderNetwork:
         network.step(0.0)
         tag_id = scene.tags[0].packet.tag_id
         assert finder.known_tags() == [tag_id]
-        assert parking.occupancy() == {5: tag_id}
+        assert parking.occupancy() == {5: [tag_id]}
 
     def test_decode_disabled_reports_counts_only(self):
         cars = [(-5.0, 0), (6.0, 1)]
