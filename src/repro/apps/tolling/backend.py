@@ -89,6 +89,28 @@ class DirectoryBackend:
             self.delivered += 1
         return answers
 
+    def report(
+        self,
+        tag_id: int,
+        cfo_hz: float,
+        station: str,
+        zone: str,
+        x_m: float,
+        t_s: float,
+        localized: bool = False,
+    ) -> None:
+        """Ride a recovered identity back to the directory over this
+        link (e.g. a pull-miss fallback decode) — the one sanctioned
+        path for billing-plane writes; the ``backhaul-policy`` analyzer
+        rule keeps callers from reaching around it. The answer channel
+        carries it in the same round, so it applies at ``t_s``. A plain
+        account-store directory (no ``report``) absorbs it silently."""
+        directory = self.directory
+        if hasattr(directory, "report"):
+            directory.report(
+                tag_id, cfo_hz, station, zone, x_m, t_s, localized=localized
+            )
+
     def flush(self) -> list[BackendAnswer]:
         """End of run: deliver everything still in flight."""
         if not self._pending:

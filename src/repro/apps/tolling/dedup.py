@@ -26,71 +26,124 @@ __all__ = ["TollDedup"]
 class TollDedup:
     """Windowed first-read filter over the (tag, zone) sighting stream.
 
-    Relies on the stream being time-ordered, which both feeds
-    guarantee: the serial mesh's taps fire in scheduler order and the
-    sharded coordinator replays sightings in canonical
-    ``(t_s, group, arrival)`` order. A read older than the watermark by
-    more than a window would be unjudgeable (its window may have been
-    swept) and raises instead of guessing.
+    Relies on the *delivery* stream being time-ordered, which every
+    feed guarantees: the serial mesh's taps fire in scheduler order,
+    the sharded coordinator replays sightings in canonical
+    ``(t_s, group, arrival)`` order, and a batched backhaul link
+    applies its batches in delivery order. Emit times inside those
+    deliveries may lag: the watermark tracks delivery time, and a read
+    *emitted* more than ``window_s + max_lag_s`` behind it would be
+    unjudgeable (its window may have been swept) and raises instead of
+    guessing — out-of-order batches are rejected loudly, never
+    silently double-charged.
 
     Attributes:
-        window_s: dedup window length.
+        window_s: dedup window length (over *emit* time — a crossing
+            is a crossing whenever billing hears of it).
+        max_lag_s: how far an emit time may trail the delivery
+            watermark beyond one window before the stream is declared
+            out of contract. 0 (the default) is the wired behavior:
+            delivery is emission. A batched feed must cover its
+            worst-case sync lag (including the final convergence
+            flush), trading sweep memory for tolerance — entries now
+            live ``max_lag_s`` longer.
         events: admitted first reads (one per toll event).
         duplicates: reads suppressed as repeats.
         peak_entries: high-water mark of the live table — the number the
             memory gate in ``benchmarks/bench_billing.py`` bounds.
     """
 
-    def __init__(self, window_s: float = 5.0) -> None:
+    def __init__(self, window_s: float = 5.0, max_lag_s: float = 0.0) -> None:
         if window_s <= 0:
             raise ConfigurationError("the dedup window must be positive")
+        if max_lag_s < 0:
+            raise ConfigurationError("max_lag_s cannot be negative")
         self.window_s = float(window_s)
-        self._live: dict[tuple[int, str], tuple[int, int]] = {}
+        self.max_lag_s = float(max_lag_s)
+        # Per (tag, zone): every un-swept window index -> read count.
+        # Remembering *all* windows inside the sweep horizon (not just
+        # the latest) is what keeps a reordered batch from re-opening a
+        # window that already billed; on an ordered wired stream each
+        # key holds exactly one window, as before.
+        self._live: dict[tuple[int, str], dict[int, int]] = {}
         self._watermark_s = float("-inf")
         self._next_sweep_s = float("-inf")
         self.events = 0
         self.duplicates = 0
         self.peak_entries = 0
 
-    def admit(self, tag_id: int, zone: str, t_s: float) -> bool:
+    def admit(
+        self,
+        tag_id: int,
+        zone: str,
+        t_s: float,
+        delivered_s: float | None = None,
+    ) -> bool:
         """True when this read opens a new toll event; False for a
-        duplicate of one already admitted this window."""
+        duplicate of one already admitted this window.
+
+        ``t_s`` is the *emit* time (when the car crossed — the dedup
+        window key); ``delivered_s`` is when the read reached billing
+        (None: delivered at emission, the wired case). The split is
+        load-bearing under batched backhaul: a legitimately late
+        delivery of an on-time crossing must be admitted (its window
+        is judged by emit time), while a crossing emitted beyond the
+        sweep guarantee is rejected loudly.
+        """
         t_s = float(t_s)
-        if t_s < self._watermark_s - self.window_s:
+        delivered = t_s if delivered_s is None else float(delivered_s)
+        if delivered < t_s:
             raise ConfigurationError(
-                f"read at t={t_s:.3f}s arrived more than a window behind "
-                f"the stream watermark ({self._watermark_s:.3f}s) — the "
-                "billing stream must be (near) time-ordered"
+                f"read emitted at t={t_s:.3f}s delivered at "
+                f"{delivered:.3f}s — delivery cannot precede emission"
             )
-        self._watermark_s = max(self._watermark_s, t_s)
-        if t_s >= self._next_sweep_s:
+        if t_s < self._watermark_s - self.window_s - self.max_lag_s:
+            raise ConfigurationError(
+                f"read emitted at t={t_s:.3f}s arrived more than a window "
+                f"(+{self.max_lag_s:.3f}s lag allowance) behind the "
+                f"delivery watermark ({self._watermark_s:.3f}s) — its dedup "
+                "window may already be swept, so admitting it could "
+                "double-charge; raise max_lag_s to cover the feed's "
+                "worst-case sync lag"
+            )
+        self._watermark_s = max(self._watermark_s, delivered)
+        if delivered >= self._next_sweep_s:
             self._sweep()
-            self._next_sweep_s = t_s + self.window_s
+            self._next_sweep_s = delivered + self.window_s
         index = int(t_s // self.window_s)
         key = (int(tag_id), zone)
-        entry = self._live.get(key)
-        if entry is not None and entry[0] == index:
-            self._live[key] = (index, entry[1] + 1)
+        windows = self._live.get(key)
+        if windows is not None and index in windows:
+            windows[index] += 1
             self.duplicates += 1
             return False
-        self._live[key] = (index, 1)
+        self._live.setdefault(key, {})[index] = 1
         self.events += 1
         if len(self._live) > self.peak_entries:
             self.peak_entries = len(self._live)
         return True
 
     def reads_in_window(self, tag_id: int, zone: str) -> int:
-        """How many reads the (tag, zone)'s current window has seen
+        """How many reads the (tag, zone)'s latest live window has seen
         (0 once swept or never seen)."""
-        entry = self._live.get((int(tag_id), zone))
-        return 0 if entry is None else entry[1]
+        windows = self._live.get((int(tag_id), zone))
+        return 0 if not windows else windows[max(windows)]
 
     def _sweep(self) -> None:
-        # An entry in window w can only receive duplicates while the
-        # clock is inside w; once the watermark is a full window past
-        # its end, no admissible read can match it.
-        horizon = int((self._watermark_s - self.window_s) // self.window_s)
-        stale = [key for key, (index, _) in self._live.items() if index < horizon]
+        # An entry in window w can only receive duplicates while
+        # admissible emit times can still land inside w; once the
+        # delivery watermark is a full window (plus the lag allowance)
+        # past its end, no admissible read can match it.
+        horizon = int(
+            (self._watermark_s - self.window_s - self.max_lag_s) // self.window_s
+        )
+        stale = []
+        for key, windows in self._live.items():
+            done = [index for index in windows if index < horizon]
+            for index in done:
+                del windows[index]
+            if not windows:
+                stale.append(key)
         for key in stale:
             del self._live[key]
 

@@ -40,6 +40,12 @@ class TollRead:
             ``handoff`` / ``decode`` / ``redecode``).
         n_queries: decode queries this read itself put on the air
             (zero for cache hits).
+        delivered_s: when the read reached the billing plane, for reads
+            that rode a batched backhaul link (see
+            :mod:`repro.sim.city.backhaul`); None means delivered at
+            ``t_s`` (wired). Dedup windows key on the emit time ``t_s``
+            (the crossing), while watermarks, sweeps and charge
+            latency run on delivery time (when billing could act).
     """
 
     t_s: float
@@ -51,6 +57,7 @@ class TollRead:
     localized: bool = False
     kind: str = "own"
     n_queries: int = 0
+    delivered_s: float | None = None
 
 
 @dataclass

@@ -55,6 +55,12 @@ class TollingService:
     Attributes:
         policy: one of :data:`POLICIES`.
         toll_cents: flat toll per crossing (integer cents).
+        max_lag_s: how far a read's emit time may trail the delivery
+            watermark beyond one dedup window (see
+            :class:`~repro.apps.tolling.dedup.TollDedup`). Must cover
+            the feed's worst-case backhaul sync lag — including the
+            final convergence flush — when reads ride batched links;
+            the default 0 is the wired contract.
         accounts: the sharded store charges post against.
         dedup: the windowed dedup stage.
         backend: the latency-modeled directory link (required for — and
@@ -77,6 +83,7 @@ class TollingService:
         policy: str = "as-sighted",
         toll_cents: int = 150,
         window_s: float = 5.0,
+        max_lag_s: float = 0.0,
         accounts: ShardedAccountStore | None = None,
         backend: DirectoryBackend | None = None,
         fallback_decode_queries: int = 12,
@@ -98,7 +105,7 @@ class TollingService:
         self.policy = policy
         self.toll_cents = int(toll_cents)
         self.accounts = accounts if accounts is not None else ShardedAccountStore()
-        self.dedup = TollDedup(window_s=window_s)
+        self.dedup = TollDedup(window_s=window_s, max_lag_s=max_lag_s)
         self.backend = backend
         self.fallback_decode_queries = int(fallback_decode_queries)
         self.query_period_s = float(query_period_s)
@@ -133,8 +140,14 @@ class TollingService:
         localized: bool,
         kind: str = "own",
         n_queries: int = 0,
+        delivered_s: float | None = None,
     ) -> None:
-        """Sighting-tap signature (see ``CityMesh.add_sighting_tap``)."""
+        """Sighting-tap signature (see ``CityMesh.add_sighting_tap``).
+
+        ``delivered_s`` arrives only from batched backhaul feeds: when
+        the read actually reached billing (None means "now", i.e. at
+        ``t_s`` — the wired contract).
+        """
         self.ingest(
             TollRead(
                 t_s=float(t_s),
@@ -146,20 +159,24 @@ class TollingService:
                 localized=bool(localized),
                 kind=kind,
                 n_queries=int(n_queries),
+                delivered_s=None if delivered_s is None else float(delivered_s),
             )
         )
 
     def ingest(self, read: TollRead) -> TollEvent | None:
         """Feed one read; returns the toll event it opened, if any."""
+        delivered_s = read.t_s if read.delivered_s is None else read.delivered_s
         self.reads += 1
         self.reads_by_kind[read.kind] = self.reads_by_kind.get(read.kind, 0) + 1
         if self.obs is not None:
             self.obs.count("tolling.read", kind=read.kind, zone=read.zone)
         if self.backend is not None:
-            for answer in self.backend.drain(read.t_s):
+            for answer in self.backend.drain(delivered_s):
                 self._apply_answer(answer)
         key = (read.tag_id, read.zone)
-        if not self.dedup.admit(read.tag_id, read.zone, read.t_s):
+        if not self.dedup.admit(
+            read.tag_id, read.zone, read.t_s, delivered_s=delivered_s
+        ):
             recent = self._recent.get(key)
             if recent is not None:
                 recent.n_reads += 1
@@ -171,9 +188,9 @@ class TollingService:
             first_read_s=read.t_s,
             kind=read.kind,
         )
-        if read.t_s >= self._next_recent_sweep_s:
-            self._sweep_recent(read.t_s)
-            self._next_recent_sweep_s = read.t_s + self.dedup.window_s
+        if delivered_s >= self._next_recent_sweep_s:
+            self._sweep_recent(delivered_s)
+            self._next_recent_sweep_s = delivered_s + self.dedup.window_s
         self._recent[key] = event
         if self.keep_events:
             self.events.append(event)
@@ -183,7 +200,13 @@ class TollingService:
         return event
 
     def _sweep_recent(self, watermark_s: float) -> None:
-        horizon = int((watermark_s - self.dedup.window_s) // self.dedup.window_s)
+        # Mirror the dedup sweep horizon (delivery watermark, minus the
+        # window, minus the lag allowance): an event stays foldable as
+        # long as its window can still admit a duplicate.
+        horizon = int(
+            (watermark_s - self.dedup.window_s - self.dedup.max_lag_s)
+            // self.dedup.window_s
+        )
         stale = [
             key
             for key, event in self._recent.items()
@@ -195,8 +218,14 @@ class TollingService:
     # -- policy settlement -------------------------------------------------------
 
     def _settle(self, event: TollEvent, read: TollRead) -> None:
+        # A read that rode a batched backhaul could not be acted on
+        # before it was delivered: its sync lag is billing latency,
+        # on top of whatever the policy itself costs.
+        lag_s = (
+            0.0 if read.delivered_s is None else max(read.delivered_s - read.t_s, 0.0)
+        )
         if self.policy == "push":
-            self._post(event, read.tag_id, air=0, latency_s=0.0)
+            self._post(event, read.tag_id, air=0, latency_s=lag_s)
         elif self.policy == "redecode":
             # Blind re-decode: identification always burns a burst —
             # the one the read actually ran, or a fresh one where the
@@ -206,12 +235,21 @@ class TollingService:
                 if read.kind in _DECODE_KINDS and read.n_queries > 0
                 else self.fallback_decode_queries
             )
-            self._post(event, read.tag_id, air=air, latency_s=air * self.query_period_s)
+            self._post(
+                event, read.tag_id, air=air,
+                latency_s=lag_s + air * self.query_period_s,
+            )
         elif self.policy == "as-sighted":
             air = read.n_queries if read.kind in _DECODE_KINDS else 0
-            self._post(event, read.tag_id, air=air, latency_s=air * self.query_period_s)
+            self._post(
+                event, read.tag_id, air=air,
+                latency_s=lag_s + air * self.query_period_s,
+            )
         else:  # pull
-            self.backend.submit(read.cfo_hz, read.t_s, token=(event, read))
+            # The lookup leaves when the read reaches billing; its
+            # answer latency then stacks on the backhaul lag naturally
+            # (ready_s - first_read_s spans both).
+            self.backend.submit(read.cfo_hz, read.t_s + lag_s, token=(event, read))
 
     def _apply_answer(self, answer: BackendAnswer) -> None:
         event, read = answer.token
@@ -242,17 +280,15 @@ class TollingService:
         self.pull_fallbacks += 1
         air = self.fallback_decode_queries
         decode_done_s = answer.ready_s + air * self.query_period_s
-        directory = self.backend.directory
-        if hasattr(directory, "report"):
-            directory.report(
-                read.tag_id,
-                read.cfo_hz,
-                read.station,
-                read.zone,
-                read.x_m,
-                decode_done_s,
-                localized=False,
-            )
+        self.backend.report(
+            read.tag_id,
+            read.cfo_hz,
+            read.station,
+            read.zone,
+            read.x_m,
+            decode_done_s,
+            localized=False,
+        )
         self._post(
             event,
             read.tag_id,

@@ -31,8 +31,21 @@ per-pole machinery into that infrastructure:
   edge-to-edge on one shared timeline, with predictive *push* handoff
   planting cache entries at the predicted next pole ahead of each car
   (``handoff="pull"`` is the at-sighting ablation).
+* :mod:`repro.sim.city.backhaul` — the intermittent pole↔directory
+  backhaul: every link a :class:`BackhaulLink` under a
+  :class:`BackhaulConfig` delivery policy (``wired`` / ``scheduled`` /
+  ``mule``), degraded deterministically by a seeded :class:`FaultPlan`,
+  all routed through the coordinator-owned :class:`BackhaulPlane`.
 """
 
+from .backhaul import (
+    BackhaulConfig,
+    BackhaulLink,
+    BackhaulPlane,
+    FaultPlan,
+    OutageWindow,
+    SyncBuffer,
+)
 from .cells import StationCell, carve_cells
 from .handoff import HandoffLedger, PushRecord, SightingRecord
 from .moving import MovingCollisionSource, MovingTag, TagWaveformBank
@@ -43,6 +56,12 @@ from .mesh import CityMesh, MeshEdge, MeshNode, MeshResult, downtown_grid
 from .parallel import ShardedMeshResult, interference_groups, run_sharded
 
 __all__ = [
+    "BackhaulConfig",
+    "BackhaulLink",
+    "BackhaulPlane",
+    "FaultPlan",
+    "OutageWindow",
+    "SyncBuffer",
     "StationCell",
     "carve_cells",
     "HandoffLedger",

@@ -111,10 +111,25 @@ class IdentityDirectory:
         # resolve arriving with a skewed (stale) clock can never
         # resurrect a fingerprint a fresher report already expired.
         self._clock_s = float("-inf")
+        # Tombstones for evicted accounts: tag -> directory clock at
+        # eviction. A batched backhaul can deliver a report *emitted*
+        # before an eviction long after it; the tombstone rejects such
+        # late deltas so an aged-out entry is never resurrected by
+        # history. Pruned alongside the index (a tombstone older than
+        # max_age_s can no longer out-date any applicable delta).
+        self._tombstones: dict[int, float] = {}
         self.reports = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Batched-delivery deltas rejected because the entry was
+        #: evicted (tombstone) or already aged past ``max_age_s`` on
+        #: arrival. Zero on any wired (immediate-delivery) stream.
+        self.late_drops = 0
+        #: Deltas rejected because a fresher fix for the same account
+        #: had already been applied (a reordered batch must not steal
+        #: the fingerprint back). Zero on any wired stream.
+        self.stale_drops = 0
         self.obs = obs
 
     # -- writing ---------------------------------------------------------------
@@ -128,6 +143,7 @@ class IdentityDirectory:
         x_m: float,
         t_s: float,
         localized: bool = True,
+        delivered_s: float | None = None,
     ) -> SpeedEstimate | None:
         """Record one resolved sighting; returns a fresh §7 speed
         estimate when this fix pairs cross-pole with the previous one.
@@ -145,16 +161,49 @@ class IdentityDirectory:
         car drove). Any accounts the store or the aging pass evicts
         lose their trail and speed anchor in the same step — the
         consistency contract interleaved corridor updates rely on.
+
+        ``delivered_s`` marks a *batched* delivery over an intermittent
+        backhaul (see :mod:`repro.sim.city.backhaul`): the sighting was
+        emitted at ``t_s`` but only reaches the directory now. Delivery
+        time drives the clock, aging and LRU freshness; the emit time
+        anchors the trail and speed estimate. Three guards protect the
+        index from out-of-order history — a delta emitted before the
+        account's eviction tombstone, or older than the freshest
+        applied fix, or already past ``max_age_s`` on arrival, is
+        dropped (counted in ``late_drops``/``stale_drops``) and returns
+        None. None of them can fire on an immediate-delivery stream.
         """
+        now_s = float(t_s) if delivered_s is None else float(delivered_s)
         self.reports += 1
         if self.obs is not None:
             self.obs.count("directory.report", station=station, corridor=corridor)
-        self._clock_s = max(self._clock_s, float(t_s))
-        if t_s >= self._next_prune_s:
+        self._clock_s = max(self._clock_s, now_s)
+        if now_s >= self._next_prune_s:
             self._drop(self._index.prune_ids(self._clock_s))
-            self._next_prune_s = t_s + self._prune_interval_s
-        self._drop(self._index.store(cfo_hz, tag_id, now_s=t_s))
-        fix = SightingFix(station, corridor, float(x_m), float(t_s))
+            self._next_prune_s = now_s + self._prune_interval_s
+            self._prune_tombstones()
+        t_s = float(t_s)
+        if delivered_s is not None:
+            if now_s - t_s > self._index.max_age_s:
+                self.late_drops += 1
+                if self.obs is not None:
+                    self.obs.count("directory.delta_drop", kind="aged")
+                return None
+            tomb_s = self._tombstones.get(tag_id)
+            if tomb_s is not None and t_s < tomb_s:
+                self.late_drops += 1
+                if self.obs is not None:
+                    self.obs.count("directory.delta_drop", kind="late")
+                return None
+            trail = self._trails.get(tag_id)
+            if trail and t_s < trail[-1].t_s:
+                self.stale_drops += 1
+                if self.obs is not None:
+                    self.obs.count("directory.delta_drop", kind="stale")
+                return None
+        self._tombstones.pop(tag_id, None)
+        self._drop(self._index.store(cfo_hz, tag_id, now_s=now_s))
+        fix = SightingFix(station, corridor, float(x_m), t_s)
         trail = self._trails.setdefault(tag_id, [])
         trail.append(fix)
         del trail[:-TRAIL_LENGTH]
@@ -170,13 +219,44 @@ class IdentityDirectory:
             ),
         )
 
+    def apply_delta(
+        self,
+        tag_id: int,
+        cfo_hz: float,
+        station: str,
+        corridor: str,
+        x_m: float,
+        t_s: float,
+        localized: bool = True,
+        delivered_s: float | None = None,
+    ) -> SpeedEstimate | None:
+        """Apply one backhaul-delivered sighting delta: a
+        :meth:`report` emitted at ``t_s`` that reaches the directory at
+        ``delivered_s``. The explicit entry point the
+        :class:`~repro.sim.city.backhaul.BackhaulPlane` uses for
+        batched deliveries; see :meth:`report` for the late/stale
+        guard semantics."""
+        return self.report(
+            tag_id, cfo_hz, station, corridor, x_m, t_s,
+            localized=localized, delivered_s=delivered_s,
+        )
+
     def _drop(self, tag_ids: list[int]) -> None:
         for tag_id in tag_ids:
             self._trails.pop(tag_id, None)
             self._speed.forget(tag_id)
+            self._tombstones[tag_id] = self._clock_s
             self.evictions += 1
         if self.obs is not None and tag_ids:
             self.obs.count("directory.eviction", n=len(tag_ids))
+
+    def _prune_tombstones(self) -> None:
+        # A tombstone more than max_age_s behind the clock can no
+        # longer out-date any delta the age guard would admit.
+        horizon_s = self._clock_s - self._index.max_age_s
+        stale = [t for t, ts in self._tombstones.items() if ts < horizon_s]
+        for tag_id in stale:
+            del self._tombstones[tag_id]
 
     def prune(self, now_s: float) -> int:
         """Age out stale accounts (index, trails and speed anchors

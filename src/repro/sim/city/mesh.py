@@ -62,6 +62,7 @@ from ..events import EventScheduler
 from ..medium import AirLog
 from ..mobility import ConstantSpeedTrajectory
 from ..traffic import PoissonArrivals, TrafficLight
+from .backhaul import BackhaulConfig, BackhaulPlane
 from .corridor import CityCorridor, CorridorResult, CorridorStation
 from .directory import IdentityDirectory
 from .handoff import DECODE, HANDOFF, OWN_HIT, PUSH, REDECODE, HandoffLedger
@@ -195,6 +196,11 @@ class MeshResult:
     first_pole_queries: list[int] = field(default_factory=list)
     responses: int = 0
     corrupted_responses: int = 0
+    #: The run's :class:`~repro.sim.city.backhaul.BackhaulPlane`
+    #: summary under a batched delivery policy; None when the links
+    #: were wired (so wired summaries stay bit-identical to pre-backhaul
+    #: output).
+    backhaul: dict | None = None
 
     @property
     def queries_sent(self) -> int:
@@ -216,7 +222,7 @@ class MeshResult:
 
     def summary(self) -> dict:
         """Headline numbers, JSON-friendly."""
-        return {
+        out = {
             "duration_s": self.duration_s,
             "handoff": self.handoff,
             "cars_injected": self.cars_injected,
@@ -237,6 +243,9 @@ class MeshResult:
             "directory": self.directory,
             "edges": {name: r.summary() for name, r in self.edges.items()},
         }
+        if self.backhaul is not None:
+            out["backhaul"] = self.backhaul
+        return out
 
 
 class CityMesh:
@@ -266,6 +275,16 @@ class CityMesh:
             global axis.
         push_horizon_s: do not push for predicted arrivals further out
             than this (the entry would age toward uselessness first).
+        backhaul: how pole↔directory traffic travels (see
+            :mod:`repro.sim.city.backhaul`) — None or ``"wired"`` for
+            the immediate-delivery behavior (bit-identical to a mesh
+            without the parameter), a policy name (``"scheduled"`` /
+            ``"mule"``) for that policy's defaults, or a full
+            :class:`~repro.sim.city.backhaul.BackhaulConfig`. Under a
+            batched policy every directory report, sighting tap and
+            push intent rides a per-pole link, applied at delivery
+            time; batched taps receive an extra ``delivered_s``
+            keyword.
         obs: nullable observability hook (see :mod:`repro.obs`),
             threaded into the shared air log, response pool, scheduler,
             the default-built directory and every edge corridor — one
@@ -283,10 +302,13 @@ class CityMesh:
         frame_gap_m: float = 1000.0,
         push_horizon_s: float = 60.0,
         max_queries: int = 32,
+        backhaul: BackhaulConfig | str | None = None,
         obs=None,
     ) -> None:
         if handoff not in ("push", "pull"):
             raise ConfigurationError(f"unknown handoff policy {handoff!r}")
+        if isinstance(backhaul, str):
+            backhaul = BackhaulConfig(policy=backhaul)
         if frame_gap_m <= interference_range_m + 2.0 * READER_RANGE_M:
             raise ConfigurationError(
                 "frame gap must exceed the interference range (plus radio "
@@ -308,6 +330,9 @@ class CityMesh:
         self.air = AirLog(sense_slack_s=slack_s, obs=obs)
         self.pool = ResponsePool(slack_s=slack_s, obs=obs)
         self.ledger = HandoffLedger()
+        self.backhaul = backhaul
+        self._plane: BackhaulPlane | None = None
+        self._station_objs: dict[str, CorridorStation] = {}
         self.nodes: dict[str, MeshNode] = {}
         self.edges: dict[str, MeshEdge] = {}
         self.services: list[object] = []
@@ -457,7 +482,10 @@ class CityMesh:
         Unlike :meth:`subscribe` services, taps also work under
         :func:`~repro.sim.city.parallel.run_sharded`: the coordinator
         replays the merged sighting stream through them in canonical
-        order. Returns ``tap`` for chaining.
+        order. Under a batched ``backhaul`` policy the call gains a
+        ``delivered_s`` keyword (when the delta actually reached the
+        directory side) — a tap that should survive batched runs must
+        accept it. Returns ``tap`` for chaining.
         """
         self.sighting_taps.append(tap)
         return tap
@@ -479,12 +507,31 @@ class CityMesh:
         self._ran = True
         self._end_s = float(duration_s)
         self._predicted_next = self._turn_policy()
+        self._station_objs = {
+            station.name: station
+            for edge in self.edges.values()
+            for station in edge.corridor.stations
+        }
+        self._plane = self._build_plane(
+            push_intent=self._push_intent_named, deliver_push=self._plant_push
+        )
         scheduler = EventScheduler(obs=self.obs)
         self._scheduler = scheduler
         for edge in self.edges.values():
             for service in self.services:
                 edge.corridor.subscribe(service)
             edge.corridor.prime(scheduler, duration_s)
+        if self._plane.batched:
+            # Heartbeats bound how stale a delivered push can be planted
+            # (delivery *times* are exact regardless — the plane computes
+            # them from the sync schedule, not the call instant).
+            def tick(sched: EventScheduler) -> None:
+                self._plane.advance(sched.now_s)
+
+            step_s = self._plane.config.heartbeat_s
+            n_ticks = int(float(duration_s) / step_s)
+            for i in range(1, n_ticks + 1):
+                scheduler.schedule(i * step_s, tick, label="backhaul-sync")
         for car, t_arrival in self._draw_cars(duration_s):
             scheduler.schedule(
                 t_arrival,
@@ -493,6 +540,43 @@ class CityMesh:
             )
         scheduler.run_until(duration_s)
         return self._finish(duration_s)
+
+    def _build_plane(self, *, push_intent, deliver_push) -> BackhaulPlane:
+        """The run's backhaul plane — shared construction for the
+        serial engine and the sharded coordinator (which owns the links
+        either way; see :func:`~repro.sim.city.parallel.run_sharded`)."""
+        config = self.backhaul if self.backhaul is not None else BackhaulConfig()
+        gateways = config.gateways or self._default_gateways()
+        return BackhaulPlane(
+            config,
+            directory=self.directory,
+            taps=self.sighting_taps,
+            stations=[
+                station.name
+                for edge in self.edges.values()
+                for station in edge.corridor.stations
+            ],
+            gateways=gateways,
+            push_intent=push_intent,
+            deliver_push=deliver_push,
+            obs=self.obs,
+        )
+
+    def _default_gateways(self) -> tuple[str, ...]:
+        """Synced poles under ``mule``: the last pole of every exit
+        edge — where departing cars (the mules) naturally pass on
+        their way out of the mesh."""
+        exits = sorted(
+            e.last_station.name for e in self.edges.values() if e.dst is None
+        )
+        if exits:
+            return tuple(exits)
+        all_stations = sorted(
+            station.name
+            for edge in self.edges.values()
+            for station in edge.corridor.stations
+        )
+        return (all_stations[-1],) if all_stations else ()
 
     def _turn_policy(self) -> dict[str, str]:
         """The static per-edge successor prediction pushes aim at.
@@ -645,7 +729,14 @@ class CityMesh:
         kind: str = "own",
         n_queries: int = 0,
     ) -> None:
-        """Corridor hook: audit the sighting; maybe push ahead of it.
+        """Corridor hook: route the sighting over its pole's backhaul
+        link; maybe push ahead of it.
+
+        Under wired links the plane applies inline (directory report,
+        taps) and returns the §7 estimate, and the push decision runs
+        here at sighting time — exactly the pre-backhaul sequence.
+        Under batched links the plane buffers the delta and both the
+        directory application and the push decision happen at delivery.
 
         Only §6-localized fixes feed the §7 speed estimator (a
         pole-position stand-in would poison the ratio); the corridor
@@ -653,30 +744,79 @@ class CityMesh:
         instead of pairing across the layout gap.
         """
         edge = self.edges[corridor.name]
-        estimate = self.directory.report(
-            tag_id, cfo_hz, station.name, edge.name, x_m, t_s, localized=localized
+        estimate = self._plane.submit(
+            t_s, edge.name, station.name, tag_id, cfo_hz, x_m, localized,
+            kind, n_queries,
         )
-        for tap in self.sighting_taps:
-            tap(
-                t_s, edge.name, station.name, tag_id, cfo_hz, x_m, localized,
-                kind, n_queries,
-            )
+        if estimate is None:
+            return
+        intent = self._push_intent(edge, station, x_m, tag_id, cfo_hz, t_s, estimate)
+        if intent is None:
+            return
+        self._plant_push(intent, t_s)
+
+    def _push_intent(
+        self,
+        edge: MeshEdge,
+        station: CorridorStation,
+        x_m: float,
+        tag_id: int,
+        cfo_hz: float,
+        t_s: float,
+        estimate,
+        check_live: bool = True,
+    ) -> tuple | None:
+        """The push decision for one reported sighting, as data:
+        ``(target, from_station, tag_id, cfo_hz, t_emit_s, eta_s)`` or
+        None. ``check_live=False`` skips the target-cache liveness
+        check for callers without live station state (the sharded
+        coordinator, which re-checks at the owning shard)."""
         if self.handoff != "push" or estimate is None:
-            return
+            return None
         if estimate.speed_m_s <= 0.5:
-            return  # effectively parked: no meaningful arrival prediction
+            return None  # effectively parked: no meaningful arrival prediction
         target, distance_m = self._predict_target(edge, station, x_m)
-        if target is None or tag_id in target.identities or tag_id in target.pushed:
-            return
+        if target is None:
+            return None
+        if check_live and (tag_id in target.identities or tag_id in target.pushed):
+            return None
         eta_s = t_s + max(distance_m, 0.0) / estimate.speed_m_s
         if eta_s - t_s > self.push_horizon_s:
+            return None
+        return (target.name, station.name, tag_id, cfo_hz, float(t_s), eta_s)
+
+    def _push_intent_named(
+        self,
+        edge_name: str,
+        station_name: str,
+        x_m: float,
+        tag_id: int,
+        cfo_hz: float,
+        t_s: float,
+        estimate,
+    ) -> tuple | None:
+        """Name-keyed :meth:`_push_intent` — the serial plane's
+        delivery-time push callback."""
+        return self._push_intent(
+            self.edges[edge_name], self._station_objs[station_name],
+            x_m, tag_id, cfo_hz, t_s, estimate,
+        )
+
+    def _plant_push(self, intent: tuple, now_s: float) -> None:
+        """Plant one push intent into the live target cache at
+        ``now_s`` (sighting time when wired; link delivery time when
+        batched — the entry's age and the ledger record follow the
+        moment the pole actually learned of it)."""
+        target_name, from_station, tag_id, cfo_hz, _t_emit, eta_s = intent
+        target = self._station_objs[target_name]
+        if tag_id in target.identities or tag_id in target.pushed:
             return
-        target.receive_push(cfo_hz, tag_id, from_station=station.name, now_s=t_s)
+        target.receive_push(cfo_hz, tag_id, from_station=from_station, now_s=now_s)
         self.ledger.record_push(
-            target.name, station.name, tag_id, t_s, cfo_hz, eta_s=eta_s
+            target_name, from_station, tag_id, now_s, cfo_hz, eta_s=eta_s
         )
         if self.obs is not None:
-            self.obs.count("mesh.push", station=target.name)
+            self.obs.count("mesh.push", station=target_name)
 
     def _predict_target(
         self, edge: MeshEdge, station: CorridorStation, x_m: float
@@ -702,6 +842,11 @@ class CityMesh:
     # -- results -----------------------------------------------------------------
 
     def _finish(self, duration_s: float) -> MeshResult:
+        # The DTN convergence flush runs before any summary is taken,
+        # so the directory (and every tap, e.g. a billing service)
+        # reflects all batched traffic. A no-op when wired.
+        if self._plane is not None:
+            self._plane.final_flush(duration_s)
         # Sweep speculative pushes that no sighting ever consumed: the
         # car turned off-route, parked, or the run ended first.
         for edge in self.edges.values():
@@ -729,6 +874,11 @@ class CityMesh:
             responses=len(self.air.responses()),
             corrupted_responses=len(
                 self.air.corrupted_responses(self.interference_range_m)
+            ),
+            backhaul=(
+                self._plane.summary()
+                if self._plane is not None and self._plane.batched
+                else None
             ),
         )
         self.cross_corridor_stats(result, station_edge)

@@ -612,13 +612,43 @@ def run_sharded(
             for w in range(workers)
         ]
 
-    def replay(reports: list[tuple]) -> dict[str, list[tuple]]:
-        """Feed one quantum's sightings to the directory — and any
-        registered sighting taps — in canonical order, and compute the
-        push intents they trigger: the exact decision sequence of
-        CityMesh._on_sighting, with the live-cache skip check deferred
-        to the owning shard."""
-        intents: dict[str, list[tuple]] = {}
+    # The backhaul plane is coordinator-owned — one set of links for
+    # the whole city, fed by the canonical-order replay below, so
+    # batched delivery stays worker-count invariant. Wired configs make
+    # it a pass-through executing the exact pre-backhaul sequence.
+    push_sink: dict[str, list[tuple]] = {}
+
+    def queue_push(intent: tuple, now_s: float) -> None:
+        # A push that reached its pole's side of the link: hand it to
+        # the owning shard at the next rendezvous (same one-quantum
+        # granularity as wired sharded pushes; the shard re-checks its
+        # live cache before planting).
+        target_name, from_station, tag_id, cfo_hz, _t_emit, eta_s = intent
+        push_sink.setdefault(station_group[target_name], []).append(
+            (float(now_s), target_name, from_station, tag_id, cfo_hz, eta_s)
+        )
+
+    plane = mesh._build_plane(
+        push_intent=lambda edge_name, stn_name, x_m, tag_id, cfo_hz, t_s, est: (
+            mesh._push_intent(
+                mesh.edges[edge_name], station_by_name[stn_name][1], x_m,
+                tag_id, cfo_hz, t_s, est, check_live=False,
+            )
+        ),
+        deliver_push=queue_push,
+    )
+    mesh._plane = plane
+
+    def replay(reports: list[tuple], t_end_s: float) -> dict[str, list[tuple]]:
+        """Feed one quantum's sightings over the backhaul plane — and
+        through it the directory and any registered sighting taps — in
+        canonical order, then advance the plane's links to the quantum
+        boundary. Wired: the plane applies inline and the push intents
+        are computed here, the exact decision sequence of
+        CityMesh._on_sighting with the live-cache skip check deferred
+        to the owning shard. Batched: submission buffers the delta and
+        push intents surface at delivery via ``queue_push``."""
+        push_sink.clear()
         reports.sort(key=lambda r: (r[1], r[0], r[10]))
         for (
             _,
@@ -633,30 +663,24 @@ def run_sharded(
             n_queries,
             _,
         ) in reports:
-            edge = mesh.edges[edge_name]
-            estimate = mesh.directory.report(
-                tag_id, cfo_hz, stn_name, edge_name, x_m, t_s, localized=localized
+            estimate = plane.submit(
+                t_s, edge_name, stn_name, tag_id, cfo_hz, x_m, localized,
+                kind, n_queries,
             )
-            for tap in mesh.sighting_taps:
-                tap(
-                    t_s, edge_name, stn_name, tag_id, cfo_hz, x_m, localized,
-                    kind, n_queries,
-                )
-            if mesh.handoff != "push" or estimate is None:
+            if estimate is None:
                 continue
-            if estimate.speed_m_s <= 0.5:
-                continue
-            _, station = station_by_name[stn_name]
-            target, distance_m = mesh._predict_target(edge, station, x_m)
-            if target is None:
-                continue
-            eta_s = t_s + max(distance_m, 0.0) / estimate.speed_m_s
-            if eta_s - t_s > mesh.push_horizon_s:
-                continue
-            intents.setdefault(station_group[target.name], []).append(
-                (t_s, target.name, stn_name, tag_id, cfo_hz, eta_s)
+            intent = mesh._push_intent(
+                mesh.edges[edge_name], station_by_name[stn_name][1], x_m,
+                tag_id, cfo_hz, t_s, estimate, check_live=False,
             )
-        return intents
+            if intent is None:
+                continue
+            target_name, from_station, _tag, _cfo, t_emit, eta_s = intent
+            push_sink.setdefault(station_group[target_name], []).append(
+                (t_emit, target_name, from_station, tag_id, cfo_hz, eta_s)
+            )
+        plane.advance(t_end_s)
+        return {key: list(batch) for key, batch in push_sink.items()}
 
     try:
         intents_by_group: dict[str, list[tuple]] = {}
@@ -666,7 +690,11 @@ def run_sharded(
             reports = []
             for host in hosts:
                 reports.extend(host.recv()[1])
-            intents_by_group = replay(reports)
+            intents_by_group = replay(reports, t_s)
+        # The convergence flush delivers every still-buffered batch
+        # before results are taken (pushes are suppressed — the run is
+        # over). A no-op when wired.
+        plane.final_flush(duration_s)
         # Pushes triggered by the final quantum's sightings are still
         # sent (they become push misses in the sweep, as in serial).
         for host in hosts:
@@ -683,7 +711,10 @@ def run_sharded(
         for host in hosts:
             host.close()
 
-    return _merge(mesh, payloads, duration_s, workers, sync_quantum_s, groups)
+    result = _merge(mesh, payloads, duration_s, workers, sync_quantum_s, groups)
+    if plane.batched:
+        result.backhaul = plane.summary()
+    return result
 
 
 def _merge(

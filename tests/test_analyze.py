@@ -387,6 +387,61 @@ class TestParallelPolicyChecker:
         assert check(src, "parallel-policy") == []
 
 
+class TestBackhaulPolicyChecker:
+    def test_direct_directory_report_flagged(self):
+        bad = """\
+        def on_sighting(self, directory, tag_id):
+            directory.report(tag_id, 0.0, "s", "z", 0.0, 1.0)
+        """
+        found = check(bad, "backhaul-policy")
+        assert len(found) == 1
+        assert "BackhaulPlane" in found[0].message
+
+    def test_attribute_receivers_flagged(self):
+        bad = """\
+        class Mesh:
+            def run(self):
+                self.directory.resolve(1.0, now_s=2.0)
+                self.mesh._directory.apply_delta(7, 0.0, "s", "z", 0.0, 1.0)
+        """
+        assert len(check(bad, "backhaul-policy")) == 2
+
+    def test_sanctioned_modules_exempt(self):
+        good = "def f(directory):\n    directory.report(1, 0.0, 's', 'z', 0.0, 1.0)\n"
+        for rel_path in (
+            "src/repro/sim/city/backhaul.py",
+            "src/repro/sim/city/directory.py",
+            "src/repro/apps/tolling/backend.py",
+            "src/repro/apps/tolling/__main__.py",
+        ):
+            assert check(good, "backhaul-policy", rel_path=rel_path) == []
+
+    def test_non_library_code_exempt(self):
+        bad = "def f(directory):\n    directory.report(1, 0.0, 's', 'z', 0.0, 1.0)\n"
+        for rel_path in ("tests/test_fake.py", "benchmarks/bench_fake.py"):
+            assert check(bad, "backhaul-policy", rel_path=rel_path) == []
+
+    def test_other_receivers_clean(self):
+        # Per-pole caches and modeled backends have the same method
+        # names; only directory receivers are the guarded surface.
+        good = """\
+        def f(self, cache, backend):
+            cache.resolve(1.0, now_s=2.0)
+            backend.report(1, 0.0, "s", "z", 0.0, 1.0)
+            self.plane.submit(1.0, "z", "s", 1, 0.0, 0.0, True)
+            report(1, 0.0)
+        """
+        assert check(good, "backhaul-policy") == []
+
+    def test_pragma_suppresses(self):
+        src = (
+            "def f(directory):\n"
+            "    directory.resolve(1.0, now_s=0.0)"
+            "  # repro: allow[backhaul-policy] — fixture\n"
+        )
+        assert check(src, "backhaul-policy") == []
+
+
 class TestUnusedImportChecker:
     def test_unused_import_flagged(self):
         assert len(check("import os\nimport sys\nprint(sys.argv)\n", "unused-import")) == 1

@@ -8,9 +8,9 @@ from repro.sim.events import EventScheduler
 from repro.sim.traffic import TrafficLight
 
 
-def chain_mesh(handoff, seed=7, n_poles=2):
+def chain_mesh(handoff, seed=7, n_poles=2, **mesh_kwargs):
     """The 3-corridor / 2-intersection main line A -> B -> C."""
-    mesh = CityMesh(rng=seed, handoff=handoff)
+    mesh = CityMesh(rng=seed, handoff=handoff, **mesh_kwargs)
     mesh.add_node("u", light=TrafficLight(green_s=8.0, yellow_s=1.0, red_s=4.0))
     mesh.add_node(
         "v", light=TrafficLight(green_s=8.0, yellow_s=1.0, red_s=4.0, offset_s=3.0)

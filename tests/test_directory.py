@@ -188,3 +188,91 @@ class TestBoundsEdgeCases:
         assert (
             report(directory, 7, 500e3, 2.0, station="A/pole-1", x_m=40.0) is None
         )
+
+
+class TestBatchedDelivery:
+    """Fault-injection regressions for deltas delivered over a batched
+    backhaul (``apply_delta`` / ``report(..., delivered_s=)``): late
+    history must never resurrect an evicted entry or steal a fresher
+    fingerprint, and delivery time — not emit time — must drive aging."""
+
+    def test_delayed_batch_cannot_resurrect_evicted_entry(self):
+        directory = IdentityDirectory(max_entries=1)
+        report(directory, 7, 500e3, 10.0)
+        report(directory, 8, 900e3, 20.0)  # LRU-evicts 7, tombstone at 20
+        assert 7 not in directory
+        # A batch emitted while 7 was still alive arrives after the
+        # eviction: the tombstone rejects it.
+        assert (
+            directory.apply_delta(
+                7, 500e3, "A/pole-0", "A", 0.0, 15.0, delivered_s=25.0
+            )
+            is None
+        )
+        assert 7 not in directory
+        assert directory.late_drops == 1
+        assert directory.resolve(500e3, now_s=25.0) is None
+        directory.check_consistent()
+
+    def test_fresh_report_after_tombstone_readmits(self):
+        directory = IdentityDirectory(max_entries=1)
+        report(directory, 7, 500e3, 10.0)
+        report(directory, 8, 900e3, 20.0)  # evicts 7
+        # A delta *emitted after* the eviction is legitimate history —
+        # the car really was sighted again — and clears the tombstone.
+        assert (
+            directory.apply_delta(
+                7, 500e3, "A/pole-1", "A", 40.0, 22.0, delivered_s=25.0
+            )
+            is not None
+            or 7 in directory
+        )
+        assert directory.late_drops == 0
+
+    def test_reordered_push_cannot_steal_fresher_fingerprint(self):
+        directory = IdentityDirectory()
+        report(directory, 7, 100e3, 20.0)  # the fresher fix, applied first
+        # An older sighting of the same account (different measured CFO)
+        # arrives late over the backhaul: it must not rewind the
+        # fingerprint the index already holds.
+        assert (
+            directory.apply_delta(
+                7, 90e3, "A/pole-0", "A", 0.0, 10.0, delivered_s=22.0
+            )
+            is None
+        )
+        assert directory.stale_drops == 1
+        assert directory.resolve(100e3, now_s=22.0) == 7
+        assert directory.resolve(90e3, now_s=22.0) is None
+        assert directory.last_fix(7).t_s == 20.0
+
+    def test_delta_already_aged_on_arrival_is_dropped(self):
+        directory = IdentityDirectory(max_age_s=60.0)
+        assert (
+            directory.apply_delta(
+                7, 500e3, "A/pole-0", "A", 0.0, 0.0, delivered_s=100.0
+            )
+            is None
+        )
+        assert directory.late_drops == 1
+        assert 7 not in directory
+
+    def test_delivery_time_drives_aging_not_emit_time(self):
+        directory = IdentityDirectory(max_age_s=60.0)
+        # Emitted at t=5, delivered at t=50: freshness counts from 50,
+        # so the entry survives past 5 + 60.
+        directory.apply_delta(7, 500e3, "A/pole-0", "A", 0.0, 5.0, delivered_s=50.0)
+        assert directory.resolve(500e3, now_s=100.0) == 7
+        assert directory.resolve(500e3, now_s=111.0) is None  # 50 + 60 passed
+
+    def test_wired_reports_never_touch_the_guards(self):
+        directory = IdentityDirectory(max_entries=1)
+        report(directory, 7, 500e3, 10.0)
+        report(directory, 8, 900e3, 20.0)  # evicts 7
+        # The same out-of-order write a wired stream could produce
+        # (clock skew aside, it cannot) — without delivered_s the guard
+        # path is bypassed entirely, preserving pre-backhaul behavior.
+        report(directory, 7, 500e3, 15.0)
+        assert 7 in directory
+        assert directory.late_drops == 0
+        assert directory.stale_drops == 0

@@ -18,7 +18,8 @@ from repro.sim.city import IdentityDirectory, downtown_grid
 from repro.sim.city.parallel import run_sharded
 
 
-def read(t_s, tag_id=7, zone="edge-0", kind="own", n_queries=0, cfo_hz=None):
+def read(t_s, tag_id=7, zone="edge-0", kind="own", n_queries=0, cfo_hz=None,
+         delivered_s=None):
     return TollRead(
         t_s=t_s,
         zone=zone,
@@ -27,6 +28,7 @@ def read(t_s, tag_id=7, zone="edge-0", kind="own", n_queries=0, cfo_hz=None):
         cfo_hz=200.0 * tag_id if cfo_hz is None else cfo_hz,
         kind=kind,
         n_queries=n_queries,
+        delivered_s=delivered_s,
     )
 
 
@@ -404,3 +406,72 @@ class TestTollEventRecord:
         event = TollEvent(tag_id=1, zone="z", window_index=2, first_read_s=10.0, kind="own")
         assert event.status == "pending"
         assert event.charged_s is None
+
+
+class TestDedupEmitVsDelivery:
+    """The latent-bug regression (PR 10): behind-watermark rejection
+    must key on *delivery* lag, not emit time. Pre-backhaul the two were
+    conflated, so a legitimately late delivery of an on-time crossing —
+    routine on a batched link — was rejected as out of order."""
+
+    def test_late_delivery_of_on_time_emit_is_admitted(self):
+        # Failing pre-PR: the watermark jumped to the *emit* time of the
+        # freshest read, so an older-emitted read arriving later (a
+        # batch flushed after an outage) raised instead of billing.
+        dedup = TollDedup(window_s=5.0, max_lag_s=30.0)
+        assert dedup.admit(7, "edge-0", 40.0, delivered_s=41.0)
+        # Emitted a window earlier, held back by the backhaul, delivered
+        # after the fresher read: a real crossing — exactly one event.
+        assert dedup.admit(8, "edge-0", 12.0, delivered_s=42.0)
+        assert not dedup.admit(8, "edge-0", 12.5, delivered_s=43.0)
+        assert dedup.events == 2
+        assert dedup.duplicates == 1
+
+    def test_reordered_redelivery_cannot_double_charge(self):
+        dedup = TollDedup(window_s=5.0, max_lag_s=30.0)
+        assert dedup.admit(7, "edge-0", 10.0, delivered_s=11.0)  # window 2
+        assert dedup.admit(7, "edge-0", 15.0, delivered_s=16.0)  # window 3
+        # A straggler from window 2 delivered after window 3 opened must
+        # fold into the *old* window, never open a second event for it.
+        assert not dedup.admit(7, "edge-0", 11.0, delivered_s=20.0)
+        assert dedup.events == 2
+        assert dedup.duplicates == 1
+
+    def test_delivery_before_emission_raises(self):
+        dedup = TollDedup(window_s=5.0, max_lag_s=30.0)
+        with pytest.raises(ConfigurationError):
+            dedup.admit(7, "edge-0", 10.0, delivered_s=9.0)
+
+    def test_emit_beyond_the_lag_allowance_rejected_loudly(self):
+        dedup = TollDedup(window_s=5.0, max_lag_s=10.0)
+        dedup.admit(7, "edge-0", 100.0, delivered_s=100.0)
+        with pytest.raises(ConfigurationError, match="max_lag_s"):
+            dedup.admit(8, "edge-0", 80.0, delivered_s=101.0)
+
+    def test_wired_behavior_unchanged_by_default(self):
+        # max_lag_s defaults to 0: identical semantics to the pre-PR
+        # single-argument admit on an ordered stream.
+        dedup = TollDedup(window_s=5.0)
+        assert dedup.admit(7, "edge-0", 10.0)
+        assert not dedup.admit(7, "edge-0", 11.0)
+        with pytest.raises(ConfigurationError):
+            dedup.admit(8, "edge-0", 1.0)
+
+    def test_service_bills_backhaul_lag_as_latency(self):
+        service = TollingService(policy="push", max_lag_s=60.0)
+        service.ingest(read(10.0, delivered_s=13.5))
+        assert service.charged == 1
+        assert service.latency_max_s == pytest.approx(3.5)
+        if service.keep_events:
+            assert service.events[0].latency_s == pytest.approx(3.5)
+            assert service.events[0].charged_s == pytest.approx(13.5)
+
+    def test_service_sweep_honors_the_lag_allowance(self):
+        # With a lag allowance the recent-event table must keep events
+        # foldable for window_s + max_lag_s, not sweep them at window_s.
+        service = TollingService(policy="as-sighted", max_lag_s=20.0)
+        service.ingest(read(10.0, delivered_s=10.0))
+        service.ingest(read(31.0, tag_id=9, delivered_s=31.0))
+        service.ingest(read(12.0, delivered_s=32.0))  # straggler duplicate
+        assert service.dedup.events == 2
+        assert service.events[0].n_reads == 2

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from . import (  # noqa: F401
     ablation,
+    backhaul_policy,
     determinism,
     imports,
     obs_policy,
@@ -14,6 +15,7 @@ from . import (  # noqa: F401
 
 __all__ = [
     "ablation",
+    "backhaul_policy",
     "determinism",
     "imports",
     "obs_policy",

@@ -1,0 +1,92 @@
+"""``backhaul-policy``: directory traffic rides the modeled links.
+
+PR 10 made every pole↔directory hop a modeled :class:`BackhaulLink`
+(``src/repro/sim/city/backhaul.py``): sighting reports, delta batches
+and push intents all cross a :class:`BackhaulPlane`, whose delivery
+policy (wired / scheduled / mule) and :class:`FaultPlan` decide *when*
+the directory hears about them. Library code that calls the directory's
+write/read surface directly — ``directory.report(...)``,
+``directory.apply_delta(...)``, ``directory.resolve(...)`` — teleports
+data across that link: it is invisible to the fault plan, skips the
+sync-lag accounting, and silently re-wires a batched deployment back
+into the free-uplink world the module exists to retire.
+
+Two call paths are sanctioned, and only those files may touch the
+directory surface:
+
+* the :class:`BackhaulPlane` itself (``src/repro/sim/city/backhaul.py``)
+  — it *is* the link layer;
+* the latency-modeled :class:`DirectoryBackend`
+  (``src/repro/apps/tolling/backend.py``) — the billing plane's resolve
+  queue and its ``report`` write-back channel.
+
+The directory module may of course call itself, and application entry
+points (``__main__.py`` CLIs) drive directories directly by design —
+they build the fixture, they are not the pole path. Everything else in
+``src/`` must hand its traffic to a plane or a backend.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Checker, Finding, ModuleInfo, register
+from ._ast_utils import call_name
+
+#: The directory surface a pole path must never touch directly.
+_GUARDED_METHODS = {"report", "apply_delta", "resolve"}
+
+#: Library files allowed to call it: the link layer itself, the modeled
+#: billing backend, and the directory's own module.
+_SANCTIONED = {
+    "src/repro/sim/city/backhaul.py",
+    "src/repro/sim/city/directory.py",
+    "src/repro/apps/tolling/backend.py",
+}
+
+
+def _is_directory_receiver(name: str) -> bool:
+    # `directory.report`, `self.directory.resolve`,
+    # `mesh._directory.apply_delta`, ... — the receiver segment (the one
+    # right before the method) names a directory. Per-pole caches
+    # (`cache.resolve`) and backends (`backend.report`) stay untouched.
+    receiver = name.split(".")[-2]
+    return "directory" in receiver.lower()
+
+
+@register
+class BackhaulPolicyChecker(Checker):
+    name = "backhaul-policy"
+    description = (
+        "directory report/apply_delta/resolve calls must ride the "
+        "BackhaulPlane or the DirectoryBackend, never reach around the "
+        "modeled link"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.in_library():
+            return
+        if module.rel_path in _SANCTIONED or module.rel_path.endswith(
+            "__main__.py"
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None or "." not in name:
+                continue
+            method = name.rsplit(".", 1)[-1]
+            if method not in _GUARDED_METHODS:
+                continue
+            if not _is_directory_receiver(name):
+                continue
+            yield module.finding(
+                self.name,
+                node,
+                f"`{name}(...)` reaches around the backhaul: directory "
+                "traffic must cross a BackhaulPlane (pole path) or a "
+                "DirectoryBackend (billing path) so delivery policy and "
+                "fault plans apply",
+            )
